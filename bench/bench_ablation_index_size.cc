@@ -1,0 +1,81 @@
+// Ablation: the accuracy / space trade-off in the number of index points h
+// (§3.1 discusses h as the budget knob; the paper's future work asks for
+// automatic h selection). We subsample the built index's points uniformly
+// so no extra CELF++ runs are needed.
+#include <cstdio>
+#include <numeric>
+
+#include "common/evaluation.h"
+#include "common/testbed.h"
+#include "util/random.h"
+
+using namespace inflex;             // NOLINT
+using namespace inflex::benchsupport;  // NOLINT
+
+int main() {
+  auto tb_r = GetTestbed();
+  if (!tb_r.ok()) {
+    std::fprintf(stderr, "testbed: %s\n", tb_r.status().ToString().c_str());
+    return 1;
+  }
+  const Testbed& tb = *tb_r.ValueOrDie();
+  PrintBanner("Ablation — index size h (uniform subsamples of the built "
+              "index, k = 50)", tb);
+
+  const size_t h_full = tb.index->num_index_points();
+  Rng rng(tb.config.seed + 555);
+
+  TablePrinter table({"h", "avg Kendall-tau", "avg query ms",
+                      "avg lists aggregated"});
+  for (double fraction : {0.125, 0.25, 0.5, 1.0}) {
+    const size_t h = std::max<size_t>(4, static_cast<size_t>(h_full * fraction));
+    // Uniform subsample of point ids.
+    std::vector<uint32_t> ids(h_full);
+    std::iota(ids.begin(), ids.end(), 0u);
+    rng.Shuffle(&ids);
+    ids.resize(h);
+
+    std::vector<simplex::TopicVector> points;
+    std::vector<rank::RankedList> lists;
+    for (uint32_t id : ids) {
+      points.push_back(tb.index->index_point(id));
+      lists.push_back(tb.index->seed_list(id));
+    }
+    bbtree::BbTreeOptions topts;
+    topts.max_leaf_size = tb.config.tree_max_leaf_size;
+    auto sub = core::InflexIndex::FromParts(&tb.graph(), std::move(points),
+                                            std::move(lists), topts);
+    if (!sub.ok()) {
+      std::fprintf(stderr, "%s\n", sub.status().ToString().c_str());
+      return 1;
+    }
+
+    // Evaluate with a locally constructed test-bed view sharing ground truth.
+    Testbed view;
+    view.config = tb.config;
+    view.workload = tb.workload;
+    view.ground_truth = tb.ground_truth;
+    view.dataset = std::make_unique<data::SyntheticDataset>();
+    // EvaluateStrategy only touches index + workload + ground truth +
+    // graph(); borrow the graph via the index we just built.
+    view.dataset->graph = tb.dataset->graph;
+    view.index =
+        std::make_unique<core::InflexIndex>(std::move(sub).ValueOrDie());
+
+    core::QueryOptions opts;  // INFLEX defaults
+    auto m = EvaluateStrategy(view, opts, "h=" + std::to_string(h), 50,
+                              /*evaluate_spread=*/false);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({std::to_string(h),
+                  TablePrinter::Fmt(m.ValueOrDie().avg_kendall),
+                  TablePrinter::Fmt(m.ValueOrDie().avg_query_ms),
+                  TablePrinter::Fmt(m.ValueOrDie().avg_lists_aggregated, 2)});
+  }
+  table.Print();
+  std::printf("\nExpected: accuracy degrades gracefully as h shrinks — the "
+              "accuracy/space trade-off of §3.1.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation: how close do the fast aggregators get to the (NP-hard) Kemeny
+// optimum? The paper relies on cited guarantees — Borda is a 5-approximation
+// (Coppersmith et al.), Local Kemenization yields local optimality — but
+// never measures the gap. The exact Held-Karp solver makes the measurement
+// possible on small unions.
+#include <cstdio>
+#include <numeric>
+
+#include "common/evaluation.h"
+#include "rank/aggregators.h"
+#include "rank/kemeny.h"
+#include "stats/descriptive.h"
+#include "util/random.h"
+
+using namespace inflex;             // NOLINT
+using namespace inflex::benchsupport;  // NOLINT
+
+namespace {
+
+// Mildly conflicting voters: each list is the identity permutation of m
+// items with `noise` random adjacent transpositions applied.
+std::vector<rank::RankedList> MakeInstance(size_t m, size_t voters,
+                                           size_t noise, Rng* rng) {
+  std::vector<rank::RankedList> lists;
+  for (size_t j = 0; j < voters; ++j) {
+    rank::RankedList l(m);
+    std::iota(l.begin(), l.end(), 0u);
+    for (size_t s = 0; s < noise; ++s) {
+      const size_t i = rng->UniformInt(m - 1);
+      std::swap(l[i], l[i + 1]);
+    }
+    lists.push_back(l);
+  }
+  return lists;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation — aggregation quality vs the exact Kemeny optimum\n");
+  std::printf("(500 random instances per row; ratio = pairwise Kemeny cost "
+              "of the method / optimal cost)\n");
+  std::printf("==============================================================\n");
+
+  struct Config {
+    const char* name;
+    rank::AggregationMethod method;
+    bool local_kemenization;
+  };
+  const Config configs[] = {
+      {"Borda", rank::AggregationMethod::kBorda, false},
+      {"Borda+LK", rank::AggregationMethod::kBorda, true},
+      {"Copeland", rank::AggregationMethod::kCopeland, false},
+      {"Copeland+LK", rank::AggregationMethod::kCopeland, true},
+      {"MC4", rank::AggregationMethod::kMarkovChainMc4, false},
+      {"MC4+LK", rank::AggregationMethod::kMarkovChainMc4, true},
+  };
+
+  TablePrinter table({"m", "voters", "noise", "Borda", "Borda+LK", "Copeland",
+                      "Copeland+LK", "MC4", "MC4+LK", "optimal hit rate"});
+  Rng rng(20140324);
+  struct Shape {
+    size_t m, voters, noise;
+  };
+  for (const Shape shape : {Shape{8, 5, 4}, Shape{10, 5, 8},
+                            Shape{12, 7, 12}, Shape{12, 3, 20}}) {
+    std::vector<std::vector<double>> ratios(6);
+    size_t optimal_hits = 0, scored = 0;
+    for (int inst = 0; inst < 500; ++inst) {
+      const auto lists =
+          MakeInstance(shape.m, shape.voters, shape.noise, &rng);
+      auto exact = rank::ExactKemenyAggregate(lists, {});
+      if (!exact.ok()) continue;
+      const double optimum =
+          rank::PairwiseKemenyCost(exact.ValueOrDie(), lists, {})
+              .ValueOrDie();
+      if (optimum <= 0.0) continue;  // unanimous instance: ratio undefined
+      ++scored;
+      bool any_hit = false;
+      for (size_t c = 0; c < 6; ++c) {
+        rank::AggregationOptions opts;
+        opts.method = configs[c].method;
+        opts.local_kemenization = configs[c].local_kemenization;
+        auto heur = rank::AggregateRankings(lists, {}, shape.m, opts);
+        if (!heur.ok()) continue;
+        const double cost =
+            rank::PairwiseKemenyCost(heur.ValueOrDie(), lists, {})
+                .ValueOrDie();
+        ratios[c].push_back(cost / optimum);
+        if (cost <= optimum + 1e-9) any_hit = true;
+      }
+      if (any_hit) ++optimal_hits;
+    }
+    std::vector<std::string> row = {std::to_string(shape.m),
+                                    std::to_string(shape.voters),
+                                    std::to_string(shape.noise)};
+    for (size_t c = 0; c < 6; ++c) {
+      row.push_back(TablePrinter::Fmt(stats::Mean(ratios[c]), 3));
+    }
+    row.push_back(TablePrinter::Fmt(
+        100.0 * static_cast<double>(optimal_hits) /
+            static_cast<double>(scored),
+        1) + "%");
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\nExpected: every method stays FAR below Borda's worst-case "
+              "factor-5 bound on realistic instances; Local Kemenization "
+              "only ever helps; harder (noisier, fewer-voter) instances "
+              "widen the gap.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 8 + Table 2: expected spread of the seed sets (k = 50) produced by
+// every method, evaluated with TIC Monte-Carlo simulation, plus RMSE/NRMSE
+// against the offline TIC ground truth.
+// Paper shape: offline TIC ≥ exactKNN ≈ INFLEX ≈ approxKNN > approxAD ≈
+// approxKNN+Sel ≫ offline IC (less than half) ≫ random.
+#include <cstdio>
+
+#include "common/evaluation.h"
+#include "common/testbed.h"
+
+using namespace inflex;             // NOLINT
+using namespace inflex::benchsupport;  // NOLINT
+
+int main() {
+  auto tb_r = GetTestbed();
+  if (!tb_r.ok()) {
+    std::fprintf(stderr, "testbed: %s\n", tb_r.status().ToString().c_str());
+    return 1;
+  }
+  const Testbed& tb = *tb_r.ValueOrDie();
+  const size_t k = 50;
+  PrintBanner("Figure 8 / Table 2 — expected spread of the seed sets "
+              "(k = 50, TIC Monte-Carlo)", tb);
+
+  std::vector<StrategyMetrics> rows;
+
+  auto offline_tic = EvaluateOfflineTic(tb, k);
+  if (!offline_tic.ok()) {
+    std::fprintf(stderr, "%s\n", offline_tic.status().ToString().c_str());
+    return 1;
+  }
+  rows.push_back(offline_tic.ValueOrDie());
+
+  const core::QueryStrategy strategies[] = {
+      core::QueryStrategy::kExactKnn, core::QueryStrategy::kInflex,
+      core::QueryStrategy::kApproxKnn, core::QueryStrategy::kApproxAd,
+      core::QueryStrategy::kApproxKnnSel};
+  for (core::QueryStrategy s : strategies) {
+    core::QueryOptions opts;
+    opts.strategy = s;
+    opts.knn_k = 10;
+    opts.max_leaves = 5;
+    auto m = EvaluateStrategy(tb, opts, core::QueryStrategyName(s), k,
+                              /*evaluate_spread=*/true);
+    if (!m.ok()) {
+      std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(m.ValueOrDie());
+  }
+
+  auto offline_ic = EvaluateOfflineIc(tb, k);
+  if (!offline_ic.ok()) {
+    std::fprintf(stderr, "%s\n", offline_ic.status().ToString().c_str());
+    return 1;
+  }
+  rows.push_back(offline_ic.ValueOrDie());
+
+  auto random = EvaluateRandom(tb, k, tb.config.seed + 888);
+  if (!random.ok()) {
+    std::fprintf(stderr, "%s\n", random.status().ToString().c_str());
+    return 1;
+  }
+  rows.push_back(random.ValueOrDie());
+
+  TablePrinter table({"Method", "Exp.Spread", "RMSE", "NRMSE"});
+  for (const auto& m : rows) {
+    table.AddRow({m.name,
+                  TablePrinter::Fmt(m.avg_spread, 2) + " ± " +
+                      TablePrinter::Fmt(m.spread_std_error, 2),
+                  m.name == "offline TIC" ? "-" : TablePrinter::Fmt(m.rmse, 2),
+                  m.name == "offline TIC" ? "-"
+                                          : TablePrinter::Fmt(m.nrmse, 3)});
+  }
+  table.Print();
+
+  // Per-population breakdown: the topic-blind collapse concentrates on the
+  // data-driven (topical) queries; uniform-simplex queries are near the
+  // topic-blind mixture by construction and compress the aggregate gap.
+  std::printf("\nper-query-population average spread:\n");
+  TablePrinter split({"Method", "data-driven queries", "uniform queries",
+                      "% of offline TIC (data-driven)"});
+  std::vector<double> tic_split(2, 0.0);
+  for (const auto& m : rows) {
+    double sum[2] = {0.0, 0.0};
+    size_t count[2] = {0, 0};
+    for (size_t i = 0; i < m.spread_per_query.size(); ++i) {
+      const int pop = tb.workload.is_data_driven[i] ? 0 : 1;
+      sum[pop] += m.spread_per_query[i];
+      ++count[pop];
+    }
+    const double dd = count[0] ? sum[0] / count[0] : 0.0;
+    const double uni = count[1] ? sum[1] / count[1] : 0.0;
+    if (m.name == "offline TIC") {
+      tic_split[0] = dd;
+      tic_split[1] = uni;
+    }
+    split.AddRow({m.name, TablePrinter::Fmt(dd, 2), TablePrinter::Fmt(uni, 2),
+                  tic_split[0] > 0.0
+                      ? TablePrinter::Fmt(100.0 * dd / tic_split[0], 1)
+                      : "-"});
+  }
+  split.Print();
+
+  std::printf("\nPaper shape to match (Table 2): aggregation-based methods "
+              "within a few %% of offline TIC (NRMSE ~0.02-0.06); offline IC "
+              "far below TIC on topical items (paper: less than half); "
+              "random far below everything.\n");
+  return 0;
+}

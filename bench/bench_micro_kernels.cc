@@ -1,0 +1,221 @@
+// Google-benchmark microbenchmarks of the hot kernels: KL divergence, ILR,
+// Eq. 1 instance materialization, cascade simulation, snapshot-oracle
+// marginal gains, bb-tree searches, Kendall-τ, and the aggregation kernels.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bbtree/bbtree.h"
+#include "data/synthetic.h"
+#include "im/cascade.h"
+#include "im/lt_model.h"
+#include "im/ris.h"
+#include "im/snapshot_oracle.h"
+#include "rank/aggregators.h"
+#include "rank/kendall_tau.h"
+#include "simplex/divergence.h"
+#include "simplex/ilr.h"
+#include "simplex/sampling.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace inflex;  // NOLINT
+
+const data::SyntheticDataset& SharedDataset() {
+  static const data::SyntheticDataset* ds = [] {
+    data::SyntheticDatasetOptions opts;
+    opts.num_users = 1000;
+    opts.num_topics = 10;
+    opts.num_items = 500;
+    opts.seed = 3;
+    auto r = data::GenerateSyntheticDataset(opts);
+    INFLEX_CHECK(r.ok());
+    return new data::SyntheticDataset(std::move(r).ValueOrDie());
+  }();
+  return *ds;
+}
+
+void BM_KlDivergence(benchmark::State& state) {
+  Rng rng(1);
+  const auto p = simplex::SampleUniformSimplex(state.range(0), &rng);
+  const auto q = simplex::SampleUniformSimplex(state.range(0), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simplex::KlDivergence(p, q));
+  }
+}
+BENCHMARK(BM_KlDivergence)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_IlrTransform(benchmark::State& state) {
+  Rng rng(2);
+  const auto p = simplex::SampleUniformSimplex(state.range(0), &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simplex::IlrTransform(p));
+  }
+}
+BENCHMARK(BM_IlrTransform)->Arg(10)->Arg(50);
+
+void BM_ItemArcProbabilities(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  graph::ArcProbabilities buf;
+  const auto item = simplex::TopicDistribution::Uniform(10);
+  for (auto _ : state) {
+    ds.graph.ItemArcProbabilitiesInto(item, &buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.graph.num_arcs()));
+}
+BENCHMARK(BM_ItemArcProbabilities);
+
+void BM_CascadeSimulation(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  const auto probs =
+      ds.graph.ItemArcProbabilities(ds.catalog[state.range(0)]);
+  im::CascadeWorkspace ws(ds.graph.num_nodes());
+  Rng rng(4);
+  const std::vector<graph::NodeId> seeds = {1, 50, 200};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        im::SimulateCascadeCount(ds.graph, probs, seeds, &rng, &ws));
+  }
+}
+BENCHMARK(BM_CascadeSimulation)->Arg(0)->Arg(1);
+
+void BM_SnapshotMarginalGain(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  const auto probs = ds.graph.ItemArcProbabilities(ds.catalog[0]);
+  im::SnapshotSpreadOracle::Options opts;
+  opts.num_snapshots = static_cast<size_t>(state.range(0));
+  auto oracle = im::SnapshotSpreadOracle::Create(ds.graph, probs, opts);
+  INFLEX_CHECK(oracle.ok());
+  auto ws = oracle.ValueOrDie().MakeWorkspace();
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto v =
+        static_cast<graph::NodeId>(rng.UniformInt(ds.graph.num_nodes()));
+    benchmark::DoNotOptimize(oracle.ValueOrDie().MarginalGain(v, &ws));
+  }
+}
+BENCHMARK(BM_SnapshotMarginalGain)->Arg(50)->Arg(100);
+
+std::vector<simplex::TopicVector> BenchPoints(size_t n, size_t dim) {
+  Rng rng(6);
+  return simplex::SampleUniformSimplexMany(dim, n, &rng);
+}
+
+void BM_BbTreeBuild(benchmark::State& state) {
+  const auto points = BenchPoints(state.range(0), 10);
+  for (auto _ : state) {
+    auto tree = bbtree::BbTree::Build(points, {});
+    benchmark::DoNotOptimize(tree.ok());
+  }
+}
+BENCHMARK(BM_BbTreeBuild)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_BbTreeExactKnn(benchmark::State& state) {
+  const auto points = BenchPoints(1000, 10);
+  auto tree = bbtree::BbTree::Build(points, {});
+  INFLEX_CHECK(tree.ok());
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto q = simplex::SampleUniformSimplex(10, &rng);
+    benchmark::DoNotOptimize(tree.ValueOrDie().ExactKnn(q, 10));
+  }
+}
+BENCHMARK(BM_BbTreeExactKnn);
+
+void BM_BbTreeInflexSearch(benchmark::State& state) {
+  const auto points = BenchPoints(1000, 10);
+  auto tree = bbtree::BbTree::Build(points, {});
+  INFLEX_CHECK(tree.ok());
+  Rng rng(8);
+  for (auto _ : state) {
+    const auto q = simplex::SampleUniformSimplex(10, &rng);
+    benchmark::DoNotOptimize(tree.ValueOrDie().InflexSearch(q, {}));
+  }
+}
+BENCHMARK(BM_BbTreeInflexSearch);
+
+void BM_LinearScanKnn(benchmark::State& state) {
+  const auto points = BenchPoints(1000, 10);
+  auto tree = bbtree::BbTree::Build(points, {});
+  INFLEX_CHECK(tree.ok());
+  Rng rng(9);
+  for (auto _ : state) {
+    const auto q = simplex::SampleUniformSimplex(10, &rng);
+    benchmark::DoNotOptimize(tree.ValueOrDie().LinearScanKnn(q, 10));
+  }
+}
+BENCHMARK(BM_LinearScanKnn);
+
+rank::RankedList RandomList(size_t ell, size_t universe, Rng* rng) {
+  std::vector<rank::Item> ids(universe);
+  std::iota(ids.begin(), ids.end(), 0u);
+  rng->Shuffle(&ids);
+  ids.resize(ell);
+  return ids;
+}
+
+void BM_KendallTauTopL(benchmark::State& state) {
+  Rng rng(10);
+  const auto a = RandomList(state.range(0), 500, &rng);
+  const auto b = RandomList(state.range(0), 500, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rank::KendallTauTopL(a, b).ValueOrDie());
+  }
+}
+BENCHMARK(BM_KendallTauTopL)->Arg(10)->Arg(50);
+
+void BM_RisSeedSelection(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  const auto probs = ds.graph.ItemArcProbabilities(ds.catalog[0]);
+  im::RisOptions opts;
+  opts.num_rr_sets = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        im::SelectSeedsRis(ds.graph, probs, 10, opts).ok());
+  }
+}
+BENCHMARK(BM_RisSeedSelection)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LtCascadeSimulation(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  const auto weights =
+      im::NormalizeToLtWeights(ds.graph,
+                               ds.graph.ItemArcProbabilities(ds.catalog[0]))
+          .ValueOrDie();
+  im::LtWorkspace ws(ds.graph.num_nodes());
+  Rng rng(12);
+  const std::vector<graph::NodeId> seeds = {1, 50, 200};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        im::SimulateLtCascadeCount(ds.graph, weights, seeds, &rng, &ws));
+  }
+}
+BENCHMARK(BM_LtCascadeSimulation);
+
+void BM_Aggregation(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<rank::RankedList> lists;
+  std::vector<double> weights;
+  for (int j = 0; j < 10; ++j) {
+    lists.push_back(RandomList(50, 300, &rng));
+    weights.push_back(rng.Uniform(0.2, 1.0));
+  }
+  rank::AggregationOptions opts;
+  opts.method = state.range(0) == 0 ? rank::AggregationMethod::kBorda
+                                    : rank::AggregationMethod::kCopeland;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rank::AggregateRankings(lists, weights, 50, opts).ValueOrDie());
+  }
+}
+BENCHMARK(BM_Aggregation)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// The paper's motivating scenario (§1.2): a viral-ads platform. Advertisers
+// submit ads described as topic mixtures; the platform must pick, *online*,
+// the users to target for each ad. We simulate a stream of heterogeneous ad
+// campaigns and show per-ad millisecond answers whose targeted users differ
+// by topic — plus what a topic-blind platform would have lost.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "inflex/baselines.h"
+#include "inflex/inflex_index.h"
+#include "inflex/query_cache.h"
+#include "tic/tic_model.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+using namespace inflex;  // NOLINT
+
+namespace {
+
+struct AdCampaign {
+  std::string name;
+  std::vector<double> topic_mix;  // over {sports, politics, tech, music, film}
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> topic_names = {"sports", "politics", "tech",
+                                                "music", "film"};
+  data::SyntheticDatasetOptions dopts;
+  dopts.num_users = 800;
+  dopts.num_topics = topic_names.size();
+  dopts.num_items = 500;
+  dopts.seed = 7;
+  auto dataset = data::GenerateSyntheticDataset(dopts);
+  INFLEX_CHECK_OK(dataset.status());
+  const auto& ds = dataset.ValueOrDie();
+
+  std::printf("building the INFLEX index (offline, once)...\n");
+  core::InflexBuildOptions bopts;
+  bopts.index_points.num_index_points = 48;
+  bopts.index_points.num_dirichlet_samples = 8000;
+  bopts.seed_list_length = 25;
+  bopts.oracle_snapshots = 60;
+  Timer build_timer;
+  auto index = core::InflexIndex::Build(ds.graph, ds.catalog, bopts);
+  INFLEX_CHECK_OK(index.status());
+  std::printf("index ready in %.1f s — the platform can now serve "
+              "advertisers online\n\n",
+              build_timer.ElapsedSeconds());
+
+  const std::vector<AdCampaign> campaigns = {
+      {"sneaker drop (sports)", {0.8, 0.02, 0.08, 0.05, 0.05}},
+      {"election podcast (politics+tech)", {0.02, 0.55, 0.35, 0.04, 0.04}},
+      {"indie film festival (film+music)", {0.03, 0.02, 0.05, 0.3, 0.6}},
+      {"smartwatch launch (tech+sports)", {0.35, 0.03, 0.55, 0.03, 0.04}},
+  };
+
+  tic::TicModel model(&ds.graph);
+  im::MonteCarloOptions mc;
+  mc.num_simulations = 4000;
+
+  for (const auto& ad : campaigns) {
+    auto item = simplex::TopicDistribution::Create(ad.topic_mix);
+    INFLEX_CHECK_OK(item.status());
+    auto answer = index.ValueOrDie().Query(item.ValueOrDie(), /*k=*/8);
+    INFLEX_CHECK_OK(answer.status());
+    const auto& r = answer.ValueOrDie();
+
+    std::vector<graph::NodeId> seeds(r.seeds.begin(), r.seeds.end());
+    auto spread = model.EstimateSpread(item.ValueOrDie(), seeds, mc);
+    INFLEX_CHECK_OK(spread.status());
+
+    std::printf("ad: %-36s answered in %5.2f ms | targets:", ad.name.c_str(),
+                r.total_ms);
+    for (graph::NodeId v : seeds) std::printf(" %u", v);
+    std::printf(" | expected adoptions: %.0f\n", spread.ValueOrDie().mean);
+  }
+
+  // Serving-path optimization: advertisers resubmit near-identical
+  // descriptions constantly; a quantized LRU cache absorbs them.
+  core::QueryCache cache;
+  double cold_ms = 0.0, warm_ms = 0.0;
+  for (const auto& ad : campaigns) {
+    auto item = simplex::TopicDistribution::Create(ad.topic_mix);
+    INFLEX_CHECK_OK(item.status());
+    auto cold = cache.Query(index.ValueOrDie(), item.ValueOrDie(), 8);
+    INFLEX_CHECK_OK(cold.status());
+    cold_ms += cold.ValueOrDie().total_ms;
+    auto warm = cache.Query(index.ValueOrDie(), item.ValueOrDie(), 8);
+    INFLEX_CHECK_OK(warm.status());
+    warm_ms += warm.ValueOrDie().total_ms;
+  }
+  std::printf("\nresubmission handling: first pass %.2f ms total, cached "
+              "pass %.3f ms total (%llu hits / %llu misses)\n",
+              cold_ms, warm_ms,
+              static_cast<unsigned long long>(cache.hits()),
+              static_cast<unsigned long long>(cache.misses()));
+
+  // What would a topic-blind platform do? One generic seed set for all ads.
+  std::printf("\ntopic-blind comparison (one generic seed set for every "
+              "ad, as pre-TIC platforms would):\n");
+  core::OfflineImOptions oopts;
+  oopts.num_snapshots = 60;
+  auto blind = core::OfflineIcSeeds(ds.graph, 8, oopts);
+  INFLEX_CHECK_OK(blind.status());
+  for (const auto& ad : campaigns) {
+    auto item = simplex::TopicDistribution::Create(ad.topic_mix);
+    INFLEX_CHECK_OK(item.status());
+    auto spread = model.EstimateSpread(item.ValueOrDie(),
+                                       blind.ValueOrDie().seeds, mc);
+    INFLEX_CHECK_OK(spread.status());
+    std::printf("  %-36s expected adoptions: %.0f\n", ad.name.c_str(),
+                spread.ValueOrDie().mean);
+  }
+  std::printf("\nTopic-aware targeting adapts the influencers to each ad; "
+              "the generic seed set leaves adoptions on the table.\n");
+  return 0;
+}

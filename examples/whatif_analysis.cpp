@@ -1,0 +1,78 @@
+// What-if simulation for marketing decision making (the paper's §1 pitch:
+// "online social influence analytics, what-if simulation, and marketing
+// decision making"). A marketer repositions a product between two topics and
+// watches, interactively, how the best seed set and the expected adoption
+// change along the mixture path — 11 full TIM queries, answered from the
+// index in milliseconds each.
+#include <cstdio>
+#include <set>
+
+#include "data/synthetic.h"
+#include "inflex/inflex_index.h"
+#include "tic/tic_model.h"
+#include "util/check.h"
+
+using namespace inflex;  // NOLINT
+
+int main() {
+  data::SyntheticDatasetOptions dopts;
+  dopts.num_users = 700;
+  dopts.num_topics = 6;
+  dopts.num_items = 400;
+  dopts.seed = 11;
+  auto dataset = data::GenerateSyntheticDataset(dopts);
+  INFLEX_CHECK_OK(dataset.status());
+  const auto& ds = dataset.ValueOrDie();
+
+  core::InflexBuildOptions bopts;
+  bopts.index_points.num_index_points = 40;
+  bopts.index_points.num_dirichlet_samples = 6000;
+  bopts.seed_list_length = 20;
+  bopts.oracle_snapshots = 60;
+  auto index = core::InflexIndex::Build(ds.graph, ds.catalog, bopts);
+  INFLEX_CHECK_OK(index.status());
+
+  tic::TicModel model(&ds.graph);
+  im::MonteCarloOptions mc;
+  mc.num_simulations = 3000;
+
+  std::printf("what-if: reposition a product from topic 0 toward topic 3\n");
+  std::printf("%-8s %-10s %-12s %-9s %s\n", "mix", "latency", "exp.spread",
+              "overlap", "seed set (k=8)");
+
+  rank::RankedList previous;
+  for (int step = 0; step <= 10; ++step) {
+    const double lambda = step / 10.0;
+    simplex::TopicVector mix(6, 0.01);
+    mix[0] = (1.0 - lambda) * 0.95;
+    mix[3] = lambda * 0.95;
+    auto item = simplex::TopicDistribution::FromUnnormalized(mix);
+    INFLEX_CHECK_OK(item.status());
+
+    auto answer = index.ValueOrDie().Query(item.ValueOrDie(), 8);
+    INFLEX_CHECK_OK(answer.status());
+    const auto& r = answer.ValueOrDie();
+
+    std::vector<graph::NodeId> seeds(r.seeds.begin(), r.seeds.end());
+    auto spread = model.EstimateSpread(item.ValueOrDie(), seeds, mc);
+    INFLEX_CHECK_OK(spread.status());
+
+    // Seed-set churn relative to the previous mixture point.
+    size_t overlap = 0;
+    std::set<rank::Item> prev_set(previous.begin(), previous.end());
+    for (rank::Item v : r.seeds) overlap += prev_set.count(v);
+    previous = r.seeds;
+
+    char mix_label[16];
+    std::snprintf(mix_label, sizeof(mix_label), "%.1f/%.1f", 1.0 - lambda,
+                  lambda);
+    std::printf("%-8s %6.2f ms  %8.1f     %zu/8      ", mix_label, r.total_ms,
+                spread.ValueOrDie().mean, step == 0 ? size_t{8} : overlap);
+    for (rank::Item v : r.seeds) std::printf("%u ", v);
+    std::printf("\n");
+  }
+  std::printf("\nAs the mixture crosses over, the influential users rotate "
+              "from topic-0 authorities to topic-3 authorities — exactly "
+              "the topic-dependence the TIC model captures.\n");
+  return 0;
+}

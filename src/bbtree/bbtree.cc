@@ -1,0 +1,139 @@
+#include "bbtree/bbtree.h"
+
+#include <algorithm>
+
+#include "cluster/gmeans.h"
+#include "cluster/kmeans.h"
+#include "simplex/divergence.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace inflex {
+namespace bbtree {
+
+namespace {
+
+// Bregman ball covering the given points: center at the arithmetic mean
+// (the right-type KL centroid), radius = max divergence of a member from it.
+BregmanBall CoveringBall(const std::vector<simplex::TopicVector>& points,
+                         const std::vector<uint32_t>& ids) {
+  INFLEX_CHECK(!ids.empty());
+  const size_t dim = points[ids.front()].size();
+  simplex::TopicVector center(dim, 0.0);
+  for (uint32_t id : ids) {
+    for (size_t d = 0; d < dim; ++d) center[d] += points[id][d];
+  }
+  for (double& v : center) v /= static_cast<double>(ids.size());
+  double radius = 0.0;
+  for (uint32_t id : ids) {
+    radius = std::max(radius, simplex::KlDivergence(points[id], center));
+  }
+  return BregmanBall(std::move(center), radius);
+}
+
+}  // namespace
+
+class BbTreeBuilder {
+ public:
+  BbTreeBuilder(std::vector<simplex::TopicVector> points,
+                const BbTreeOptions& options)
+      : options_(options), rng_(options.seed) {
+    tree_.points_ = std::move(points);
+  }
+
+  Result<BbTree> Build() {
+    std::vector<uint32_t> all_ids(tree_.points_.size());
+    for (uint32_t i = 0; i < tree_.points_.size(); ++i) all_ids[i] = i;
+    tree_.nodes_.emplace_back();
+    INFLEX_RETURN_NOT_OK(BuildNode(0, std::move(all_ids), 1));
+    return std::move(tree_);
+  }
+
+ private:
+  Status BuildNode(uint32_t node_id, std::vector<uint32_t> ids, size_t level) {
+    tree_.depth_ = std::max(tree_.depth_, level);
+    tree_.nodes_[node_id].ball = CoveringBall(tree_.points_, ids);
+    if (ids.size() <= options_.max_leaf_size) {
+      return MakeLeaf(node_id, std::move(ids));
+    }
+
+    // Learn the branching factor with G-means over this node's points; the
+    // AD test decides how many non-overlapping child balls the population
+    // supports (Nielsen et al. 2009). Fall back to a plain 2-way Bregman
+    // K-means++ split when G-means sees a single Gaussian cluster.
+    std::vector<simplex::TopicVector> members;
+    members.reserve(ids.size());
+    for (uint32_t id : ids) members.push_back(tree_.points_[id]);
+
+    cluster::GMeansOptions gopts;
+    gopts.ad_alpha = options_.gmeans_alpha;
+    gopts.max_clusters = std::max<size_t>(options_.max_branching, 2);
+    gopts.divergence = cluster::BregmanDivergenceKind::kKl;
+    gopts.seed = rng_.Next();
+    INFLEX_ASSIGN_OR_RETURN(cluster::KMeansResult clustering,
+                            cluster::GMeans(members, gopts));
+    if (clustering.centroids.size() < 2) {
+      cluster::KMeansOptions kopts;
+      kopts.num_clusters = 2;
+      kopts.divergence = cluster::BregmanDivergenceKind::kKl;
+      kopts.seed = rng_.Next();
+      INFLEX_ASSIGN_OR_RETURN(clustering,
+                              cluster::KMeansPlusPlus(members, kopts));
+    }
+
+    // Partition ids by cluster; drop empty clusters.
+    std::vector<std::vector<uint32_t>> groups(clustering.centroids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      groups[clustering.assignment[i]].push_back(ids[i]);
+    }
+    groups.erase(std::remove_if(groups.begin(), groups.end(),
+                                [](const auto& g) { return g.empty(); }),
+                 groups.end());
+    if (groups.size() < 2) {
+      // Degenerate split (e.g. duplicated points): stop here.
+      return MakeLeaf(node_id, std::move(ids));
+    }
+
+    for (auto& group : groups) {
+      const uint32_t child_id = static_cast<uint32_t>(tree_.nodes_.size());
+      tree_.nodes_.emplace_back();
+      tree_.nodes_[node_id].children.push_back(child_id);
+      INFLEX_RETURN_NOT_OK(BuildNode(child_id, std::move(group), level + 1));
+    }
+    return Status::OK();
+  }
+
+  Status MakeLeaf(uint32_t node_id, std::vector<uint32_t> ids) {
+    tree_.nodes_[node_id].point_ids = std::move(ids);
+    ++tree_.num_leaves_;
+    return Status::OK();
+  }
+
+  BbTreeOptions options_;
+  Rng rng_;
+  BbTree tree_;
+};
+
+Result<BbTree> BbTree::Build(std::vector<simplex::TopicVector> points,
+                             const BbTreeOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("bb-tree requires at least one point");
+  }
+  const size_t dim = points.front().size();
+  if (dim < 2) {
+    return Status::InvalidArgument("bb-tree points must have dimension >= 2");
+  }
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("bb-tree points disagree on dimension");
+    }
+  }
+  if (options.max_leaf_size == 0) {
+    return Status::InvalidArgument("max_leaf_size must be positive");
+  }
+  BbTreeBuilder builder(std::move(points), options);
+  return builder.Build();
+}
+
+}  // namespace bbtree
+}  // namespace inflex

@@ -1,0 +1,126 @@
+#include "bbtree/bregman_ball.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "simplex/divergence.h"
+#include "util/check.h"
+
+namespace inflex {
+namespace bbtree {
+
+namespace {
+
+constexpr double kGeodesicEps = 1e-12;
+constexpr int kMaxBisectionIters = 60;
+constexpr double kLambdaTolerance = 1e-10;
+
+// Point on the dual geodesic between q (λ=0) and μ (λ=1): the normalized
+// componentwise geometric mixture x_λ ∝ q^{1−λ} μ^λ.
+void GeodesicPoint(const simplex::TopicVector& q,
+                   const simplex::TopicVector& mu, double lambda,
+                   simplex::TopicVector* out) {
+  const size_t dim = q.size();
+  out->resize(dim);
+  double sum = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double lq = std::log(std::max(q[d], kGeodesicEps));
+    const double lm = std::log(std::max(mu[d], kGeodesicEps));
+    (*out)[d] = std::exp((1.0 - lambda) * lq + lambda * lm);
+    sum += (*out)[d];
+  }
+  for (double& v : *out) v /= sum;
+}
+
+}  // namespace
+
+bool BregmanBall::Contains(const simplex::TopicVector& x, double slack) const {
+  return simplex::KlDivergence(x, center_) <= radius_ + slack;
+}
+
+double BregmanBall::MinDivergenceFrom(const simplex::TopicVector& q,
+                                      size_t* kl_evaluations) const {
+  INFLEX_CHECK_EQ(q.size(), center_.size());
+  size_t evals = 0;
+  const double div_q_center = simplex::KlDivergence(q, center_);
+  ++evals;
+  if (div_q_center <= radius_) {
+    // q itself is inside the ball: the minimum is 0.
+    if (kl_evaluations != nullptr) *kl_evaluations += evals;
+    return 0.0;
+  }
+
+  // Bisect λ for the boundary crossing: D_KL(x_λ ‖ μ) decreases from
+  // D_KL(q ‖ μ) > R at λ=0 to 0 at λ=1. Keep x_{λ_out} outside and
+  // x_{λ_in} inside the ball; the projection lies between them and
+  // D_KL(x_λ ‖ q) is increasing in λ, so x_{λ_out} gives a lower bound.
+  double lambda_out = 0.0, lambda_in = 1.0;
+  simplex::TopicVector x;
+  for (int it = 0;
+       it < kMaxBisectionIters && lambda_in - lambda_out > kLambdaTolerance;
+       ++it) {
+    const double mid = 0.5 * (lambda_out + lambda_in);
+    GeodesicPoint(q, center_, mid, &x);
+    const double d_to_center = simplex::KlDivergence(x, center_);
+    ++evals;
+    if (d_to_center > radius_) {
+      lambda_out = mid;
+    } else {
+      lambda_in = mid;
+    }
+  }
+  GeodesicPoint(q, center_, lambda_out, &x);
+  const double bound = simplex::KlDivergence(x, q);
+  ++evals;
+  if (kl_evaluations != nullptr) *kl_evaluations += evals;
+  return bound;
+}
+
+bool BregmanBall::CanPrune(const simplex::TopicVector& q, double delta,
+                           size_t* kl_evaluations) const {
+  INFLEX_CHECK_EQ(q.size(), center_.size());
+  if (delta == std::numeric_limits<double>::infinity()) return false;
+  size_t evals = 0;
+  const double div_q_center = simplex::KlDivergence(q, center_);
+  ++evals;
+  if (div_q_center <= radius_) {
+    if (kl_evaluations != nullptr) *kl_evaluations += evals;
+    return false;  // min is 0 < δ for any positive δ
+  }
+
+  double lambda_out = 0.0, lambda_in = 1.0;
+  simplex::TopicVector x;
+  bool prune = false;
+  for (int it = 0; it < kMaxBisectionIters; ++it) {
+    const double mid = 0.5 * (lambda_out + lambda_in);
+    GeodesicPoint(q, center_, mid, &x);
+    const double d_to_center = simplex::KlDivergence(x, center_);
+    const double d_to_query = simplex::KlDivergence(x, q);
+    evals += 2;
+    if (d_to_center > radius_) {
+      lambda_out = mid;
+      // x is infeasible but closer to q than the projection: lower bound.
+      if (d_to_query >= delta) {
+        prune = true;
+        break;
+      }
+    } else {
+      lambda_in = mid;
+      // x is feasible: upper bound on the minimum.
+      if (d_to_query < delta) {
+        prune = false;
+        break;
+      }
+    }
+    if (lambda_in - lambda_out <= kLambdaTolerance) {
+      prune = d_to_query >= delta;
+      break;
+    }
+  }
+  if (kl_evaluations != nullptr) *kl_evaluations += evals;
+  return prune;
+}
+
+}  // namespace bbtree
+}  // namespace inflex

@@ -1,0 +1,54 @@
+#ifndef INFLEX_BBTREE_BREGMAN_BALL_H_
+#define INFLEX_BBTREE_BREGMAN_BALL_H_
+
+#include <vector>
+
+#include "simplex/topic_distribution.h"
+
+namespace inflex {
+namespace bbtree {
+
+/// \brief A Bregman ball under the KL generator (Eq. 4):
+/// B(μ, R) = { x : D_KL(x ‖ μ) ≤ R }.
+///
+/// Provides the pruning primitive of the INFLEX search (Eq. 5): a sound
+/// lower bound on min_{x ∈ B} D_KL(x ‖ q), computed by projecting the query
+/// onto the ball with Cayton's bisection along the dual geodesic
+///   x_λ = ∇f*((1−λ)·∇f(q) + λ·∇f(μ)),
+/// which for the KL generator on the simplex is the normalized geometric
+/// mixture x_λ ∝ q^{1−λ} μ^λ. The primal (inside the ball) and dual
+/// (outside) endpoints of the bisection bracket yield upper and lower bounds
+/// that allow early termination as soon as the δ-comparison is resolved.
+class BregmanBall {
+ public:
+  BregmanBall() = default;
+  BregmanBall(simplex::TopicVector center, double radius)
+      : center_(std::move(center)), radius_(radius) {}
+
+  const simplex::TopicVector& center() const { return center_; }
+  double radius() const { return radius_; }
+
+  /// True when x lies in the ball: D_KL(x ‖ center) ≤ radius (+slack).
+  bool Contains(const simplex::TopicVector& x, double slack = 1e-12) const;
+
+  /// Lower bound on min_{x ∈ B} D_KL(x ‖ q). Exact up to bisection
+  /// tolerance; always ≤ the true minimum. `kl_evaluations` (optional) is
+  /// incremented by the number of divergence evaluations spent.
+  double MinDivergenceFrom(const simplex::TopicVector& q,
+                           size_t* kl_evaluations = nullptr) const;
+
+  /// Resolves the Eq. 5 test "min_{x ∈ B} D_KL(x ‖ q) < δ" with early
+  /// bisection exit: returns true when the subtree can be pruned
+  /// (min ≥ δ). δ = +inf never prunes.
+  bool CanPrune(const simplex::TopicVector& q, double delta,
+                size_t* kl_evaluations = nullptr) const;
+
+ private:
+  simplex::TopicVector center_;
+  double radius_ = 0.0;
+};
+
+}  // namespace bbtree
+}  // namespace inflex
+
+#endif  // INFLEX_BBTREE_BREGMAN_BALL_H_

@@ -1,0 +1,236 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "bbtree/bbtree.h"
+#include "simplex/divergence.h"
+#include "stats/anderson_darling.h"
+#include "util/check.h"
+
+namespace inflex {
+namespace bbtree {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Min-heap entries keyed by divergence / lower bound.
+using KeyedNode = std::pair<double, uint32_t>;
+struct KeyedNodeGreater {
+  bool operator()(const KeyedNode& a, const KeyedNode& b) const {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  }
+};
+using MinHeap =
+    std::priority_queue<KeyedNode, std::vector<KeyedNode>, KeyedNodeGreater>;
+
+// The `similar_enough` test of Algorithm 1: project the leaf population and
+// the query onto the direction from the leaf's mean to the query and
+// Anderson-Darling-test the joint sample for normality. Accepting the null
+// ("the query blends into the leaf population") stops the search.
+bool SimilarEnough(const std::vector<simplex::TopicVector>& points,
+                   const std::vector<uint32_t>& leaf_ids,
+                   const simplex::TopicVector& query, double ad_alpha) {
+  if (leaf_ids.size() + 1 < 5) return false;  // too small to test: continue
+  const size_t dim = query.size();
+  simplex::TopicVector mean(dim, 0.0);
+  for (uint32_t id : leaf_ids) {
+    for (size_t d = 0; d < dim; ++d) mean[d] += points[id][d];
+  }
+  for (double& v : mean) v /= static_cast<double>(leaf_ids.size());
+
+  std::vector<double> direction(dim);
+  double norm_sq = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    direction[d] = query[d] - mean[d];
+    norm_sq += direction[d] * direction[d];
+  }
+  if (norm_sq <= 1e-24) return true;  // query coincides with the population
+  const double inv_norm = 1.0 / std::sqrt(norm_sq);
+
+  std::vector<double> sample;
+  sample.reserve(leaf_ids.size() + 1);
+  auto project = [&](const simplex::TopicVector& x) {
+    double dot = 0.0;
+    for (size_t d = 0; d < dim; ++d) dot += x[d] * direction[d];
+    return dot * inv_norm;
+  };
+  for (uint32_t id : leaf_ids) sample.push_back(project(points[id]));
+  sample.push_back(project(query));
+
+  auto ad = stats::AndersonDarlingNormality(sample);
+  if (!ad.ok()) return true;  // degenerate (zero variance): trivially similar
+  return ad.ValueOrDie().IsNormal(ad_alpha);
+}
+
+}  // namespace
+
+uint32_t BbTree::DescendToLeaf(
+    uint32_t node_id, const simplex::TopicVector& query, SearchStats* stats,
+    std::vector<std::pair<double, uint32_t>>* siblings_out) const {
+  uint32_t current = node_id;
+  while (!nodes_[current].is_leaf()) {
+    ++stats->nodes_visited;
+    double best_div = kInf;
+    uint32_t best_child = nodes_[current].children.front();
+    std::vector<std::pair<double, uint32_t>> evaluated;
+    evaluated.reserve(nodes_[current].children.size());
+    for (uint32_t child : nodes_[current].children) {
+      const double d =
+          simplex::KlDivergence(nodes_[child].ball.center(), query);
+      ++stats->kl_evaluations;
+      evaluated.emplace_back(d, child);
+      if (d < best_div) {
+        best_div = d;
+        best_child = child;
+      }
+    }
+    for (const auto& [d, child] : evaluated) {
+      if (child != best_child) siblings_out->emplace_back(d, child);
+    }
+    current = best_child;
+  }
+  ++stats->nodes_visited;
+  return current;
+}
+
+InflexSearchResult BbTree::InflexSearch(
+    const simplex::TopicVector& query,
+    const InflexSearchOptions& options) const {
+  INFLEX_CHECK_EQ(query.size(), dim());
+  InflexSearchResult result;
+  SearchStats& stats = result.stats;
+
+  MinHeap pending;
+  pending.push({0.0, 0});  // root
+  std::vector<std::pair<double, uint32_t>> siblings;
+  double delta = kInf;  // max divergence in the current solution set
+
+  while (!pending.empty() && stats.leaves_visited < options.max_leaves) {
+    const auto [key, node_id] = pending.top();
+    pending.pop();
+    (void)key;
+    if (options.use_pruning && !result.neighbors.empty() &&
+        nodes_[node_id].ball.CanPrune(query, delta, &stats.kl_evaluations)) {
+      ++stats.subtrees_pruned;
+      continue;
+    }
+    siblings.clear();
+    const uint32_t leaf = DescendToLeaf(node_id, query, &stats, &siblings);
+    for (const auto& s : siblings) pending.push(s);
+
+    ++stats.leaves_visited;
+    const auto& leaf_ids = nodes_[leaf].point_ids;
+    for (uint32_t pid : leaf_ids) {
+      const double d = simplex::KlDivergence(points_[pid], query);
+      ++stats.kl_evaluations;
+      if (d <= options.epsilon_exact) {
+        // ε-exact match: the index already contains (essentially) this very
+        // item; return its seed list alone.
+        result.neighbors.assign(1, Neighbor{pid, d});
+        result.epsilon_exact = true;
+        return result;
+      }
+      result.neighbors.push_back(Neighbor{pid, d});
+      delta = std::max(delta == kInf ? d : delta, d);
+    }
+    if (options.use_ad_early_stop &&
+        SimilarEnough(points_, leaf_ids, query, options.ad_alpha)) {
+      break;
+    }
+  }
+  std::sort(result.neighbors.begin(), result.neighbors.end());
+  return result;
+}
+
+std::vector<Neighbor> BbTree::LeafBoundedKnn(const simplex::TopicVector& query,
+                                             size_t k, size_t max_leaves,
+                                             SearchStats* stats) const {
+  InflexSearchOptions options;
+  options.epsilon_exact = -1.0;      // never short-circuit
+  options.use_ad_early_stop = false;  // leaf budget is the only stop
+  options.max_leaves = max_leaves;
+  InflexSearchResult r = InflexSearch(query, options);
+  if (stats != nullptr) *stats = r.stats;
+  if (r.neighbors.size() > k) r.neighbors.resize(k);
+  return std::move(r.neighbors);
+}
+
+std::vector<Neighbor> BbTree::ExactKnn(const simplex::TopicVector& query,
+                                       size_t k,
+                                       SearchStats* stats) const {
+  INFLEX_CHECK_EQ(query.size(), dim());
+  INFLEX_CHECK_GT(k, 0u);
+  SearchStats local;
+  SearchStats& st = stats != nullptr ? *stats : local;
+
+  // Best-first branch-and-bound on the Eq. 5 lower bound; a min-heap keyed
+  // by the bound lets us stop as soon as the bound exceeds the k-th best.
+  MinHeap pending;
+  pending.push({0.0, 0});
+  std::priority_queue<Neighbor> best;  // max-heap: worst of the best on top
+
+  while (!pending.empty()) {
+    const auto [lower_bound, node_id] = pending.top();
+    pending.pop();
+    const double delta = best.size() == k ? best.top().divergence : kInf;
+    if (lower_bound >= delta) {
+      ++st.subtrees_pruned;
+      break;  // min-heap: every remaining bound is at least as large
+    }
+    const Node& node = nodes_[node_id];
+    ++st.nodes_visited;
+    if (node.is_leaf()) {
+      ++st.leaves_visited;
+      for (uint32_t pid : node.point_ids) {
+        const double d = simplex::KlDivergence(points_[pid], query);
+        ++st.kl_evaluations;
+        if (best.size() < k) {
+          best.push(Neighbor{pid, d});
+        } else if (d < best.top().divergence) {
+          best.pop();
+          best.push(Neighbor{pid, d});
+        }
+      }
+    } else {
+      for (uint32_t child : node.children) {
+        const double lb =
+            nodes_[child].ball.MinDivergenceFrom(query, &st.kl_evaluations);
+        const double cur_delta = best.size() == k ? best.top().divergence : kInf;
+        if (lb < cur_delta) {
+          pending.push({lb, child});
+        } else {
+          ++st.subtrees_pruned;
+        }
+      }
+    }
+  }
+
+  std::vector<Neighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<Neighbor> BbTree::LinearScanKnn(const simplex::TopicVector& query,
+                                            size_t k,
+                                            SearchStats* stats) const {
+  INFLEX_CHECK_EQ(query.size(), dim());
+  std::vector<Neighbor> all(points_.size());
+  for (uint32_t i = 0; i < points_.size(); ++i) {
+    all[i] = Neighbor{i, simplex::KlDivergence(points_[i], query)};
+  }
+  if (stats != nullptr) stats->kl_evaluations += points_.size();
+  const size_t kk = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + kk, all.end());
+  all.resize(kk);
+  return all;
+}
+
+}  // namespace bbtree
+}  // namespace inflex

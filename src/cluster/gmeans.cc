@@ -1,0 +1,158 @@
+#include "cluster/gmeans.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/anderson_darling.h"
+#include "util/check.h"
+
+namespace inflex {
+namespace cluster {
+
+bool ProjectedGaussianTest(const std::vector<simplex::TopicVector>& points,
+                           const std::vector<double>& direction,
+                           double ad_alpha) {
+  if (points.size() < 5) return true;
+  double norm_sq = 0.0;
+  for (double v : direction) norm_sq += v * v;
+  if (norm_sq <= 0.0) return true;
+
+  std::vector<double> projections(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    INFLEX_CHECK_EQ(points[i].size(), direction.size());
+    double dot = 0.0;
+    for (size_t d = 0; d < direction.size(); ++d) {
+      dot += points[i][d] * direction[d];
+    }
+    projections[i] = dot / std::sqrt(norm_sq);
+  }
+  auto ad = stats::AndersonDarlingNormality(projections);
+  if (!ad.ok()) return true;  // degenerate sample: do not split
+  return ad.ValueOrDie().IsNormal(ad_alpha);
+}
+
+namespace {
+
+struct Cluster {
+  std::vector<uint32_t> member_ids;  // indices into the input point set
+  simplex::TopicVector centroid;
+  bool frozen = false;  // Gaussian, or too small to test: never re-split
+};
+
+simplex::TopicVector Mean(const std::vector<simplex::TopicVector>& points,
+                          const std::vector<uint32_t>& ids) {
+  simplex::TopicVector m(points.front().size(), 0.0);
+  for (uint32_t id : ids) {
+    for (size_t d = 0; d < m.size(); ++d) m[d] += points[id][d];
+  }
+  for (double& v : m) v /= static_cast<double>(ids.size());
+  return m;
+}
+
+}  // namespace
+
+Result<KMeansResult> GMeans(const std::vector<simplex::TopicVector>& points,
+                            const GMeansOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("G-means requires at least one point");
+  }
+  const size_t dim = points.front().size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("G-means points disagree on dimension");
+    }
+  }
+  if (options.max_clusters == 0) {
+    return Status::InvalidArgument("G-means requires max_clusters >= 1");
+  }
+
+  Rng rng(options.seed);
+  std::vector<Cluster> clusters(1);
+  clusters[0].member_ids.resize(points.size());
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    clusters[0].member_ids[i] = i;
+  }
+  clusters[0].centroid = Mean(points, clusters[0].member_ids);
+
+  bool changed = true;
+  while (changed && clusters.size() < options.max_clusters) {
+    changed = false;
+    const size_t current = clusters.size();
+    for (size_t c = 0; c < current && clusters.size() < options.max_clusters;
+         ++c) {
+      Cluster& cl = clusters[c];
+      if (cl.frozen) continue;
+      if (cl.member_ids.size() < options.min_cluster_size) {
+        cl.frozen = true;
+        continue;
+      }
+      // Tentative 2-split of this cluster.
+      std::vector<simplex::TopicVector> members;
+      members.reserve(cl.member_ids.size());
+      for (uint32_t id : cl.member_ids) members.push_back(points[id]);
+
+      KMeansOptions split_opts;
+      split_opts.num_clusters = 2;
+      split_opts.divergence = options.divergence;
+      split_opts.seed = rng.Next();
+      auto split = KMeansPlusPlus(members, split_opts);
+      if (!split.ok()) return split.status();
+      const KMeansResult& sr = split.ValueOrDie();
+      if (sr.centroids.size() < 2) {
+        cl.frozen = true;
+        continue;
+      }
+
+      // Direction v = c1 − c2 between the tentative children (Hamerly &
+      // Elkan); if the projected members look Gaussian, keep the parent.
+      std::vector<double> direction(dim);
+      for (size_t d = 0; d < dim; ++d) {
+        direction[d] = sr.centroids[0][d] - sr.centroids[1][d];
+      }
+      if (ProjectedGaussianTest(members, direction, options.ad_alpha)) {
+        cl.frozen = true;
+        continue;
+      }
+
+      // Reject normality: adopt the split.
+      Cluster right;
+      std::vector<uint32_t> left_ids;
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (sr.assignment[i] == 0) {
+          left_ids.push_back(cl.member_ids[i]);
+        } else {
+          right.member_ids.push_back(cl.member_ids[i]);
+        }
+      }
+      if (left_ids.empty() || right.member_ids.empty()) {
+        cl.frozen = true;
+        continue;
+      }
+      cl.member_ids = std::move(left_ids);
+      cl.centroid = Mean(points, cl.member_ids);
+      right.centroid = Mean(points, right.member_ids);
+      clusters.push_back(std::move(right));
+      changed = true;
+    }
+  }
+
+  KMeansResult result;
+  result.assignment.assign(points.size(), 0);
+  result.centroids.reserve(clusters.size());
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    result.centroids.push_back(clusters[c].centroid);
+    for (uint32_t id : clusters[c].member_ids) {
+      result.assignment[id] = static_cast<uint32_t>(c);
+    }
+  }
+  result.objective = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    result.objective += BregmanDivergence(
+        options.divergence, points[i], result.centroids[result.assignment[i]]);
+  }
+  result.iterations = static_cast<int>(clusters.size());
+  return result;
+}
+
+}  // namespace cluster
+}  // namespace inflex

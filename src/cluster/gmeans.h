@@ -1,0 +1,49 @@
+#ifndef INFLEX_CLUSTER_GMEANS_H_
+#define INFLEX_CLUSTER_GMEANS_H_
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "simplex/topic_distribution.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace cluster {
+
+/// \brief Options for G-means (Hamerly & Elkan 2003): learn the number of
+/// clusters by splitting any cluster whose members, projected onto the
+/// direction connecting its two tentative children, fail an Anderson-Darling
+/// normality test.
+struct GMeansOptions {
+  /// Significance level of the Anderson-Darling test; normality is rejected
+  /// (and the cluster split) when p < ad_alpha.
+  double ad_alpha = 0.05;
+  /// Hard cap on the number of clusters produced.
+  size_t max_clusters = 16;
+  /// Clusters smaller than this are never split (the AD test needs a sample).
+  size_t min_cluster_size = 8;
+  /// Divergence used for the inner 2-means splits.
+  BregmanDivergenceKind divergence = BregmanDivergenceKind::kKl;
+  uint64_t seed = 1;
+};
+
+/// Learns a clustering whose size is driven by the data: starts from a single
+/// cluster and recursively 2-splits non-Gaussian clusters. The paper uses
+/// this procedure to choose the bb-tree branching factor at every node.
+/// Fails on empty input or inconsistent dimensions.
+Result<KMeansResult> GMeans(const std::vector<simplex::TopicVector>& points,
+                            const GMeansOptions& options);
+
+/// The G-means split test in isolation (exposed for the bb-tree and tests):
+/// projects `points` onto `direction` and Anderson-Darling-tests the
+/// projections. Returns true when the cluster looks Gaussian (should NOT be
+/// split). Degenerate inputs (tiny clusters, zero direction) are reported as
+/// Gaussian, i.e. never split.
+bool ProjectedGaussianTest(const std::vector<simplex::TopicVector>& points,
+                           const std::vector<double>& direction,
+                           double ad_alpha);
+
+}  // namespace cluster
+}  // namespace inflex
+
+#endif  // INFLEX_CLUSTER_GMEANS_H_

@@ -1,0 +1,59 @@
+#include "data/workload.h"
+
+#include "simplex/sampling.h"
+#include "stats/dirichlet.h"
+#include "util/random.h"
+
+namespace inflex {
+namespace data {
+
+Result<QueryWorkload> GenerateQueryWorkload(
+    const std::vector<simplex::TopicDistribution>& catalog,
+    const QueryWorkloadOptions& options) {
+  if (catalog.empty()) {
+    return Status::InvalidArgument("workload requires a non-empty catalog");
+  }
+  if (options.boundary_smoothing < 0.0 || options.boundary_smoothing > 1.0) {
+    return Status::InvalidArgument("boundary_smoothing outside [0,1]");
+  }
+  const size_t z_count = catalog.front().num_topics();
+
+  std::vector<simplex::TopicVector> raw;
+  raw.reserve(catalog.size());
+  for (const auto& item : catalog) {
+    if (item.num_topics() != z_count) {
+      return Status::InvalidArgument("catalog items disagree on dimension");
+    }
+    raw.push_back(item.probs());
+  }
+
+  Rng rng(options.seed);
+  QueryWorkload workload;
+  workload.queries.reserve(options.num_data_driven + options.num_uniform);
+
+  if (options.num_data_driven > 0) {
+    INFLEX_ASSIGN_OR_RETURN(stats::Dirichlet fitted,
+                            stats::FitDirichletMle(raw));
+    for (size_t i = 0; i < options.num_data_driven; ++i) {
+      auto td = simplex::TopicDistribution::Create(fitted.Sample(&rng));
+      if (!td.ok()) return td.status();
+      workload.queries.push_back(std::move(td).ValueOrDie().
+                                 SmoothedTowardUniform(
+                                     options.boundary_smoothing));
+      workload.is_data_driven.push_back(true);
+    }
+  }
+  for (size_t i = 0; i < options.num_uniform; ++i) {
+    auto td = simplex::TopicDistribution::Create(
+        simplex::SampleUniformSimplex(z_count, &rng));
+    if (!td.ok()) return td.status();
+    workload.queries.push_back(
+        std::move(td).ValueOrDie().SmoothedTowardUniform(
+            options.boundary_smoothing));
+    workload.is_data_driven.push_back(false);
+  }
+  return workload;
+}
+
+}  // namespace data
+}  // namespace inflex

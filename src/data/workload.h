@@ -1,0 +1,44 @@
+#ifndef INFLEX_DATA_WORKLOAD_H_
+#define INFLEX_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simplex/topic_distribution.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace data {
+
+/// \brief Options for the TIM query workload of §5: half the queries follow
+/// the catalog's distribution ("data-driven perspective"), half are uniform
+/// on the simplex ("random perspective", robustness check).
+struct QueryWorkloadOptions {
+  size_t num_data_driven = 100;
+  size_t num_uniform = 100;
+  /// Queries are blended toward uniform by this factor to keep them off the
+  /// simplex boundary (0 disables).
+  double boundary_smoothing = 0.0;
+  uint64_t seed = 99;
+};
+
+/// \brief A generated workload, keeping the two populations distinguishable
+/// so experiments can report per-population metrics.
+struct QueryWorkload {
+  std::vector<simplex::TopicDistribution> queries;
+  /// True at position i when queries[i] came from the data-driven sampler.
+  std::vector<bool> is_data_driven;
+};
+
+/// Generates the workload: fits a maximum-likelihood Dirichlet to `catalog`
+/// (Minka's procedure, as in index construction) and samples the data-driven
+/// queries from it; uniform queries come from Dirichlet(1,…,1).
+/// Fails when the catalog is empty or dimensions disagree.
+Result<QueryWorkload> GenerateQueryWorkload(
+    const std::vector<simplex::TopicDistribution>& catalog,
+    const QueryWorkloadOptions& options);
+
+}  // namespace data
+}  // namespace inflex
+
+#endif  // INFLEX_DATA_WORKLOAD_H_

@@ -1,0 +1,113 @@
+#include "graph/graph_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/serialize.h"
+
+namespace inflex {
+namespace graph {
+
+namespace {
+constexpr uint32_t kGraphMagic = 0x494e4758;  // "INGX"
+constexpr uint32_t kGraphVersion = 1;
+}  // namespace
+
+Status SaveTopicGraph(const TopicGraph& g, const std::string& path) {
+  INFLEX_ASSIGN_OR_RETURN(BinaryWriter w, BinaryWriter::Open(path));
+  INFLEX_RETURN_NOT_OK(WriteHeader(&w, kGraphMagic, kGraphVersion));
+  INFLEX_RETURN_NOT_OK(w.WritePod<uint64_t>(g.num_nodes_));
+  INFLEX_RETURN_NOT_OK(w.WritePod<uint64_t>(g.num_topics_));
+  INFLEX_RETURN_NOT_OK(w.WriteVector(g.out_offsets_));
+  INFLEX_RETURN_NOT_OK(w.WriteVector(g.out_targets_));
+  INFLEX_RETURN_NOT_OK(w.WriteVector(g.arc_topic_probs_));
+  INFLEX_RETURN_NOT_OK(w.WriteVector(g.in_offsets_));
+  INFLEX_RETURN_NOT_OK(w.WriteVector(g.in_sources_));
+  INFLEX_RETURN_NOT_OK(w.WriteVector(g.in_arc_ids_));
+  return w.Close();
+}
+
+Result<TopicGraph> LoadTopicGraph(const std::string& path) {
+  INFLEX_ASSIGN_OR_RETURN(BinaryReader r, BinaryReader::Open(path));
+  INFLEX_RETURN_NOT_OK(CheckHeader(&r, kGraphMagic, kGraphVersion));
+  TopicGraph g;
+  uint64_t n = 0, z = 0;
+  INFLEX_RETURN_NOT_OK(r.ReadPod(&n));
+  INFLEX_RETURN_NOT_OK(r.ReadPod(&z));
+  g.num_nodes_ = n;
+  g.num_topics_ = z;
+  INFLEX_RETURN_NOT_OK(r.ReadVector(&g.out_offsets_));
+  INFLEX_RETURN_NOT_OK(r.ReadVector(&g.out_targets_));
+  INFLEX_RETURN_NOT_OK(r.ReadVector(&g.arc_topic_probs_));
+  INFLEX_RETURN_NOT_OK(r.ReadVector(&g.in_offsets_));
+  INFLEX_RETURN_NOT_OK(r.ReadVector(&g.in_sources_));
+  INFLEX_RETURN_NOT_OK(r.ReadVector(&g.in_arc_ids_));
+  // Structural sanity before handing the graph to cascade code.
+  if (g.out_offsets_.size() != n + 1 || g.in_offsets_.size() != n + 1 ||
+      g.out_targets_.size() * z != g.arc_topic_probs_.size() ||
+      g.in_sources_.size() != g.out_targets_.size() ||
+      g.in_arc_ids_.size() != g.out_targets_.size()) {
+    return Status::IOError("inconsistent graph artifact: " + path);
+  }
+  return g;
+}
+
+Status WriteEdgeList(const TopicGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "# " << g.num_nodes() << " " << g.num_topics() << "\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ArcId a = g.OutArcBegin(u);
+    for (NodeId v : g.OutNeighbors(u)) {
+      out << u << " " << v;
+      for (double p : g.ArcTopicProbs(a)) out << " " << p;
+      out << "\n";
+      ++a;
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TopicGraph> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty edge list");
+  uint64_t n = 0, z = 0;
+  {
+    std::istringstream hdr(line);
+    char hash = 0;
+    if (!(hdr >> hash >> n >> z) || hash != '#') {
+      return Status::IOError("edge list missing '# nodes topics' header");
+    }
+  }
+  if (n == 0 || z == 0) return Status::IOError("edge list header invalid");
+  TopicGraphBuilder builder(n, z);
+  std::vector<double> probs(z);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) {
+      return Status::IOError("bad edge at line " + std::to_string(line_no));
+    }
+    for (size_t k = 0; k < z; ++k) {
+      if (!(ls >> probs[k])) {
+        return Status::IOError("missing probability at line " +
+                               std::to_string(line_no));
+      }
+    }
+    INFLEX_RETURN_NOT_OK(builder.AddArc(static_cast<NodeId>(u),
+                                        static_cast<NodeId>(v), probs));
+  }
+  return builder.Build();
+}
+
+}  // namespace graph
+}  // namespace inflex

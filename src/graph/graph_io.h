@@ -1,0 +1,28 @@
+#ifndef INFLEX_GRAPH_GRAPH_IO_H_
+#define INFLEX_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/topic_graph.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace graph {
+
+/// Persists a TopicGraph to a versioned binary artifact.
+Status SaveTopicGraph(const TopicGraph& g, const std::string& path);
+
+/// Loads a TopicGraph previously written by SaveTopicGraph.
+Result<TopicGraph> LoadTopicGraph(const std::string& path);
+
+/// Writes a human-readable edge list: one line per arc,
+/// `u v p_1 p_2 ... p_Z`, preceded by a `# nodes topics` header line.
+Status WriteEdgeList(const TopicGraph& g, const std::string& path);
+
+/// Parses the edge-list format produced by WriteEdgeList.
+Result<TopicGraph> ReadEdgeList(const std::string& path);
+
+}  // namespace graph
+}  // namespace inflex
+
+#endif  // INFLEX_GRAPH_GRAPH_IO_H_

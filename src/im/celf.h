@@ -1,0 +1,21 @@
+#ifndef INFLEX_IM_CELF_H_
+#define INFLEX_IM_CELF_H_
+
+#include "im/greedy.h"
+
+namespace inflex {
+namespace im {
+
+/// CELF (Leskovec et al., KDD 2007): lazy-forward greedy. Keeps stale
+/// marginal gains in a max-heap; a node is only re-evaluated when it surfaces
+/// at the top, exploiting submodularity (gains never grow as S grows — exact
+/// under the snapshot oracle). Produces the same seed sequence as plain
+/// greedy with far fewer oracle evaluations.
+Result<SeedSelectionResult> SelectSeedsCelf(
+    SnapshotSpreadOracle* oracle, size_t k,
+    const SeedSelectionOptions& options = {});
+
+}  // namespace im
+}  // namespace inflex
+
+#endif  // INFLEX_IM_CELF_H_

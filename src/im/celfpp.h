@@ -1,0 +1,27 @@
+#ifndef INFLEX_IM_CELFPP_H_
+#define INFLEX_IM_CELFPP_H_
+
+#include "im/greedy.h"
+
+namespace inflex {
+namespace im {
+
+/// CELF++ (Goyal, Lu & Lakshmanan, WWW 2011) — the algorithm the paper uses
+/// for every offline influence-maximization computation.
+///
+/// On top of CELF's lazy forwarding, each node u additionally caches
+/// mg2 = Δ_u(S ∪ {prev_best}), the marginal gain w.r.t. the seed set extended
+/// by the best node seen in the iteration when u was last evaluated. If that
+/// node (prev_best) does become the next seed, u's new gain is mg2 — already
+/// known, no oracle call needed.
+///
+/// Returns the identical seed sequence as greedy/CELF on the same oracle
+/// (modulo exact gain ties), with the fewest oracle evaluations of the three.
+Result<SeedSelectionResult> SelectSeedsCelfPp(
+    SnapshotSpreadOracle* oracle, size_t k,
+    const SeedSelectionOptions& options = {});
+
+}  // namespace im
+}  // namespace inflex
+
+#endif  // INFLEX_IM_CELFPP_H_

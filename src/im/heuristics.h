@@ -1,0 +1,40 @@
+#ifndef INFLEX_IM_HEURISTICS_H_
+#define INFLEX_IM_HEURISTICS_H_
+
+#include <vector>
+
+#include "graph/topic_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace im {
+
+/// k distinct nodes chosen uniformly at random — the paper's `random`
+/// baseline (Table 2 / Figure 8).
+Result<std::vector<graph::NodeId>> SelectSeedsRandom(size_t num_nodes,
+                                                     size_t k, Rng* rng);
+
+/// Top-k nodes by out-degree (classic structural heuristic).
+Result<std::vector<graph::NodeId>> SelectSeedsByDegree(
+    const graph::TopicGraph& g, size_t k);
+
+/// Top-k nodes by total outgoing influence probability Σ_a p_a under an
+/// item-specific IC instance.
+Result<std::vector<graph::NodeId>> SelectSeedsByWeightedDegree(
+    const graph::TopicGraph& g, const graph::ArcProbabilities& arc_probs,
+    size_t k);
+
+/// DegreeDiscount heuristic (Chen, Wang & Yang, KDD 2009), generalized to
+/// per-arc probabilities: iteratively picks the node with the highest
+/// discounted out-weight, where a node's weight is reduced by the influence
+/// already expected to arrive from previously selected in-neighbors.
+/// Much better than raw degree at a similar cost.
+Result<std::vector<graph::NodeId>> SelectSeedsDegreeDiscount(
+    const graph::TopicGraph& g, const graph::ArcProbabilities& arc_probs,
+    size_t k);
+
+}  // namespace im
+}  // namespace inflex
+
+#endif  // INFLEX_IM_HEURISTICS_H_

@@ -1,0 +1,139 @@
+#include "im/lt_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace inflex {
+namespace im {
+
+namespace {
+constexpr double kSumSlack = 1e-9;
+}  // namespace
+
+Status ValidateLtWeights(const graph::TopicGraph& g,
+                         const graph::ArcProbabilities& weights) {
+  if (weights.size() != g.num_arcs()) {
+    return Status::InvalidArgument("weight vector size mismatch");
+  }
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0 || w > 1.0) {
+      return Status::InvalidArgument("LT weight outside [0, 1]");
+    }
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    double sum = 0.0;
+    for (graph::ArcId a : g.InArcIds(v)) sum += weights[a];
+    if (sum > 1.0 + kSumSlack) {
+      return Status::InvalidArgument(
+          "in-weights of node " + std::to_string(v) + " sum to " +
+          std::to_string(sum) + " > 1");
+    }
+  }
+  return Status::OK();
+}
+
+Result<graph::ArcProbabilities> NormalizeToLtWeights(
+    const graph::TopicGraph& g, const graph::ArcProbabilities& arc_probs) {
+  if (arc_probs.size() != g.num_arcs()) {
+    return Status::InvalidArgument("arc probability vector size mismatch");
+  }
+  graph::ArcProbabilities weights = arc_probs;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    double sum = 0.0;
+    for (graph::ArcId a : g.InArcIds(v)) sum += weights[a];
+    if (sum > 1.0) {
+      for (graph::ArcId a : g.InArcIds(v)) weights[a] /= sum;
+    }
+  }
+  return weights;
+}
+
+size_t SimulateLtCascadeCount(const graph::TopicGraph& g,
+                              const graph::ArcProbabilities& weights,
+                              std::span<const graph::NodeId> seeds, Rng* rng,
+                              LtWorkspace* ws) {
+  // The epoch occupies the high 31 bits of a stamp; reset before it would
+  // wrap into the state bit.
+  if (++ws->epoch_ >= (1u << 31)) {
+    std::fill(ws->stamps_.begin(), ws->stamps_.end(), 0u);
+    ws->epoch_ = 1;
+  }
+  const uint32_t epoch = ws->epoch_;
+  auto& frontier = ws->frontier_;
+  frontier.clear();
+
+  // stamps_ encodes per-epoch node state via the low bit: touched (has a
+  // threshold + accumulator) vs active. We use two stamp values:
+  // epoch*2 = touched-but-inactive, epoch*2+1 = active. To keep the uint32
+  // arithmetic simple we store epoch in the high 31 bits.
+  const uint32_t touched = epoch << 1;
+  const uint32_t active = touched | 1u;
+
+  size_t activated = 0;
+  for (graph::NodeId s : seeds) {
+    if (ws->stamps_[s] != active) {
+      ws->stamps_[s] = active;
+      frontier.push_back(s);
+      ++activated;
+    }
+  }
+  for (size_t head = 0; head < frontier.size(); ++head) {
+    const graph::NodeId u = frontier[head];
+    graph::ArcId a = g.OutArcBegin(u);
+    for (graph::NodeId v : g.OutNeighbors(u)) {
+      const double w = weights[a];
+      ++a;
+      if (w <= 0.0 || ws->stamps_[v] == active) continue;
+      if (ws->stamps_[v] != touched) {
+        // First contact: draw v's threshold lazily.
+        ws->stamps_[v] = touched;
+        ws->thresholds_[v] = rng->Uniform();
+        ws->influence_[v] = 0.0;
+      }
+      ws->influence_[v] += w;
+      if (ws->influence_[v] >= ws->thresholds_[v]) {
+        ws->stamps_[v] = active;
+        frontier.push_back(v);
+        ++activated;
+      }
+    }
+  }
+  return activated;
+}
+
+Result<SpreadEstimate> EstimateLtSpread(const graph::TopicGraph& g,
+                                        const graph::ArcProbabilities& weights,
+                                        std::span<const graph::NodeId> seeds,
+                                        const MonteCarloOptions& options) {
+  INFLEX_RETURN_NOT_OK(ValidateLtWeights(g, weights));
+  if (options.num_simulations == 0) {
+    return Status::InvalidArgument("num_simulations must be positive");
+  }
+  for (graph::NodeId s : seeds) {
+    if (s >= g.num_nodes()) return Status::OutOfRange("seed out of range");
+  }
+  if (seeds.empty()) {
+    return SpreadEstimate{0.0, 0.0, options.num_simulations};
+  }
+  LtWorkspace ws(g.num_nodes());
+  double sum = 0.0, sum_sq = 0.0;
+  for (size_t i = 0; i < options.num_simulations; ++i) {
+    Rng rng(options.seed ^ (0x7a11cafe00000000ULL + i * 0x9e3779b97f4a7c15ULL));
+    const double c = static_cast<double>(
+        SimulateLtCascadeCount(g, weights, seeds, &rng, &ws));
+    sum += c;
+    sum_sq += c * c;
+  }
+  const double r = static_cast<double>(options.num_simulations);
+  SpreadEstimate est;
+  est.num_simulations = options.num_simulations;
+  est.mean = sum / r;
+  if (options.num_simulations > 1) {
+    const double var = (sum_sq - sum * sum / r) / (r - 1.0);
+    est.std_error = std::sqrt(std::max(var, 0.0) / r);
+  }
+  return est;
+}
+
+}  // namespace im
+}  // namespace inflex

@@ -1,0 +1,71 @@
+#ifndef INFLEX_IM_LT_MODEL_H_
+#define INFLEX_IM_LT_MODEL_H_
+
+#include <span>
+
+#include "graph/topic_graph.h"
+#include "im/cascade.h"
+#include "im/spread_estimator.h"
+
+namespace inflex {
+namespace im {
+
+/// The Linear Threshold (LT) diffusion model (Kempe et al. 2003), provided
+/// as an alternative substrate to IC: node v activates once the total
+/// weight of its active in-neighbors reaches a threshold θ_v ~ U[0,1]
+/// drawn independently per cascade. Requires Σ_u w(u→v) ≤ 1 for every v.
+///
+/// Topic-aware LT falls out of the same Eq. 1 machinery: materialize
+/// item-specific arc values with TopicGraph::ItemArcProbabilities and
+/// normalize them into admissible LT weights with NormalizeToLtWeights.
+
+/// Returns InvalidArgument when any node's in-weights sum above 1 (+ε) or a
+/// weight is outside [0, 1].
+Status ValidateLtWeights(const graph::TopicGraph& g,
+                         const graph::ArcProbabilities& weights);
+
+/// Scales each node's in-weights down to sum ≤ 1 (nodes already admissible
+/// are untouched), turning an IC-style probability table into valid LT
+/// weights.
+Result<graph::ArcProbabilities> NormalizeToLtWeights(
+    const graph::TopicGraph& g, const graph::ArcProbabilities& arc_probs);
+
+/// \brief Scratch space for LT simulation (thresholds + accumulated
+/// influence, epoch-reset).
+class LtWorkspace {
+ public:
+  explicit LtWorkspace(size_t num_nodes)
+      : thresholds_(num_nodes, 0.0),
+        influence_(num_nodes, 0.0),
+        stamps_(num_nodes, 0) {}
+
+ private:
+  friend size_t SimulateLtCascadeCount(const graph::TopicGraph&,
+                                       const graph::ArcProbabilities&,
+                                       std::span<const graph::NodeId>, Rng*,
+                                       LtWorkspace*);
+  std::vector<double> thresholds_;
+  std::vector<double> influence_;
+  std::vector<uint32_t> stamps_;
+  std::vector<graph::NodeId> frontier_;
+  uint32_t epoch_ = 0;
+};
+
+/// Runs one LT cascade from `seeds`; returns the number of activated nodes.
+/// Thresholds are sampled lazily on first contact (equivalent in
+/// distribution and cheaper for small cascades).
+size_t SimulateLtCascadeCount(const graph::TopicGraph& g,
+                              const graph::ArcProbabilities& weights,
+                              std::span<const graph::NodeId> seeds, Rng* rng,
+                              LtWorkspace* ws);
+
+/// Monte-Carlo estimate of the LT expected spread (serial).
+Result<SpreadEstimate> EstimateLtSpread(const graph::TopicGraph& g,
+                                        const graph::ArcProbabilities& weights,
+                                        std::span<const graph::NodeId> seeds,
+                                        const MonteCarloOptions& options = {});
+
+}  // namespace im
+}  // namespace inflex
+
+#endif  // INFLEX_IM_LT_MODEL_H_

@@ -1,0 +1,29 @@
+#include "inflex/baselines.h"
+
+namespace inflex {
+namespace core {
+
+Result<im::SeedSelectionResult> OfflineTicSeeds(
+    const graph::TopicGraph& g, const simplex::TopicDistribution& item,
+    size_t k, const OfflineImOptions& options) {
+  if (item.num_topics() != g.num_topics()) {
+    return Status::InvalidArgument("item dimension does not match the graph");
+  }
+  const graph::ArcProbabilities probs = g.ItemArcProbabilities(item);
+  im::SnapshotSpreadOracle::Options oopts;
+  oopts.num_snapshots = options.num_snapshots;
+  oopts.seed = options.seed;
+  INFLEX_ASSIGN_OR_RETURN(im::SnapshotSpreadOracle oracle,
+                          im::SnapshotSpreadOracle::Create(g, probs, oopts));
+  return im::SelectSeedsCelfPp(&oracle, k, options.selection);
+}
+
+Result<im::SeedSelectionResult> OfflineIcSeeds(const graph::TopicGraph& g,
+                                               size_t k,
+                                               const OfflineImOptions& options) {
+  return OfflineTicSeeds(
+      g, simplex::TopicDistribution::Uniform(g.num_topics()), k, options);
+}
+
+}  // namespace core
+}  // namespace inflex

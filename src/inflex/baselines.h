@@ -1,0 +1,39 @@
+#ifndef INFLEX_INFLEX_BASELINES_H_
+#define INFLEX_INFLEX_BASELINES_H_
+
+#include "graph/topic_graph.h"
+#include "im/celfpp.h"
+#include "im/snapshot_oracle.h"
+#include "simplex/topic_distribution.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace core {
+
+/// \brief Options of the from-scratch influence-maximization computations
+/// the paper compares against.
+struct OfflineImOptions {
+  /// Live-edge snapshots backing the CELF++ oracle (the paper used 5k plain
+  /// Monte-Carlo trials; snapshots are the standard variance-reduced
+  /// equivalent).
+  size_t num_snapshots = 200;
+  uint64_t seed = 31;
+  im::SeedSelectionOptions selection;
+};
+
+/// "offline TIC": the ground truth of every experiment — CELF++ on the
+/// item-specific IC instance of Eq. 1. This is what INFLEX approximates in
+/// milliseconds and what took the authors ~60 hours per item at full scale.
+Result<im::SeedSelectionResult> OfflineTicSeeds(
+    const graph::TopicGraph& g, const simplex::TopicDistribution& item,
+    size_t k, const OfflineImOptions& options = {});
+
+/// "offline IC": the topic-blind baseline — CELF++ with a uniform topic
+/// distribution (Table 2 shows it reaching less than half the TIC spread).
+Result<im::SeedSelectionResult> OfflineIcSeeds(
+    const graph::TopicGraph& g, size_t k, const OfflineImOptions& options = {});
+
+}  // namespace core
+}  // namespace inflex
+
+#endif  // INFLEX_INFLEX_BASELINES_H_

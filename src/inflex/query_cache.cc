@@ -1,0 +1,70 @@
+#include "inflex/query_cache.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/timer.h"
+
+namespace inflex {
+namespace core {
+
+QueryCache::QueryCache(const Options& options) : options_(options) {
+  INFLEX_CHECK_GT(options_.capacity, 0u);
+  INFLEX_CHECK_GE(options_.quantization, 0.0);
+}
+
+std::string QueryCache::MakeKey(const simplex::TopicDistribution& item,
+                                size_t k, QueryStrategy strategy) const {
+  std::string key;
+  key.reserve(item.num_topics() * sizeof(uint32_t) + 16);
+  if (options_.quantization > 0.0) {
+    for (double p : item.probs()) {
+      const auto cell =
+          static_cast<uint32_t>(std::lround(p / options_.quantization));
+      key.append(reinterpret_cast<const char*>(&cell), sizeof(cell));
+    }
+  } else {
+    for (double p : item.probs()) {
+      key.append(reinterpret_cast<const char*>(&p), sizeof(p));
+    }
+  }
+  const auto k32 = static_cast<uint32_t>(k);
+  const auto s32 = static_cast<uint32_t>(strategy);
+  key.append(reinterpret_cast<const char*>(&k32), sizeof(k32));
+  key.append(reinterpret_cast<const char*>(&s32), sizeof(s32));
+  return key;
+}
+
+Result<QueryResult> QueryCache::Query(const InflexIndex& index,
+                                      const simplex::TopicDistribution& item,
+                                      size_t k,
+                                      const QueryOptions& query_options) {
+  Timer timer;
+  const std::string key = MakeKey(item, k, query_options.strategy);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    QueryResult result = it->second->result;
+    result.total_ms = timer.ElapsedMillis();
+    return result;
+  }
+  ++misses_;
+  INFLEX_ASSIGN_OR_RETURN(QueryResult result,
+                          index.Query(item, k, query_options));
+  lru_.push_front(Entry{key, result});
+  entries_[key] = lru_.begin();
+  if (entries_.size() > options_.capacity) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return result;
+}
+
+void QueryCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace core
+}  // namespace inflex

@@ -1,0 +1,95 @@
+#ifndef INFLEX_INFLEX_WEIGHTING_H_
+#define INFLEX_INFLEX_WEIGHTING_H_
+
+#include <vector>
+
+#include "bbtree/bbtree.h"
+#include "simplex/divergence.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace core {
+
+/// How a neighbor's KL divergence from the query maps to its rank-
+/// aggregation importance weight (§4.2, Eq. 9).
+enum class WeightFunction {
+  /// w = exp(−KL / scale). The library default: with the paper's KL_max
+  /// (divergence between ε-smoothed simplex corners ≈ 27.6) Eq. 9 assigns
+  /// every realistic neighbor a weight within 1e−10 of 1.0, making both the
+  /// weighting and the neighbor-selection rule inert; exponential decay
+  /// preserves the stated intent ("the closer a point, the more predominant
+  /// its role"). Compared against Eq. 9 in bench_ablation_weights.
+  kExponentialDecay,
+  /// The paper's Eq. 9 with the denominator corrected to e^{KL_max} − 1 so
+  /// the codomain is [0, 1] as stated (as printed the denominator is
+  /// 1 − e^{−KL_max}, giving W(0) = e^{KL_max} ≫ 1). See DESIGN.md §5.
+  kPaperEq9,
+};
+
+/// How the automatic neighbor-count selection decides that the t-th
+/// neighbor "contributes only marginally" (§4.2).
+enum class SelectionRule {
+  /// Stop at the first t whose normalized weight w̃_t falls below the equal
+  /// share 1/t by at least `selection_threshold` — the paper's printed rule
+  /// (sign-corrected, see DESIGN.md §5). With any smoothly decaying weight
+  /// function this fires almost immediately, keeping only 2-3 lists.
+  kAbsoluteGap,
+  /// Stop at the first t whose normalized weight falls below
+  /// `selection_ratio` × (1/t). Robust to smooth decay: it keeps every
+  /// neighbor pulling at least that fraction of an equal share and cuts the
+  /// far-away tail — matching the paper's *intent* ("prune lists that
+  /// contribute only marginally") with discriminative weights. Default.
+  kRelativeShare,
+};
+
+/// \brief Importance-weighting and neighbor-selection options.
+struct WeightingOptions {
+  WeightFunction function = WeightFunction::kExponentialDecay;
+  /// Decay scale of kExponentialDecay. A mild decay aggregates by consensus
+  /// (sharper decays over-trust the single closest list), while still being
+  /// discriminative enough for the neighbor selection below to prune the
+  /// far tail — which is what gives INFLEX its run-time edge over the plain
+  /// K-NN strategies (Fig. 7).
+  double exponential_scale = 1.0;
+  /// KL_max of kPaperEq9; defaults to the smoothed-corner bound.
+  double kl_max = simplex::KlMaxBound();
+  /// Enable the automatic selection of how many neighbors to aggregate.
+  bool enable_selection = true;
+  SelectionRule selection_rule = SelectionRule::kRelativeShare;
+  /// Threshold of the kAbsoluteGap rule (the paper's 0.005).
+  double selection_threshold = 0.005;
+  /// Share fraction of the kRelativeShare rule: a neighbor is kept while
+  /// its weight stays above this fraction of the running average weight.
+  /// 0.9 keeps the ~5-10 dominant lists, reproducing the paper's Figure 9
+  /// profile (INFLEX: near-best spread at well under half the exact-search
+  /// time).
+  double selection_ratio = 0.9;
+  /// Never select fewer than this many neighbors (when available).
+  size_t min_neighbors = 2;
+};
+
+/// Computes one importance weight per retrieved neighbor. Neighbors must be
+/// sorted by ascending divergence (as every search returns them); weights
+/// are therefore non-increasing. Fails on negative divergences or an
+/// unusable configuration (non-positive scale / kl_max).
+Result<std::vector<double>> ComputeImportanceWeights(
+    const std::vector<bbtree::Neighbor>& neighbors,
+    const WeightingOptions& options);
+
+/// The automatic neighbor-count selection of §4.2: scanning neighbors from
+/// the largest weight down, stop at the first t (> min_neighbors) whose
+/// normalized weight w̃_t is "marginal" under the configured SelectionRule,
+/// and keep the t−1 neighbors before it. Returns weights.size() when the
+/// rule never fires.
+///
+/// NOTE: the paper prints its test as "w̃_t − 1/t ≥ 0.005", which can never
+/// fire because w̃_t, the smallest normalized weight among the first t, is
+/// ≤ 1/t by construction; kAbsoluteGap is the sign-corrected version and
+/// kRelativeShare the default (DESIGN.md §5).
+size_t SelectNeighborCount(const std::vector<double>& weights,
+                           const WeightingOptions& options);
+
+}  // namespace core
+}  // namespace inflex
+
+#endif  // INFLEX_INFLEX_WEIGHTING_H_

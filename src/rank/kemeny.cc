@@ -1,0 +1,127 @@
+#include "rank/kemeny.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "rank/preference_matrix.h"
+
+namespace inflex {
+namespace rank {
+
+Result<double> PairwiseKemenyCost(const RankedList& ranking,
+                                  const std::vector<RankedList>& lists,
+                                  const std::vector<double>& weights) {
+  INFLEX_RETURN_NOT_OK(ValidateRankedList(ranking));
+  INFLEX_ASSIGN_OR_RETURN(PreferenceMatrix pm,
+                          PreferenceMatrix::Build(lists, weights));
+  if (ranking.size() != pm.num_items()) {
+    return Status::InvalidArgument(
+        "ranking must cover exactly the union of the input lists");
+  }
+  for (Item v : ranking) {
+    if (pm.IndexOf(v) == PreferenceMatrix::npos) {
+      return Status::InvalidArgument("ranking contains an item outside U");
+    }
+  }
+  double cost = 0.0;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    for (size_t j = i + 1; j < ranking.size(); ++j) {
+      cost += pm.Preference(ranking[j], ranking[i]);
+    }
+  }
+  return cost;
+}
+
+Result<RankedList> ExactKemenyAggregate(const std::vector<RankedList>& lists,
+                                        const std::vector<double>& weights,
+                                        size_t max_union_size) {
+  INFLEX_ASSIGN_OR_RETURN(PreferenceMatrix pm,
+                          PreferenceMatrix::Build(lists, weights));
+  const size_t m = pm.num_items();
+  // Hard cap 20: dp tables are 2^m entries (8 MiB of doubles at m = 20).
+  if (m > max_union_size || m > 20) {
+    return Status::InvalidArgument(
+        "union of " + std::to_string(m) +
+        " items exceeds the exact-solver limit (" +
+        std::to_string(std::min<size_t>(max_union_size, 20)) + ")");
+  }
+  const RankedList& items = pm.items();
+  if (m <= 1) return items;
+
+  // against[x][y] = weight of lists preferring items[y] over items[x]:
+  // the cost incurred for every pair placed as (x before y).
+  std::vector<double> against(m * m, 0.0);
+  for (size_t x = 0; x < m; ++x) {
+    for (size_t y = 0; y < m; ++y) {
+      if (x != y) against[x * m + y] = pm.Preference(items[y], items[x]);
+    }
+  }
+
+  // Held-Karp over subsets: dp[S] = minimal cost of ordering the items of S
+  // as the ranking's prefix. Transition: append v ∉ S at the next position;
+  // v now precedes every item outside S ∪ {v}, incurring Σ against[v][u].
+  const size_t full = (size_t{1} << m) - 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(full + 1, kInf);
+  std::vector<int8_t> parent(full + 1, -1);
+  dp[0] = 0.0;
+  for (size_t mask = 0; mask <= full; ++mask) {
+    if (dp[mask] == kInf) continue;
+    for (size_t v = 0; v < m; ++v) {
+      if (mask & (size_t{1} << v)) continue;
+      const size_t next = mask | (size_t{1} << v);
+      double added = 0.0;
+      for (size_t u = 0; u < m; ++u) {
+        if (u != v && !(next & (size_t{1} << u))) {
+          added += against[v * m + u];
+        }
+      }
+      if (dp[mask] + added < dp[next]) {
+        dp[next] = dp[mask] + added;
+        parent[next] = static_cast<int8_t>(v);
+      }
+    }
+  }
+
+  RankedList result(m);
+  size_t mask = full;
+  for (size_t pos = m; pos-- > 0;) {
+    const auto v = static_cast<size_t>(parent[mask]);
+    result[pos] = items[v];
+    mask &= ~(size_t{1} << v);
+  }
+  // Reconstruction fills front-to-back in reverse: parent[mask] is the item
+  // placed LAST among mask's prefix — i.e. at position |mask|−1.
+  return result;
+}
+
+Result<double> FootruleDistance(const RankedList& a, const RankedList& b,
+                                bool normalized) {
+  INFLEX_RETURN_NOT_OK(ValidateRankedList(a));
+  INFLEX_RETURN_NOT_OK(ValidateRankedList(b));
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("footrule requires equal-length rankings");
+  }
+  const size_t m = a.size();
+  if (m < 2) return 0.0;
+  std::unordered_map<Item, size_t> pos_b;
+  pos_b.reserve(m * 2);
+  for (size_t i = 0; i < m; ++i) pos_b[b[i]] = i;
+  double total = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    auto it = pos_b.find(a[i]);
+    if (it == pos_b.end()) {
+      return Status::InvalidArgument("rankings must cover the same item set");
+    }
+    total += std::fabs(static_cast<double>(i) -
+                       static_cast<double>(it->second));
+  }
+  if (!normalized) return total;
+  const double max_f = std::floor(static_cast<double>(m * m) / 2.0);
+  return total / max_f;
+}
+
+}  // namespace rank
+}  // namespace inflex

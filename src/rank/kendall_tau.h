@@ -1,0 +1,36 @@
+#ifndef INFLEX_RANK_KENDALL_TAU_H_
+#define INFLEX_RANK_KENDALL_TAU_H_
+
+#include "rank/ranked_list.h"
+
+namespace inflex {
+namespace rank {
+
+/// Kendall-τ distance between two *full* rankings of the same item set
+/// (Eq. 6): the number of discordant pairs. When `normalized`, divided by
+/// the maximum n(n−1)/2 so the result lies in [0, 1].
+/// Fails when the lists are not permutations of one another or contain
+/// duplicates.
+Result<double> KendallTauFull(const RankedList& a, const RankedList& b,
+                              bool normalized = true);
+
+/// \brief Parameters of the top-ℓ Kendall-τ extension (Fagin, Kumar &
+/// Sivakumar, SODA 2003; Eq. 7 of the paper).
+struct TopLKendallOptions {
+  /// Penalty for pairs that appear together in only one list (case 4).
+  /// The paper uses the neutral p = 0.5.
+  double p = 0.5;
+  /// Normalize by the maximum ℓ² + ℓ(ℓ−1)p so the distance lies in [0, 1].
+  bool normalized = true;
+};
+
+/// Kendall-τ distance between two top-ℓ lists of equal length ℓ, using the
+/// four-case penalty of Eq. 7. Distance 0 ⇔ identical lists.
+/// Fails on duplicates, empty lists, mismatched lengths, or p outside [0,1].
+Result<double> KendallTauTopL(const RankedList& a, const RankedList& b,
+                              const TopLKendallOptions& options = {});
+
+}  // namespace rank
+}  // namespace inflex
+
+#endif  // INFLEX_RANK_KENDALL_TAU_H_

@@ -1,0 +1,36 @@
+#include "rank/local_kemenization.h"
+
+#include "rank/preference_matrix.h"
+
+namespace inflex {
+namespace rank {
+
+Status LocalKemenization(const std::vector<RankedList>& lists,
+                         const std::vector<double>& weights,
+                         RankedList* aggregated) {
+  INFLEX_RETURN_NOT_OK(ValidateRankedList(*aggregated));
+  INFLEX_ASSIGN_OR_RETURN(PreferenceMatrix pm,
+                          PreferenceMatrix::Build(lists, weights));
+  RankedList& tau = *aggregated;
+  // Insertion sort under the (non-transitive) majority relation: item at
+  // position i bubbles up while it strictly beats its predecessor. Items the
+  // input lists never mention cannot be compared and therefore never move.
+  for (size_t i = 1; i < tau.size(); ++i) {
+    size_t j = i;
+    while (j > 0) {
+      const Item above = tau[j - 1];
+      const Item below = tau[j];
+      if (pm.IndexOf(above) == PreferenceMatrix::npos ||
+          pm.IndexOf(below) == PreferenceMatrix::npos) {
+        break;
+      }
+      if (!pm.MajorityPrefers(below, above)) break;
+      std::swap(tau[j - 1], tau[j]);
+      --j;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rank
+}  // namespace inflex

@@ -1,0 +1,43 @@
+#ifndef INFLEX_RANK_MARKOV_CHAIN_H_
+#define INFLEX_RANK_MARKOV_CHAIN_H_
+
+#include <vector>
+
+#include "rank/ranked_list.h"
+
+namespace inflex {
+namespace rank {
+
+/// \brief Options for the MC4 Markov-chain rank aggregation.
+struct Mc4Options {
+  /// Teleportation (ergodicity) factor, as in PageRank.
+  double damping = 0.85;
+  /// Power-iteration sweeps / convergence threshold on L1 change.
+  int max_iterations = 200;
+  double tolerance = 1e-10;
+};
+
+/// MC4 rank aggregation (Dwork et al., WWW 2001) — the Markov-chain method
+/// the paper cites as the generalization of Copeland aggregation.
+///
+/// States are the items of U = ∪ lists. From state v, the chain moves to a
+/// uniformly chosen item v'; if the (weighted) majority of the lists ranks
+/// v' ahead of v the transition is taken, otherwise the chain stays at v.
+/// Items are returned ordered by descending stationary probability (ties by
+/// item id). Uses the same top-ℓ pairwise semantics as Copeland/Local
+/// Kemenization (PreferenceMatrix), and the same weighting convention:
+/// empty `weights` means unweighted.
+Result<RankedList> Mc4Aggregate(const std::vector<RankedList>& lists,
+                                const std::vector<double>& weights,
+                                const Mc4Options& options = {});
+
+/// Stationary distribution of the MC4 chain, aligned with
+/// UnionOfLists(lists). Exposed for tests and diagnostics.
+Result<std::vector<double>> Mc4StationaryDistribution(
+    const std::vector<RankedList>& lists, const std::vector<double>& weights,
+    const Mc4Options& options = {});
+
+}  // namespace rank
+}  // namespace inflex
+
+#endif  // INFLEX_RANK_MARKOV_CHAIN_H_

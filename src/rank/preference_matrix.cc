@@ -1,0 +1,74 @@
+#include "rank/preference_matrix.h"
+
+#include "util/check.h"
+
+namespace inflex {
+namespace rank {
+
+Result<PreferenceMatrix> PreferenceMatrix::Build(
+    const std::vector<RankedList>& lists, const std::vector<double>& weights) {
+  if (lists.empty()) {
+    return Status::InvalidArgument("preference matrix needs at least one list");
+  }
+  if (!weights.empty() && weights.size() != lists.size()) {
+    return Status::InvalidArgument("one weight per list expected");
+  }
+  for (double w : weights) {
+    if (!(w >= 0.0)) {
+      return Status::InvalidArgument("weights must be non-negative");
+    }
+  }
+  for (const auto& list : lists) {
+    INFLEX_RETURN_NOT_OK(ValidateRankedList(list));
+  }
+
+  PreferenceMatrix pm;
+  pm.items_ = UnionOfLists(lists);
+  const size_t m = pm.items_.size();
+  pm.index_.reserve(m * 2);
+  for (size_t i = 0; i < m; ++i) pm.index_[pm.items_[i]] = i;
+  pm.tally_.assign(m * m, 0.0);
+
+  std::vector<size_t> rank_of(m);
+  constexpr size_t kAbsent = static_cast<size_t>(-1);
+  for (size_t j = 0; j < lists.size(); ++j) {
+    const double w = weights.empty() ? 1.0 : weights[j];
+    if (w == 0.0) continue;
+    std::fill(rank_of.begin(), rank_of.end(), kAbsent);
+    for (size_t r = 0; r < lists[j].size(); ++r) {
+      rank_of[pm.index_.at(lists[j][r])] = r;
+    }
+    for (size_t x = 0; x < m; ++x) {
+      const size_t rx = rank_of[x];
+      for (size_t y = x + 1; y < m; ++y) {
+        const size_t ry = rank_of[y];
+        if (rx == kAbsent && ry == kAbsent) continue;  // no vote
+        // Present beats absent; otherwise compare positions.
+        const bool x_wins =
+            (ry == kAbsent) || (rx != kAbsent && rx < ry);
+        if (x_wins) {
+          pm.tally_[x * m + y] += w;
+        } else {
+          pm.tally_[y * m + x] += w;
+        }
+      }
+    }
+  }
+  return pm;
+}
+
+double PreferenceMatrix::Preference(Item v, Item v_prime) const {
+  const size_t x = IndexOf(v);
+  const size_t y = IndexOf(v_prime);
+  INFLEX_CHECK_NE(x, npos);
+  INFLEX_CHECK_NE(y, npos);
+  return tally_[x * items_.size() + y];
+}
+
+size_t PreferenceMatrix::IndexOf(Item v) const {
+  auto it = index_.find(v);
+  return it == index_.end() ? npos : it->second;
+}
+
+}  // namespace rank
+}  // namespace inflex

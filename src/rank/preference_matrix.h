@@ -1,0 +1,57 @@
+#ifndef INFLEX_RANK_PREFERENCE_MATRIX_H_
+#define INFLEX_RANK_PREFERENCE_MATRIX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "rank/ranked_list.h"
+
+namespace inflex {
+namespace rank {
+
+/// \brief Dense weighted pairwise-preference tally over the union U of the
+/// input lists: P(v, v') = Σ_j w_j · 1{τ_j ranks v ahead of v'}.
+///
+/// Top-ℓ semantics (matching the Copeland formulation in Algorithm 2 and the
+/// Local Kemenization majority test): within a list, a present item is
+/// preferred to an absent one; two absent items yield no vote.
+///
+/// Shared by weighted Copeland and by Local Kemenization so both see exactly
+/// the same majority relation.
+class PreferenceMatrix {
+ public:
+  /// Builds the tally. `weights` must be empty (treated as all-ones) or have
+  /// one entry per list. Fails on mismatched sizes, negative weights, or
+  /// duplicate items within a list.
+  static Result<PreferenceMatrix> Build(const std::vector<RankedList>& lists,
+                                        const std::vector<double>& weights);
+
+  /// Items of U in first-appearance order.
+  const RankedList& items() const { return items_; }
+  size_t num_items() const { return items_.size(); }
+
+  /// Total weight of lists preferring v over v'. Items must belong to U.
+  double Preference(Item v, Item v_prime) const;
+
+  /// True when the weighted majority strictly prefers v over v'.
+  bool MajorityPrefers(Item v, Item v_prime) const {
+    return Preference(v, v_prime) > Preference(v_prime, v);
+  }
+
+  /// Dense index of an item in [0, num_items()), or npos when not in U.
+  size_t IndexOf(Item v) const;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+ private:
+  PreferenceMatrix() = default;
+
+  RankedList items_;
+  std::unordered_map<Item, size_t> index_;
+  std::vector<double> tally_;  // num_items × num_items, row-major
+};
+
+}  // namespace rank
+}  // namespace inflex
+
+#endif  // INFLEX_RANK_PREFERENCE_MATRIX_H_

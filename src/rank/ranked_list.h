@@ -1,0 +1,31 @@
+#ifndef INFLEX_RANK_RANKED_LIST_H_
+#define INFLEX_RANK_RANKED_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inflex {
+namespace rank {
+
+/// Items being ranked. In INFLEX these are node ids of seed users, but the
+/// rank-aggregation layer is domain-agnostic.
+using Item = uint32_t;
+
+/// A ranked list: position 0 is the most preferred item. Items must be
+/// distinct within a list. For INFLEX these are the top-ℓ seed lists
+/// produced by CELF++ — the paper stresses that seed "sets" are really
+/// ranked lists (footnote 3).
+using RankedList = std::vector<Item>;
+
+/// Returns InvalidArgument when `list` contains duplicates.
+Status ValidateRankedList(const RankedList& list);
+
+/// Union of the items of all lists, in first-appearance order.
+RankedList UnionOfLists(const std::vector<RankedList>& lists);
+
+}  // namespace rank
+}  // namespace inflex
+
+#endif  // INFLEX_RANK_RANKED_LIST_H_

@@ -1,0 +1,56 @@
+#include "simplex/ilr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace inflex {
+namespace simplex {
+
+std::vector<double> IlrTransform(const TopicVector& x, double eps) {
+  INFLEX_CHECK_GE(x.size(), 2u);
+  const size_t z = x.size();
+  std::vector<double> logs(z);
+  for (size_t i = 0; i < z; ++i) logs[i] = std::log(std::max(x[i], eps));
+
+  std::vector<double> out(z - 1);
+  double log_prefix_sum = 0.0;
+  for (size_t j = 1; j < z; ++j) {
+    log_prefix_sum += logs[j - 1];
+    const double jj = static_cast<double>(j);
+    const double log_gmean = log_prefix_sum / jj;
+    out[j - 1] = std::sqrt(jj / (jj + 1.0)) * (log_gmean - logs[j]);
+  }
+  return out;
+}
+
+TopicVector IlrInverse(const std::vector<double>& y) {
+  const size_t z = y.size() + 1;
+  INFLEX_CHECK_GE(z, 2u);
+  // Reconstruct the centered log-ratio representation from the balances,
+  // then soft-max back onto the simplex.
+  std::vector<double> clr(z, 0.0);
+  for (size_t j = 1; j < z; ++j) {
+    const double jj = static_cast<double>(j);
+    // The balance basis vectors u_j = sqrt(j/(j+1))·(1/j,…,1/j,−1,0,…) are
+    // orthonormal in CLR space, so clr = Σ_j y_j · u_j.
+    const double b = y[j - 1] * std::sqrt(jj / (jj + 1.0));
+    for (size_t i = 0; i < j; ++i) clr[i] += b / jj;
+    clr[j] -= b;
+  }
+  // clr is defined up to an additive constant; soft-max normalization removes
+  // it.
+  const double max_clr = *std::max_element(clr.begin(), clr.end());
+  TopicVector x(z);
+  double sum = 0.0;
+  for (size_t i = 0; i < z; ++i) {
+    x[i] = std::exp(clr[i] - max_clr);
+    sum += x[i];
+  }
+  for (double& v : x) v /= sum;
+  return x;
+}
+
+}  // namespace simplex
+}  // namespace inflex

@@ -1,0 +1,27 @@
+#ifndef INFLEX_SIMPLEX_ILR_H_
+#define INFLEX_SIMPLEX_ILR_H_
+
+#include <vector>
+
+#include "simplex/topic_distribution.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace simplex {
+
+/// Isometric log-ratio transform (Egozcue et al. 2003): maps a point of the
+/// open simplex Δ^{Z−1} isometrically into R^{Z−1} using the standard
+/// Helmert-type balance basis:
+///   ilr_j(x) = sqrt(j/(j+1)) · ln( g(x_1..x_j) / x_{j+1} ),  j = 1..Z−1,
+/// where g is the geometric mean. The paper uses this mapping (followed by
+/// dimensionality reduction) to visualize catalog/sample/index items in
+/// Figure 3. Inputs are `eps`-clamped away from the boundary.
+std::vector<double> IlrTransform(const TopicVector& x, double eps = 1e-12);
+
+/// Inverse ILR: maps a vector in R^{Z−1} back onto the simplex.
+TopicVector IlrInverse(const std::vector<double>& y);
+
+}  // namespace simplex
+}  // namespace inflex
+
+#endif  // INFLEX_SIMPLEX_ILR_H_

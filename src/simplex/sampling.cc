@@ -1,0 +1,34 @@
+#include "simplex/sampling.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace inflex {
+namespace simplex {
+
+TopicVector SampleUniformSimplex(size_t num_topics, Rng* rng) {
+  INFLEX_CHECK_GT(num_topics, 0u);
+  TopicVector v(num_topics);
+  double sum = 0.0;
+  for (size_t z = 0; z < num_topics; ++z) {
+    // Exponential(1) = Gamma(1,1); −log(1−U) avoids log(0) since U ∈ [0,1).
+    v[z] = -std::log1p(-rng->Uniform());
+    sum += v[z];
+  }
+  for (double& x : v) x /= sum;
+  return v;
+}
+
+std::vector<TopicVector> SampleUniformSimplexMany(size_t num_topics, size_t n,
+                                                  Rng* rng) {
+  std::vector<TopicVector> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(SampleUniformSimplex(num_topics, rng));
+  }
+  return out;
+}
+
+}  // namespace simplex
+}  // namespace inflex

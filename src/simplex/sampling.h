@@ -1,0 +1,25 @@
+#ifndef INFLEX_SIMPLEX_SAMPLING_H_
+#define INFLEX_SIMPLEX_SAMPLING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "simplex/topic_distribution.h"
+#include "util/random.h"
+
+namespace inflex {
+namespace simplex {
+
+/// Draws one point uniformly from the simplex Δ^{Z−1} (Dirichlet(1,…,1),
+/// via normalized exponentials). Used for the paper's "random perspective"
+/// query workload.
+TopicVector SampleUniformSimplex(size_t num_topics, Rng* rng);
+
+/// Draws `n` uniform-simplex points.
+std::vector<TopicVector> SampleUniformSimplexMany(size_t num_topics, size_t n,
+                                                  Rng* rng);
+
+}  // namespace simplex
+}  // namespace inflex
+
+#endif  // INFLEX_SIMPLEX_SAMPLING_H_

@@ -1,0 +1,91 @@
+#include "simplex/topic_distribution.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace inflex {
+namespace simplex {
+
+Result<TopicDistribution> TopicDistribution::Create(TopicVector probs) {
+  if (probs.empty()) {
+    return Status::InvalidArgument("topic distribution must be non-empty");
+  }
+  double sum = 0.0;
+  for (double p : probs) {
+    if (!std::isfinite(p) || p < 0.0) {
+      return Status::InvalidArgument(
+          "topic distribution entries must be finite and non-negative");
+    }
+    sum += p;
+  }
+  if (std::fabs(sum - 1.0) > kSimplexSumTolerance) {
+    return Status::InvalidArgument("topic distribution sums to " +
+                                   std::to_string(sum) + ", expected 1");
+  }
+  // Renormalize only when materially off 1 so that already-normalized
+  // vectors survive save/load round trips bit-for-bit.
+  if (std::fabs(sum - 1.0) > 1e-12) {
+    for (double& p : probs) p /= sum;
+  }
+  return TopicDistribution(std::move(probs));
+}
+
+Result<TopicDistribution> TopicDistribution::FromUnnormalized(
+    TopicVector weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("topic weights must be non-empty");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      return Status::InvalidArgument(
+          "topic weights must be finite and non-negative");
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    return Status::InvalidArgument("topic weights sum to zero");
+  }
+  for (double& w : weights) w /= sum;
+  return TopicDistribution(std::move(weights));
+}
+
+TopicDistribution TopicDistribution::Uniform(size_t num_topics) {
+  INFLEX_CHECK_GT(num_topics, 0u);
+  return TopicDistribution(
+      TopicVector(num_topics, 1.0 / static_cast<double>(num_topics)));
+}
+
+TopicDistribution TopicDistribution::Delta(size_t num_topics, size_t topic) {
+  INFLEX_CHECK_LT(topic, num_topics);
+  TopicVector v(num_topics, 0.0);
+  v[topic] = 1.0;
+  return TopicDistribution(std::move(v));
+}
+
+TopicDistribution TopicDistribution::SmoothedTowardUniform(
+    double lambda) const {
+  INFLEX_CHECK_GE(lambda, 0.0);
+  INFLEX_CHECK_LE(lambda, 1.0);
+  TopicVector v = probs_;
+  const double u = 1.0 / static_cast<double>(v.size());
+  for (double& p : v) p = (1.0 - lambda) * p + lambda * u;
+  return TopicDistribution(std::move(v));
+}
+
+std::string TopicDistribution::ToString() const {
+  std::string out = "(";
+  char buf[32];
+  for (size_t z = 0; z < probs_.size(); ++z) {
+    std::snprintf(buf, sizeof(buf), "%.3f", probs_[z]);
+    out += buf;
+    if (z + 1 < probs_.size()) out += ", ";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace simplex
+}  // namespace inflex

@@ -1,0 +1,70 @@
+#ifndef INFLEX_SIMPLEX_TOPIC_DISTRIBUTION_H_
+#define INFLEX_SIMPLEX_TOPIC_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inflex {
+namespace simplex {
+
+/// Raw probability vector over topics; the unchecked currency of the hot
+/// paths (KL kernels, cascade simulation).
+using TopicVector = std::vector<double>;
+
+/// Tolerance used when validating that a vector sums to 1.
+inline constexpr double kSimplexSumTolerance = 1e-6;
+
+/// \brief A validated point on the probability simplex Δ^{Z−1}: the
+/// description γ of an item as a distribution over Z topics (TIC model).
+///
+/// Construction goes through factory functions that enforce simplex
+/// membership, so downstream code (divergences, Eq. 1 mixing) can assume
+/// well-formed input.
+class TopicDistribution {
+ public:
+  TopicDistribution() = default;
+
+  /// Validates that `probs` is non-empty, finite, non-negative and sums to 1
+  /// within kSimplexSumTolerance, then renormalizes exactly.
+  static Result<TopicDistribution> Create(TopicVector probs);
+
+  /// Normalizes arbitrary non-negative weights into a distribution.
+  /// Fails if the weights are empty, contain negatives/non-finite values, or
+  /// sum to zero.
+  static Result<TopicDistribution> FromUnnormalized(TopicVector weights);
+
+  /// Uniform distribution over `num_topics` topics (the paper's topic-blind
+  /// "offline IC" baseline queries the model with this).
+  static TopicDistribution Uniform(size_t num_topics);
+
+  /// Point mass on `topic` (a corner of the simplex).
+  static TopicDistribution Delta(size_t num_topics, size_t topic);
+
+  const TopicVector& probs() const { return probs_; }
+  size_t num_topics() const { return probs_.size(); }
+  double operator[](size_t z) const { return probs_[z]; }
+  bool empty() const { return probs_.empty(); }
+
+  /// Blends this distribution toward uniform: (1−λ)·γ + λ·u. Used to keep
+  /// query workloads away from the simplex boundary.
+  TopicDistribution SmoothedTowardUniform(double lambda) const;
+
+  /// "(0.25, 0.50, ...)" rendering for logs and examples.
+  std::string ToString() const;
+
+  bool operator==(const TopicDistribution& other) const {
+    return probs_ == other.probs_;
+  }
+
+ private:
+  explicit TopicDistribution(TopicVector probs) : probs_(std::move(probs)) {}
+  TopicVector probs_;
+};
+
+}  // namespace simplex
+}  // namespace inflex
+
+#endif  // INFLEX_SIMPLEX_TOPIC_DISTRIBUTION_H_

@@ -1,0 +1,41 @@
+#ifndef INFLEX_STATS_ANDERSON_DARLING_H_
+#define INFLEX_STATS_ANDERSON_DARLING_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace inflex {
+namespace stats {
+
+/// \brief Result of an Anderson-Darling normality test (mean and variance
+/// estimated from the sample — "case 3" in D'Agostino & Stephens).
+struct AndersonDarlingResult {
+  /// Raw A² statistic.
+  double a_squared = 0.0;
+  /// Small-sample adjusted statistic A*² = A²(1 + 0.75/n + 2.25/n²).
+  double a_squared_star = 0.0;
+  /// Approximate p-value for the null hypothesis "sample is normal".
+  double p_value = 0.0;
+  size_t n = 0;
+
+  /// True when the normality hypothesis is NOT rejected at level alpha.
+  bool IsNormal(double alpha) const { return p_value >= alpha; }
+};
+
+/// Runs the Anderson-Darling normality test on `sample`.
+///
+/// Used in two places, exactly as in the paper: (a) deciding whether a
+/// cluster should be split while learning the bb-tree branching factor
+/// (G-means), and (b) the `similar_enough` early-stopping criterion of the
+/// INFLEX similarity search (Algorithm 1).
+///
+/// Fails for fewer than 5 observations or a degenerate (zero-variance)
+/// sample.
+Result<AndersonDarlingResult> AndersonDarlingNormality(
+    const std::vector<double>& sample);
+
+}  // namespace stats
+}  // namespace inflex
+
+#endif  // INFLEX_STATS_ANDERSON_DARLING_H_

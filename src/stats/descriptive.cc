@@ -1,0 +1,101 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include "stats/special_functions.h"
+#include "util/check.h"
+
+namespace inflex {
+namespace stats {
+
+double Mean(const std::vector<double>& v) {
+  INFLEX_CHECK(!v.empty());
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  INFLEX_CHECK_GE(v.size(), 2u);
+  const double m = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(v.size() - 1);
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("correlation inputs differ in length");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("correlation requires at least 2 points");
+  }
+  const double mx = Mean(x), my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return Status::InvalidArgument("correlation undefined for constant input");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Result<double> Rmse(const std::vector<double>& predicted,
+                    const std::vector<double>& truth) {
+  if (predicted.size() != truth.size()) {
+    return Status::InvalidArgument("RMSE inputs differ in length");
+  }
+  if (predicted.empty()) {
+    return Status::InvalidArgument("RMSE requires at least one point");
+  }
+  double ss = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = predicted[i] - truth[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(truth.size()));
+}
+
+Result<double> Nrmse(const std::vector<double>& predicted,
+                     const std::vector<double>& truth) {
+  INFLEX_ASSIGN_OR_RETURN(const double rmse, Rmse(predicted, truth));
+  const double m = Mean(truth);
+  if (m == 0.0) {
+    return Status::InvalidArgument("NRMSE undefined: ground truth mean is 0");
+  }
+  return rmse / std::fabs(m);
+}
+
+Result<PairedTTestResult> PairedTTest(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired t-test inputs differ in length");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("paired t-test requires at least 2 pairs");
+  }
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  const double md = Mean(diff);
+  const double var = Variance(diff);
+  if (!(var > 0.0)) {
+    return Status::InvalidArgument("paired t-test: zero-variance differences");
+  }
+  const double n = static_cast<double>(diff.size());
+  PairedTTestResult r;
+  r.n = diff.size();
+  r.mean_difference = md;
+  r.t_statistic = md / std::sqrt(var / n);
+  r.p_value_two_sided = StudentTTwoSidedPValue(r.t_statistic, n - 1.0);
+  return r;
+}
+
+}  // namespace stats
+}  // namespace inflex

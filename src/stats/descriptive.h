@@ -1,0 +1,51 @@
+#ifndef INFLEX_STATS_DESCRIPTIVE_H_
+#define INFLEX_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inflex {
+namespace stats {
+
+/// Arithmetic mean. Requires a non-empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Unbiased sample variance (n−1 denominator). Requires n >= 2.
+double Variance(const std::vector<double>& v);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& v);
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Fails on mismatched lengths, n < 2, or a zero-variance side.
+Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+/// Root-mean-square error between predictions and ground truth.
+Result<double> Rmse(const std::vector<double>& predicted,
+                    const std::vector<double>& truth);
+
+/// RMSE normalized by the mean of the ground truth (the paper's NRMSE).
+Result<double> Nrmse(const std::vector<double>& predicted,
+                     const std::vector<double>& truth);
+
+/// \brief Outcome of a paired two-sample t-test.
+struct PairedTTestResult {
+  double t_statistic = 0.0;
+  double p_value_two_sided = 1.0;
+  double mean_difference = 0.0;
+  size_t n = 0;
+};
+
+/// Paired t-test on equal-length samples (used in the paper to compare
+/// retrieval strategies and aggregation methods). Fails on mismatched
+/// lengths, n < 2, or zero variance of the differences.
+Result<PairedTTestResult> PairedTTest(const std::vector<double>& a,
+                                      const std::vector<double>& b);
+
+}  // namespace stats
+}  // namespace inflex
+
+#endif  // INFLEX_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,135 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace inflex {
+namespace stats {
+
+double Digamma(double x) {
+  INFLEX_CHECK_GT(x, 0.0);
+  double result = 0.0;
+  // Recurrence ψ(x) = ψ(x+1) − 1/x until the asymptotic series is accurate.
+  while (x < 10.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // Asymptotic expansion: ψ(x) ≈ ln x − 1/(2x) − Σ B_{2n}/(2n x^{2n}).
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv;
+  result -= inv2 * (1.0 / 12.0 -
+                    inv2 * (1.0 / 120.0 -
+                            inv2 * (1.0 / 252.0 -
+                                    inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+  return result;
+}
+
+double Trigamma(double x) {
+  INFLEX_CHECK_GT(x, 0.0);
+  double result = 0.0;
+  // Recurrence ψ'(x) = ψ'(x+1) + 1/x².
+  while (x < 10.0) {
+    result += 1.0 / (x * x);
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  // Asymptotic: ψ'(x) ≈ 1/x + 1/(2x²) + Σ B_{2n}/x^{2n+1}.
+  result += inv * (1.0 +
+                   inv * (0.5 +
+                          inv * (1.0 / 6.0 -
+                                 inv2 * (1.0 / 30.0 -
+                                         inv2 * (1.0 / 42.0 - inv2 / 30.0)))));
+  return result;
+}
+
+double InverseDigamma(double y) {
+  // Minka (2000), "Estimating a Dirichlet distribution", Appendix C.
+  double x;
+  if (y >= -2.22) {
+    x = std::exp(y) + 0.5;
+  } else {
+    const double gamma_euler = 0.5772156649015328606;
+    x = -1.0 / (y + gamma_euler);
+  }
+  for (int i = 0; i < 5; ++i) {
+    x -= (Digamma(x) - y) / Trigamma(x);
+    if (!(x > 0.0)) x = std::numeric_limits<double>::min();
+  }
+  return x;
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta function
+// (modified Lentz method).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  INFLEX_CHECK_GT(a, 0.0);
+  INFLEX_CHECK_GT(b, 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTTwoSidedPValue(double t, double dof) {
+  INFLEX_CHECK_GT(dof, 0.0);
+  const double x = dof / (dof + t * t);
+  return RegularizedIncompleteBeta(dof / 2.0, 0.5, x);
+}
+
+double StudentTUpperPValue(double t, double dof) {
+  const double two_sided = StudentTTwoSidedPValue(t, dof);
+  return t >= 0.0 ? two_sided / 2.0 : 1.0 - two_sided / 2.0;
+}
+
+}  // namespace stats
+}  // namespace inflex

@@ -1,0 +1,332 @@
+#include "tic/tic_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace inflex {
+namespace tic {
+
+namespace {
+
+/// One observed activation with its potential influencers: the in-neighbors
+/// of the activated user that adopted the same item strictly earlier.
+struct SuccessEvent {
+  std::vector<graph::ArcId> influencer_arcs;
+};
+
+/// Parameter-independent evidence extracted from the log for one item.
+struct ItemEvidence {
+  std::vector<SuccessEvent> successes;
+  /// Arcs (u,v) where u adopted the item but v never did: failed trials.
+  std::vector<graph::ArcId> failures;
+
+  bool empty() const { return successes.empty() && failures.empty(); }
+};
+
+/// Per-arc totals across all items: how often the arc was a potential
+/// influence (credited uniformly among the activation's influencers) and
+/// how often it was exposed at all. Drives the EM initialization.
+struct ArcCounts {
+  std::vector<double> successes;
+  std::vector<double> trials;
+};
+
+std::vector<ItemEvidence> ExtractEvidence(const graph::TopicGraph& g,
+                                          const PropagationLog& log,
+                                          ArcCounts* counts) {
+  const size_t num_items = log.num_items();
+  std::vector<ItemEvidence> evidence(num_items);
+  counts->successes.assign(g.num_arcs(), 0.0);
+  counts->trials.assign(g.num_arcs(), 0.0);
+
+  // Reusable adoption-time table (NaN = not adopted), reset via touch list.
+  std::vector<double> adopted_at(g.num_nodes(),
+                                 std::numeric_limits<double>::quiet_NaN());
+  std::vector<graph::NodeId> touched;
+
+  for (ItemId i = 0; i < num_items; ++i) {
+    const auto acts = log.ItemActivations(i);
+    if (acts.size() < 2) continue;  // no influence episode possible
+    touched.clear();
+    for (const Activation& a : acts) {
+      adopted_at[a.user] = a.timestamp;
+      touched.push_back(a.user);
+    }
+
+    ItemEvidence& ev = evidence[i];
+    for (const Activation& a : acts) {
+      const graph::NodeId v = a.user;
+      SuccessEvent se;
+      const auto in_neighbors = g.InNeighbors(v);
+      const auto in_arcs = g.InArcIds(v);
+      for (size_t idx = 0; idx < in_neighbors.size(); ++idx) {
+        const double tu = adopted_at[in_neighbors[idx]];
+        if (!std::isnan(tu) && tu < a.timestamp) {
+          se.influencer_arcs.push_back(in_arcs[idx]);
+        }
+      }
+      if (!se.influencer_arcs.empty()) {
+        const double credit =
+            1.0 / static_cast<double>(se.influencer_arcs.size());
+        for (graph::ArcId a : se.influencer_arcs) {
+          counts->successes[a] += credit;
+          counts->trials[a] += 1.0;
+        }
+        ev.successes.push_back(std::move(se));
+      }
+      // Failed trials: v adopted, so every out-neighbor that never adopted
+      // the item received one unsuccessful attempt from v.
+      graph::ArcId arc = g.OutArcBegin(v);
+      for (graph::NodeId w : g.OutNeighbors(v)) {
+        if (std::isnan(adopted_at[w])) {
+          ev.failures.push_back(arc);
+          counts->trials[arc] += 1.0;
+        }
+        ++arc;
+      }
+    }
+    for (graph::NodeId u : touched) {
+      adopted_at[u] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return evidence;
+}
+
+// Clusters items by adopter overlap: each item becomes the (normalized) sum
+// of random ±1 signature vectors of its adopters; k-means with Z clusters
+// over these projections groups items whose cascades ran through the same
+// users. Returns one cluster label per item (items with no activations get
+// a rotating label).
+std::vector<uint32_t> ClusterItemsByAdopters(const PropagationLog& log,
+                                             size_t num_users, size_t z_count,
+                                             size_t projection_dim, Rng* rng) {
+  // Fixed random signature per user.
+  std::vector<double> signatures(num_users * projection_dim);
+  for (double& v : signatures) v = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+
+  std::vector<std::vector<double>> item_vectors(log.num_items());
+  for (ItemId i = 0; i < log.num_items(); ++i) {
+    auto& vec = item_vectors[i];
+    vec.assign(projection_dim, 0.0);
+    const auto acts = log.ItemActivations(i);
+    for (const Activation& a : acts) {
+      const double* sig = signatures.data() + a.user * projection_dim;
+      for (size_t d = 0; d < projection_dim; ++d) vec[d] += sig[d];
+    }
+    // L2-normalize so popular items don't dominate the geometry.
+    double norm = 0.0;
+    for (double v : vec) norm += v * v;
+    if (norm > 0.0) {
+      norm = std::sqrt(norm);
+      for (double& v : vec) v /= norm;
+    }
+  }
+
+  cluster::KMeansOptions kopts;
+  kopts.num_clusters = z_count;
+  kopts.divergence = cluster::BregmanDivergenceKind::kSquaredEuclidean;
+  kopts.max_iterations = 40;
+  kopts.seed = rng->Next();
+  auto clustering = cluster::KMeansPlusPlus(item_vectors, kopts);
+  std::vector<uint32_t> labels(log.num_items());
+  if (clustering.ok()) {
+    labels = std::move(clustering.ValueOrDie().assignment);
+  } else {
+    for (ItemId i = 0; i < log.num_items(); ++i) {
+      labels[i] = i % static_cast<uint32_t>(z_count);
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+Result<TicLearnerResult> LearnTicParameters(const graph::TopicGraph& topology,
+                                            const PropagationLog& log,
+                                            const TicLearnerOptions& options) {
+  if (!log.finalized()) {
+    return Status::FailedPrecondition("finalize the log before learning");
+  }
+  if (log.num_users() != topology.num_nodes()) {
+    return Status::InvalidArgument(
+        "log user universe does not match the graph");
+  }
+  if (options.num_topics < 1) {
+    return Status::InvalidArgument("num_topics must be >= 1");
+  }
+  if (!(options.p_min > 0.0) || !(options.p_max < 1.0) ||
+      options.p_min >= options.p_max) {
+    return Status::InvalidArgument("require 0 < p_min < p_max < 1");
+  }
+
+  const size_t z_count = options.num_topics;
+  const size_t m = topology.num_arcs();
+  const size_t num_items = log.num_items();
+  Rng rng(options.seed);
+
+  ArcCounts counts;
+  const std::vector<ItemEvidence> evidence =
+      ExtractEvidence(topology, log, &counts);
+
+  // Parameter tables, arc-major: p[a * Z + z]. Initialize every topic from
+  // the arc's empirical (topic-blind) influence rate, perturbed per topic:
+  // real influence arcs start strong everywhere and the E-step's item
+  // clustering then differentiates the topics. A fully random init tends to
+  // stall near the symmetric fixed point on weak-signal logs.
+  std::vector<double> p(m * z_count);
+  for (size_t a = 0; a < m; ++a) {
+    const double rate =
+        counts.trials[a] > 0.0
+            ? std::clamp(counts.successes[a] / counts.trials[a],
+                         options.p_min, options.p_max)
+            : 0.05;
+    for (size_t z = 0; z < z_count; ++z) {
+      p[a * z_count + z] =
+          std::clamp(rate * rng.Uniform(0.5, 1.5), options.p_min,
+                     options.p_max);
+    }
+  }
+
+  // Item-topic distributions, item-major: gamma[i * Z + z]. With the
+  // clustering init, items start near-one-hot on their adopter cluster —
+  // the first M-step then estimates genuinely different per-topic tables
+  // (γ uniform would leave EM at the symmetric fixed point). Without it,
+  // fall back to a random initialization.
+  std::vector<double> gamma(num_items * z_count);
+  if (options.cluster_initialization && z_count > 1) {
+    const std::vector<uint32_t> labels = ClusterItemsByAdopters(
+        log, topology.num_nodes(), z_count,
+        std::max<size_t>(options.init_projection_dim, 4), &rng);
+    constexpr double kLabelMass = 0.9;
+    const double rest = (1.0 - kLabelMass) / static_cast<double>(z_count - 1);
+    for (ItemId i = 0; i < num_items; ++i) {
+      for (size_t z = 0; z < z_count; ++z) {
+        gamma[i * z_count + z] = z == labels[i] ? kLabelMass : rest;
+      }
+    }
+  } else {
+    for (ItemId i = 0; i < num_items; ++i) {
+      double sum = 0.0;
+      for (size_t z = 0; z < z_count; ++z) {
+        gamma[i * z_count + z] = 0.5 + rng.Uniform();
+        sum += gamma[i * z_count + z];
+      }
+      for (size_t z = 0; z < z_count; ++z) gamma[i * z_count + z] /= sum;
+    }
+  }
+
+  TicLearnerResult result;
+  std::vector<double> numer(m * z_count), denom(m * z_count);
+  std::vector<double> loglik_z(z_count), resp(z_count);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(numer.begin(), numer.end(), 0.0);
+    std::fill(denom.begin(), denom.end(), 0.0);
+    double total_ll = 0.0;
+
+    for (ItemId i = 0; i < num_items; ++i) {
+      const ItemEvidence& ev = evidence[i];
+      if (ev.empty()) continue;
+
+      // E-step (topic responsibilities): q_i(z) ∝ γ_i^z · L_i(z).
+      for (size_t z = 0; z < z_count; ++z) {
+        double ll = 0.0;
+        for (const SuccessEvent& se : ev.successes) {
+          double log_miss = 0.0;
+          for (graph::ArcId a : se.influencer_arcs) {
+            log_miss += std::log1p(-p[static_cast<size_t>(a) * z_count + z]);
+          }
+          // P(v activated) = 1 − Π (1 − p); log via -expm1 for stability.
+          ll += std::log(std::max(-std::expm1(log_miss), 1e-300));
+        }
+        for (graph::ArcId a : ev.failures) {
+          ll += std::log1p(-p[static_cast<size_t>(a) * z_count + z]);
+        }
+        loglik_z[z] = ll + std::log(std::max(gamma[i * z_count + z], 1e-300));
+      }
+      const double max_l = *std::max_element(loglik_z.begin(), loglik_z.end());
+      double norm = 0.0;
+      for (size_t z = 0; z < z_count; ++z) {
+        resp[z] = std::exp(loglik_z[z] - max_l);
+        norm += resp[z];
+      }
+      total_ll += max_l + std::log(norm);
+      for (size_t z = 0; z < z_count; ++z) resp[z] /= norm;
+
+      // Accumulate M-step sufficient statistics: per topic, credit each
+      // activation's influencers proportionally to their success
+      // probability; every trial (successful or failed) adds exposure.
+      for (size_t z = 0; z < z_count; ++z) {
+        const double qz = resp[z];
+        if (qz < 1e-12) continue;
+        for (const SuccessEvent& se : ev.successes) {
+          double log_miss = 0.0;
+          for (graph::ArcId a : se.influencer_arcs) {
+            log_miss += std::log1p(-p[static_cast<size_t>(a) * z_count + z]);
+          }
+          const double p_act = std::max(-std::expm1(log_miss), 1e-12);
+          for (graph::ArcId a : se.influencer_arcs) {
+            const size_t idx = static_cast<size_t>(a) * z_count + z;
+            numer[idx] += qz * (p[idx] / p_act);
+            denom[idx] += qz;
+          }
+        }
+        for (graph::ArcId a : ev.failures) {
+          denom[static_cast<size_t>(a) * z_count + z] += qz;
+        }
+      }
+
+      // M-step for γ_i: smoothed responsibilities (pinned during the
+      // annealing phase so the topic tables specialize first).
+      if (iter >= options.gamma_freeze_iterations) {
+        double gsum = 0.0;
+        for (size_t z = 0; z < z_count; ++z) {
+          gamma[i * z_count + z] = resp[z] + options.gamma_smoothing;
+          gsum += gamma[i * z_count + z];
+        }
+        for (size_t z = 0; z < z_count; ++z) gamma[i * z_count + z] /= gsum;
+      }
+    }
+
+    // M-step for the influence probabilities.
+    for (size_t idx = 0; idx < m * z_count; ++idx) {
+      if (denom[idx] > 0.0) {
+        p[idx] = std::clamp(numer[idx] / denom[idx], options.p_min,
+                            options.p_max);
+      }
+      // Arcs with no exposure keep their current value: the log carries no
+      // evidence about them.
+    }
+
+    result.log_likelihood.push_back(total_ll);
+    result.iterations = iter + 1;
+    if (iter > 0 &&
+        std::fabs(total_ll - prev_ll) <=
+            options.tolerance * (std::fabs(prev_ll) + 1.0)) {
+      break;
+    }
+    prev_ll = total_ll;
+  }
+
+  result.arc_topic_probs = std::move(p);
+  result.item_topics.reserve(num_items);
+  for (ItemId i = 0; i < num_items; ++i) {
+    simplex::TopicVector gi(gamma.begin() + i * z_count,
+                            gamma.begin() + (i + 1) * z_count);
+    auto td = simplex::TopicDistribution::Create(std::move(gi));
+    if (!td.ok()) return td.status();
+    result.item_topics.push_back(std::move(td).ValueOrDie());
+  }
+  return result;
+}
+
+}  // namespace tic
+}  // namespace inflex

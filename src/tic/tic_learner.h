@@ -1,0 +1,82 @@
+#ifndef INFLEX_TIC_TIC_LEARNER_H_
+#define INFLEX_TIC_TIC_LEARNER_H_
+
+#include <vector>
+
+#include "graph/topic_graph.h"
+#include "simplex/topic_distribution.h"
+#include "tic/propagation_log.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace tic {
+
+/// \brief Options for TIC parameter learning.
+struct TicLearnerOptions {
+  /// Number of latent topics Z.
+  size_t num_topics = 10;
+  /// EM sweeps.
+  int max_iterations = 25;
+  /// Stop when the relative improvement of the expected complete-data
+  /// log-likelihood falls below this.
+  double tolerance = 1e-5;
+  /// Learned per-topic arc probabilities are clamped to [p_min, p_max].
+  double p_min = 1e-4;
+  double p_max = 0.95;
+  /// Symmetric Dirichlet pseudo-count smoothing the item-topic posteriors.
+  double gamma_smoothing = 0.02;
+  /// Initialize topics by clustering items on their adopter overlap
+  /// (random-projection k-means) instead of randomly. EM from a random
+  /// start tends to stall near the symmetric fixed point when the log is
+  /// weak; adopter clustering breaks the symmetry along the real topical
+  /// communities. Disable for the pure random-restart behaviour.
+  bool cluster_initialization = true;
+  /// Dimension of the random projection used by the clustering init.
+  size_t init_projection_dim = 1024;
+  /// Keep γ pinned to the initialization for this many sweeps so that the
+  /// per-topic probability tables specialize to the initial clusters before
+  /// items are allowed to migrate (a brief deterministic annealing).
+  int gamma_freeze_iterations = 3;
+  uint64_t seed = 13;
+};
+
+/// \brief Learned TIC parameters.
+struct TicLearnerResult {
+  /// γ_i for every item of the log's universe (uniform for items with no
+  /// activations — nothing can be learned about them).
+  std::vector<simplex::TopicDistribution> item_topics;
+  /// Arc-major table of p^z_{u,v} (num_arcs × Z), installable into the graph
+  /// via TopicGraph::SetArcTopicProbabilities.
+  std::vector<double> arc_topic_probs;
+  /// Expected log-likelihood trajectory (one entry per EM sweep).
+  std::vector<double> log_likelihood;
+  int iterations = 0;
+};
+
+/// Learns topic-aware influence probabilities and item-topic distributions
+/// from a log of past propagations, in the spirit of Barbieri et al.
+/// (ICDM 2012) — the pre-processing stage of Figure 1.
+///
+/// EM with two latent structures:
+///  - the topic of each item: responsibility q_i(z) ∝ γ_i^z · L_i(z), where
+///    L_i(z) is the likelihood of item i's observed activations and failed
+///    trials under the topic-z influence probabilities;
+///  - the influencer credited with each activation: within topic z, a
+///    potential influencer u of an activation of v receives credit
+///    proportional to p^z_{u,v} among F_{i,v} (standard credit attribution).
+///
+/// The M-step re-estimates p^z_{u,v} as weighted-credit over weighted-trials
+/// and γ_i as the smoothed topic responsibility. Activations with no
+/// potential influencer (no earlier-adopting in-neighbor) are treated as
+/// external/seed adoptions and contribute no influence evidence.
+///
+/// `topology` supplies only the arc structure; its probability entries are
+/// ignored. Fails when the log is not finalized or user universes disagree.
+Result<TicLearnerResult> LearnTicParameters(const graph::TopicGraph& topology,
+                                            const PropagationLog& log,
+                                            const TicLearnerOptions& options);
+
+}  // namespace tic
+}  // namespace inflex
+
+#endif  // INFLEX_TIC_TIC_LEARNER_H_

@@ -1,0 +1,3 @@
+// TicModel is header-only; this translation unit anchors the library target
+// and validates that the header is self-contained.
+#include "tic/tic_model.h"

@@ -1,0 +1,52 @@
+#ifndef INFLEX_TIC_TIC_MODEL_H_
+#define INFLEX_TIC_TIC_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/topic_graph.h"
+#include "im/spread_estimator.h"
+#include "simplex/topic_distribution.h"
+
+namespace inflex {
+namespace tic {
+
+/// \brief Convenience facade over the TIC propagation model (Barbieri et
+/// al., ICDM 2012): a topic-weighted social graph plus the Eq. 1 reduction
+/// to item-specific IC instances.
+///
+/// Holds only a reference to the graph — cheap to copy, but the graph must
+/// outlive it.
+class TicModel {
+ public:
+  explicit TicModel(const graph::TopicGraph* g) : graph_(g) {
+    INFLEX_CHECK(g != nullptr);
+  }
+
+  const graph::TopicGraph& graph() const { return *graph_; }
+  size_t num_topics() const { return graph_->num_topics(); }
+
+  /// Materializes the IC instance for `item` (Eq. 1).
+  graph::ArcProbabilities InstanceFor(
+      const simplex::TopicDistribution& item) const {
+    return graph_->ItemArcProbabilities(item);
+  }
+
+  /// Monte-Carlo estimate of the expected spread σ(S, γ) of `seeds` when
+  /// propagating `item` under TIC — the paper's evaluation measure for
+  /// Figure 8 / Tables 2-3.
+  Result<im::SpreadEstimate> EstimateSpread(
+      const simplex::TopicDistribution& item,
+      std::span<const graph::NodeId> seeds,
+      const im::MonteCarloOptions& options = {}) const {
+    return im::EstimateSpread(*graph_, InstanceFor(item), seeds, options);
+  }
+
+ private:
+  const graph::TopicGraph* graph_;
+};
+
+}  // namespace tic
+}  // namespace inflex
+
+#endif  // INFLEX_TIC_TIC_MODEL_H_

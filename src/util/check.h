@@ -1,0 +1,47 @@
+#ifndef INFLEX_UTIL_CHECK_H_
+#define INFLEX_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Programming-error assertions, active in all build types. These guard
+/// library invariants (index bounds, simplex validity, heap consistency);
+/// runtime/user errors go through Status instead.
+#define INFLEX_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "INFLEX_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define INFLEX_CHECK_OP(a, b, op)                                            \
+  do {                                                                       \
+    if (!((a)op(b))) {                                                       \
+      std::fprintf(stderr, "INFLEX_CHECK failed at %s:%d: %s %s %s\n",       \
+                   __FILE__, __LINE__, #a, #op, #b);                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define INFLEX_CHECK_EQ(a, b) INFLEX_CHECK_OP(a, b, ==)
+#define INFLEX_CHECK_NE(a, b) INFLEX_CHECK_OP(a, b, !=)
+#define INFLEX_CHECK_LT(a, b) INFLEX_CHECK_OP(a, b, <)
+#define INFLEX_CHECK_LE(a, b) INFLEX_CHECK_OP(a, b, <=)
+#define INFLEX_CHECK_GT(a, b) INFLEX_CHECK_OP(a, b, >)
+#define INFLEX_CHECK_GE(a, b) INFLEX_CHECK_OP(a, b, >=)
+
+/// Aborts if a Status-returning expression fails. For use in examples,
+/// benches and tests where failure is unrecoverable.
+#define INFLEX_CHECK_OK(expr)                                                \
+  do {                                                                       \
+    ::inflex::Status _st = (expr);                                           \
+    if (!_st.ok()) {                                                         \
+      std::fprintf(stderr, "INFLEX_CHECK_OK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, _st.ToString().c_str());              \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // INFLEX_UTIL_CHECK_H_

@@ -1,0 +1,45 @@
+#ifndef INFLEX_UTIL_LOGGING_H_
+#define INFLEX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace inflex {
+
+/// \brief Severity levels for library log output.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is actually emitted (default Info).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace inflex
+
+#define INFLEX_LOG(level)                                               \
+  ::inflex::internal::LogMessage(::inflex::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+#endif  // INFLEX_UTIL_LOGGING_H_

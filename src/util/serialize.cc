@@ -1,0 +1,80 @@
+#include "util/serialize.h"
+
+#include <algorithm>
+
+namespace inflex {
+
+Result<BinaryWriter> BinaryWriter::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  return BinaryWriter(f);
+}
+
+Status BinaryWriter::WriteBytes(const void* data, size_t n) {
+  if (file_ == nullptr) return Status::FailedPrecondition("writer closed");
+  if (std::fwrite(data, 1, n, file_) != n) {
+    return Status::IOError("short write");
+  }
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteString(const std::string& s) {
+  INFLEX_RETURN_NOT_OK(WritePod<uint64_t>(s.size()));
+  if (!s.empty()) return WriteBytes(s.data(), s.size());
+  return Status::OK();
+}
+
+Status BinaryWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const bool ok = std::fflush(file_) == 0;
+  CloseFile();
+  if (!ok) return Status::IOError("flush failed on close");
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  return BinaryReader(f);
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t n) {
+  if (file_ == nullptr) return Status::FailedPrecondition("reader closed");
+  if (std::fread(data, 1, n, file_) != n) {
+    return Status::IOError("short read (truncated or corrupt file)");
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint64_t n = 0;
+  INFLEX_RETURN_NOT_OK(ReadPod(&n));
+  if (n > (1ull << 32)) return Status::IOError("corrupt string length");
+  s->resize(n);
+  if (n > 0) return ReadBytes(s->data(), n);
+  return Status::OK();
+}
+
+Status WriteHeader(BinaryWriter* w, uint32_t magic, uint32_t version) {
+  INFLEX_RETURN_NOT_OK(w->WritePod(magic));
+  return w->WritePod(version);
+}
+
+Status CheckHeader(BinaryReader* r, uint32_t magic, uint32_t expected_version) {
+  uint32_t m = 0, v = 0;
+  INFLEX_RETURN_NOT_OK(r->ReadPod(&m));
+  INFLEX_RETURN_NOT_OK(r->ReadPod(&v));
+  if (m != magic) return Status::IOError("bad magic: not an inflex artifact");
+  if (v != expected_version) {
+    return Status::IOError("unsupported artifact version " + std::to_string(v) +
+                           " (expected " + std::to_string(expected_version) +
+                           ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace inflex

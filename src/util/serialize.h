@@ -1,0 +1,142 @@
+#ifndef INFLEX_UTIL_SERIALIZE_H_
+#define INFLEX_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inflex {
+
+/// \brief Little binary writer used for dataset / index persistence.
+///
+/// Format: raw little-endian PODs; containers are a uint64 length followed by
+/// elements. Every file starts with a caller-supplied magic + version so
+/// loads can fail cleanly on mismatched artifacts.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing (truncates).
+  static Result<BinaryWriter> Open(const std::string& path);
+
+  BinaryWriter(BinaryWriter&& other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  BinaryWriter& operator=(BinaryWriter&& other) noexcept {
+    if (this != &other) {
+      CloseFile();
+      file_ = other.file_;
+      other.file_ = nullptr;
+    }
+    return *this;
+  }
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+  ~BinaryWriter() { CloseFile(); }
+
+  /// Writes a trivially copyable value.
+  template <typename T>
+  Status WritePod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return WriteBytes(&v, sizeof(T));
+  }
+
+  /// Writes a vector of trivially copyable values (length-prefixed).
+  template <typename T>
+  Status WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    INFLEX_RETURN_NOT_OK(WritePod<uint64_t>(v.size()));
+    if (!v.empty()) {
+      return WriteBytes(v.data(), v.size() * sizeof(T));
+    }
+    return Status::OK();
+  }
+
+  /// Writes a length-prefixed string.
+  Status WriteString(const std::string& s);
+
+  /// Flushes and closes; returns an error if the final flush fails.
+  Status Close();
+
+ private:
+  explicit BinaryWriter(std::FILE* file) : file_(file) {}
+  Status WriteBytes(const void* data, size_t n);
+  void CloseFile() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+  std::FILE* file_;
+};
+
+/// \brief Counterpart reader for BinaryWriter output.
+class BinaryReader {
+ public:
+  /// Opens `path` for reading.
+  static Result<BinaryReader> Open(const std::string& path);
+
+  BinaryReader(BinaryReader&& other) noexcept : file_(other.file_) {
+    other.file_ = nullptr;
+  }
+  BinaryReader& operator=(BinaryReader&& other) noexcept {
+    if (this != &other) {
+      CloseFile();
+      file_ = other.file_;
+      other.file_ = nullptr;
+    }
+    return *this;
+  }
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+  ~BinaryReader() { CloseFile(); }
+
+  template <typename T>
+  Status ReadPod(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(v, sizeof(T));
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    INFLEX_RETURN_NOT_OK(ReadPod(&n));
+    if (n > (1ull << 40) / std::max<size_t>(sizeof(T), 1)) {
+      return Status::IOError("corrupt vector length in binary stream");
+    }
+    v->resize(n);
+    if (n > 0) {
+      return ReadBytes(v->data(), n * sizeof(T));
+    }
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* s);
+
+ private:
+  explicit BinaryReader(std::FILE* file) : file_(file) {}
+  Status ReadBytes(void* data, size_t n);
+  void CloseFile() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      file_ = nullptr;
+    }
+  }
+
+  std::FILE* file_;
+};
+
+/// Writes the standard artifact header (magic + version).
+Status WriteHeader(BinaryWriter* w, uint32_t magic, uint32_t version);
+
+/// Reads and validates the standard artifact header.
+Status CheckHeader(BinaryReader* r, uint32_t magic, uint32_t expected_version);
+
+}  // namespace inflex
+
+#endif  // INFLEX_UTIL_SERIALIZE_H_

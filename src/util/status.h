@@ -1,0 +1,152 @@
+#ifndef INFLEX_UTIL_STATUS_H_
+#define INFLEX_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace inflex {
+
+/// \brief Machine-readable error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that can fail without a value payload.
+///
+/// Follows the Arrow/RocksDB idiom: cheap to copy in the OK case (a single
+/// pointer test), carries a code and message otherwise. Functions in this
+/// library that can fail at runtime (I/O, parsing, user-supplied parameters)
+/// return Status or Result<T>; programming errors use INFLEX_CHECK instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;  // nullptr means OK
+};
+
+/// \brief Outcome of an operation returning T on success, Status on failure.
+///
+/// Usage:
+/// \code
+///   Result<Graph> r = LoadGraph(path);
+///   if (!r.ok()) return r.status();
+///   Graph g = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (failure). Aborts if status is OK, since an
+  /// OK Result must carry a value.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status (OK if this Result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the value; must only be called when ok().
+  const T& ValueOrDie() const& { return std::get<T>(payload_); }
+  T& ValueOrDie() & { return std::get<T>(payload_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(payload_)); }
+
+  /// Returns the value or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define INFLEX_RETURN_NOT_OK(expr)                   \
+  do {                                               \
+    ::inflex::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+#define INFLEX_CONCAT_IMPL(x, y) x##y
+#define INFLEX_CONCAT(x, y) INFLEX_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error propagates the Status, on
+/// success move-assigns the value into `lhs` (which it declares).
+#define INFLEX_ASSIGN_OR_RETURN(lhs, expr)                            \
+  INFLEX_ASSIGN_OR_RETURN_IMPL(INFLEX_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define INFLEX_ASSIGN_OR_RETURN_IMPL(result_name, lhs, expr) \
+  auto result_name = (expr);                                 \
+  if (!result_name.ok()) return result_name.status();        \
+  lhs = std::move(result_name).ValueOrDie()
+
+}  // namespace inflex
+
+#endif  // INFLEX_UTIL_STATUS_H_

@@ -1,0 +1,101 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace inflex {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    INFLEX_CHECK(!shutting_down_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(lock,
+                           [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn,
+                 ThreadPool* pool) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  if (pool == nullptr) pool = &ThreadPool::Global();
+  const size_t num_workers = pool->num_threads();
+  if (n <= 1 || num_workers <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const size_t num_chunks = std::min(n, num_workers * 4);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  // ParallelFor may be invoked from many call sites; use a local completion
+  // latch rather than pool Wait() so that concurrent ParallelFor calls on the
+  // global pool do not wait on each other's tasks.
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    for (size_t start = begin; start < end; start += chunk) ++remaining;
+  }
+  for (size_t start = begin; start < end; start += chunk) {
+    const size_t stop = std::min(end, start + chunk);
+    pool->Submit([start, stop, &fn, &mu, &cv, &remaining] {
+      for (size_t i = start; i < stop; ++i) fn(i);
+      std::unique_lock<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+}  // namespace inflex

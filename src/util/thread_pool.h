@@ -1,0 +1,61 @@
+#ifndef INFLEX_UTIL_THREAD_POOL_H_
+#define INFLEX_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace inflex {
+
+/// \brief Fixed-size worker pool used to parallelize embarrassingly parallel
+/// stages (Monte-Carlo spread estimation, per-index-point CELF++ runs).
+///
+/// Tasks are plain std::function<void()>; Wait() blocks until every submitted
+/// task has finished. The pool is not re-entrant: tasks must not submit tasks.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide default pool (lazily created with hardware concurrency).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `fn(i)` for every i in [begin, end) across the given pool (or the
+/// global pool when `pool` is nullptr), in contiguous chunks. Blocks until
+/// every iteration has finished. Falls back to a serial loop for tiny ranges.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn,
+                 ThreadPool* pool = nullptr);
+
+}  // namespace inflex
+
+#endif  // INFLEX_UTIL_THREAD_POOL_H_

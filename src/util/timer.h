@@ -1,0 +1,35 @@
+#ifndef INFLEX_UTIL_TIMER_H_
+#define INFLEX_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace inflex {
+
+/// \brief Monotonic wall-clock stopwatch used by the query evaluator and the
+/// experiment harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace inflex
+
+#endif  // INFLEX_UTIL_TIMER_H_

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+
+namespace inflex {
+namespace {
+
+ArgParser Make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParserTest, ParsesKeyEqualsValue) {
+  ArgParser p = Make({"--users=100", "--out=dir"});
+  EXPECT_EQ(p.GetInt("users", 0).ValueOrDie(), 100);
+  EXPECT_EQ(p.GetString("out", ""), "dir");
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ArgParserTest, ParsesKeySpaceValue) {
+  ArgParser p = Make({"--users", "250", "--name", "abc"});
+  EXPECT_EQ(p.GetInt("users", 0).ValueOrDie(), 250);
+  EXPECT_EQ(p.GetString("name", ""), "abc");
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ArgParserTest, BooleanFlags) {
+  ArgParser p = Make({"--verbose", "--auto-size"});
+  EXPECT_TRUE(p.HasFlag("verbose"));
+  EXPECT_TRUE(p.HasFlag("auto-size"));
+  EXPECT_FALSE(p.HasFlag("quiet"));
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  ArgParser p = Make({"build", "--k=5", "extra"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "build");
+  EXPECT_EQ(p.positional()[1], "extra");
+  EXPECT_EQ(p.GetInt("k", 0).ValueOrDie(), 5);
+}
+
+TEST(ArgParserTest, DefaultsWhenAbsent) {
+  ArgParser p = Make({});
+  EXPECT_EQ(p.GetInt("k", 42).ValueOrDie(), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble("x", 1.5).ValueOrDie(), 1.5);
+  EXPECT_EQ(p.GetString("s", "dflt"), "dflt");
+}
+
+TEST(ArgParserTest, TypeErrorsReported) {
+  ArgParser p = Make({"--k=abc", "--x=1.2.3"});
+  EXPECT_FALSE(p.GetInt("k", 0).ok());
+  EXPECT_FALSE(p.GetDouble("x", 0.0).ok());
+}
+
+TEST(ArgParserTest, DoubleList) {
+  ArgParser p = Make({"--mix=0.5,0.25,0.25"});
+  auto list = p.GetDoubleList("mix");
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list.ValueOrDie().size(), 3u);
+  EXPECT_DOUBLE_EQ(list.ValueOrDie()[0], 0.5);
+  ArgParser q = Make({"--mix=a,b"});
+  EXPECT_FALSE(q.GetDoubleList("mix").ok());
+  ArgParser r = Make({});
+  EXPECT_FALSE(r.GetDoubleList("mix").ok());
+}
+
+TEST(ArgParserTest, UnknownOptionRejected) {
+  ArgParser p = Make({"--known=1", "--typo=2"});
+  EXPECT_EQ(p.GetInt("known", 0).ValueOrDie(), 1);
+  Status st = p.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("typo"), std::string::npos);
+}
+
+TEST(ArgParserTest, NegativeNumberAsValue) {
+  ArgParser p = Make({"--offset", "-5"});
+  // "-5" is not an option (single dash), so it binds as the value.
+  EXPECT_EQ(p.GetInt("offset", 0).ValueOrDie(), -5);
+}
+
+}  // namespace
+}  // namespace inflex

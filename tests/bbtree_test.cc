@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "bbtree/bbtree.h"
+#include "bbtree/bregman_ball.h"
+#include "simplex/divergence.h"
+#include "simplex/sampling.h"
+#include "stats/dirichlet.h"
+#include "util/random.h"
+
+namespace inflex {
+namespace bbtree {
+namespace {
+
+using simplex::TopicVector;
+
+// Clustered points resembling real index points (peaked Dirichlet mixture).
+std::vector<TopicVector> ClusteredPoints(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TopicVector> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> alpha(dim, 0.3);
+    alpha[i % dim] = 6.0;
+    stats::Dirichlet d(alpha);
+    points.push_back(d.Sample(&rng));
+  }
+  return points;
+}
+
+// ------------------------------------------------------------ BregmanBall ---
+
+TEST(BregmanBallTest, ContainsCenterAndRespectsRadius) {
+  const TopicVector center = {0.4, 0.3, 0.3};
+  BregmanBall ball(center, 0.05);
+  EXPECT_TRUE(ball.Contains(center));
+  EXPECT_TRUE(ball.Contains({0.41, 0.3, 0.29}));
+  EXPECT_FALSE(ball.Contains({0.95, 0.03, 0.02}));
+}
+
+TEST(BregmanBallTest, MinDivergenceZeroWhenQueryInside) {
+  BregmanBall ball({0.5, 0.5}, 0.1);
+  EXPECT_DOUBLE_EQ(ball.MinDivergenceFrom({0.52, 0.48}), 0.0);
+}
+
+TEST(BregmanBallTest, MinDivergenceIsValidLowerBound) {
+  // Property: for any point x sampled inside the ball,
+  // KL(x ‖ q) ≥ MinDivergenceFrom(q) − tolerance.
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TopicVector center = simplex::SampleUniformSimplex(4, &rng);
+    const double radius = rng.Uniform(0.01, 0.2);
+    BregmanBall ball(center, radius);
+    const TopicVector q = simplex::SampleUniformSimplex(4, &rng);
+    const double bound = ball.MinDivergenceFrom(q);
+    // Rejection-sample points inside the ball around its center.
+    int checked = 0;
+    for (int i = 0; i < 3000 && checked < 300; ++i) {
+      TopicVector x(4);
+      double sum = 0.0;
+      for (size_t d = 0; d < 4; ++d) {
+        x[d] = std::max(center[d] * std::exp(0.5 * rng.Normal()), 1e-9);
+        sum += x[d];
+      }
+      for (double& v : x) v /= sum;
+      if (!ball.Contains(x)) continue;
+      ++checked;
+      EXPECT_GE(simplex::KlDivergence(x, q), bound - 1e-7)
+          << "trial " << trial;
+    }
+    ASSERT_GT(checked, 0) << "sampler never hit the ball";
+  }
+}
+
+TEST(BregmanBallTest, MinDivergenceTightOnBoundaryCase) {
+  // For a tiny ball the bound approaches KL(center ‖ q).
+  Rng rng(5);
+  for (int t = 0; t < 10; ++t) {
+    const TopicVector center = simplex::SampleUniformSimplex(3, &rng);
+    const TopicVector q = simplex::SampleUniformSimplex(3, &rng);
+    BregmanBall ball(center, 1e-10);
+    EXPECT_NEAR(ball.MinDivergenceFrom(q), simplex::KlDivergence(center, q),
+                1e-3);
+  }
+}
+
+TEST(BregmanBallTest, CanPruneConsistentWithBound) {
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    const TopicVector center = simplex::SampleUniformSimplex(4, &rng);
+    BregmanBall ball(center, rng.Uniform(0.01, 0.3));
+    const TopicVector q = simplex::SampleUniformSimplex(4, &rng);
+    const double bound = ball.MinDivergenceFrom(q);
+    // Far above the bound: never prune; far below: always prune.
+    EXPECT_FALSE(ball.CanPrune(q, bound + 0.5));
+    if (bound > 1e-6) {
+      EXPECT_TRUE(ball.CanPrune(q, bound * 0.5));
+    }
+  }
+}
+
+TEST(BregmanBallTest, InfiniteDeltaNeverPrunes) {
+  BregmanBall ball({0.5, 0.5}, 0.01);
+  EXPECT_FALSE(
+      ball.CanPrune({0.9, 0.1}, std::numeric_limits<double>::infinity()));
+}
+
+// ------------------------------------------------------------- tree build ---
+
+TEST(BbTreeBuildTest, RejectsBadInput) {
+  EXPECT_FALSE(BbTree::Build({}, {}).ok());
+  EXPECT_FALSE(BbTree::Build({{1.0}}, {}).ok());  // dimension 1
+  BbTreeOptions zero_leaf;
+  zero_leaf.max_leaf_size = 0;
+  EXPECT_FALSE(BbTree::Build({{0.5, 0.5}}, zero_leaf).ok());
+  EXPECT_FALSE(BbTree::Build({{0.5, 0.5}, {0.2, 0.3, 0.5}}, {}).ok());
+}
+
+TEST(BbTreeBuildTest, SinglePointTree) {
+  auto tree = BbTree::Build({{0.5, 0.5}}, {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.ValueOrDie().num_points(), 1u);
+  EXPECT_EQ(tree.ValueOrDie().num_leaves(), 1u);
+}
+
+TEST(BbTreeBuildTest, AllPointsReachableViaLeaves) {
+  const auto points = ClusteredPoints(300, 6, 11);
+  BbTreeOptions opts;
+  opts.max_leaf_size = 12;
+  auto tree_r = BbTree::Build(points, opts);
+  ASSERT_TRUE(tree_r.ok());
+  const BbTree& tree = tree_r.ValueOrDie();
+  EXPECT_GT(tree.num_leaves(), 1u);
+  EXPECT_GT(tree.depth(), 1u);
+  // Exhaustive leaf-bounded search over all leaves must see every point.
+  SearchStats stats;
+  const auto all = tree.LeafBoundedKnn(points[0], 300, tree.num_leaves() * 2,
+                                       &stats);
+  std::set<uint32_t> ids;
+  for (const auto& nb : all) ids.insert(nb.point_id);
+  EXPECT_EQ(ids.size(), 300u);
+  EXPECT_EQ(stats.leaves_visited, tree.num_leaves());
+}
+
+TEST(BbTreeBuildTest, DuplicatePointsHandled) {
+  std::vector<TopicVector> points(100, {0.3, 0.7});
+  BbTreeOptions opts;
+  opts.max_leaf_size = 8;
+  auto tree = BbTree::Build(points, opts);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.ValueOrDie().num_points(), 100u);
+}
+
+TEST(BbTreeBuildTest, DeterministicForFixedSeed) {
+  const auto points = ClusteredPoints(150, 5, 13);
+  BbTreeOptions opts;
+  opts.seed = 99;
+  auto a = BbTree::Build(points, opts);
+  auto b = BbTree::Build(points, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.ValueOrDie().num_nodes(), b.ValueOrDie().num_nodes());
+  EXPECT_EQ(a.ValueOrDie().num_leaves(), b.ValueOrDie().num_leaves());
+}
+
+// ---------------------------------------------------------------- queries ---
+
+class ExactKnnPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactKnnPropertyTest, MatchesLinearScan) {
+  const auto points = ClusteredPoints(250, 6, GetParam());
+  BbTreeOptions opts;
+  opts.max_leaf_size = 10;
+  opts.seed = GetParam();
+  auto tree_r = BbTree::Build(points, opts);
+  ASSERT_TRUE(tree_r.ok());
+  const BbTree& tree = tree_r.ValueOrDie();
+
+  Rng rng(GetParam() + 1);
+  for (int t = 0; t < 25; ++t) {
+    const TopicVector q = simplex::SampleUniformSimplex(6, &rng);
+    for (size_t k : {1u, 5u, 10u}) {
+      const auto exact = tree.ExactKnn(q, k);
+      const auto linear = tree.LinearScanKnn(q, k);
+      ASSERT_EQ(exact.size(), k);
+      ASSERT_EQ(linear.size(), k);
+      for (size_t i = 0; i < k; ++i) {
+        // Compare divergences (ids may swap on exact ties).
+        EXPECT_NEAR(exact[i].divergence, linear[i].divergence, 1e-10)
+            << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactKnnPropertyTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+TEST(ExactKnnTest, PrunesComparedToLinearScan) {
+  const auto points = ClusteredPoints(500, 6, 31);
+  BbTreeOptions opts;
+  opts.max_leaf_size = 16;
+  auto tree_r = BbTree::Build(points, opts);
+  ASSERT_TRUE(tree_r.ok());
+  Rng rng(32);
+  size_t total_leaves = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    SearchStats stats;
+    tree_r.ValueOrDie().ExactKnn(simplex::SampleUniformSimplex(6, &rng), 5,
+                                 &stats);
+    total_leaves += stats.leaves_visited;
+  }
+  // On clustered data branch-and-bound should rarely touch every leaf.
+  EXPECT_LT(total_leaves,
+            trials * tree_r.ValueOrDie().num_leaves());
+}
+
+TEST(LeafBoundedKnnTest, RecallImprovesWithLeafBudget) {
+  const auto points = ClusteredPoints(400, 6, 41);
+  BbTreeOptions opts;
+  opts.max_leaf_size = 10;
+  auto tree_r = BbTree::Build(points, opts);
+  ASSERT_TRUE(tree_r.ok());
+  const BbTree& tree = tree_r.ValueOrDie();
+
+  Rng rng(42);
+  const size_t k = 10;
+  double recall1 = 0.0, recall5 = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const TopicVector q = simplex::SampleUniformSimplex(6, &rng);
+    const auto truth = tree.LinearScanKnn(q, k);
+    std::set<uint32_t> truth_ids;
+    for (const auto& nb : truth) truth_ids.insert(nb.point_id);
+    auto count_hits = [&truth_ids](const std::vector<Neighbor>& got) {
+      int hits = 0;
+      for (const auto& nb : got) hits += truth_ids.count(nb.point_id);
+      return hits;
+    };
+    recall1 += count_hits(tree.LeafBoundedKnn(q, k, 1));
+    recall5 += count_hits(tree.LeafBoundedKnn(q, k, 5));
+  }
+  recall1 /= trials * k;
+  recall5 /= trials * k;
+  EXPECT_GE(recall5, recall1);
+  EXPECT_GT(recall5, 0.5);  // 5 leaves should recover most of the top-10
+}
+
+TEST(InflexSearchTest, EpsilonExactShortCircuit) {
+  const auto points = ClusteredPoints(200, 5, 51);
+  auto tree_r = BbTree::Build(points, {});
+  ASSERT_TRUE(tree_r.ok());
+  InflexSearchOptions opts;
+  opts.epsilon_exact = 1e-9;
+  // Query an indexed point exactly.
+  const auto result = tree_r.ValueOrDie().InflexSearch(points[17], opts);
+  EXPECT_TRUE(result.epsilon_exact);
+  ASSERT_EQ(result.neighbors.size(), 1u);
+  EXPECT_NEAR(result.neighbors[0].divergence, 0.0, 1e-9);
+  // The matched id must reference an identical point (duplicates possible).
+  const auto& matched =
+      tree_r.ValueOrDie().point(result.neighbors[0].point_id);
+  EXPECT_NEAR(simplex::KlDivergence(matched, points[17]), 0.0, 1e-12);
+}
+
+TEST(InflexSearchTest, RespectsMaxLeaves) {
+  const auto points = ClusteredPoints(400, 6, 61);
+  BbTreeOptions bopts;
+  bopts.max_leaf_size = 10;
+  auto tree_r = BbTree::Build(points, bopts);
+  ASSERT_TRUE(tree_r.ok());
+  Rng rng(62);
+  InflexSearchOptions opts;
+  opts.max_leaves = 3;
+  opts.use_ad_early_stop = false;
+  opts.epsilon_exact = -1.0;
+  for (int t = 0; t < 10; ++t) {
+    const auto r = tree_r.ValueOrDie().InflexSearch(
+        simplex::SampleUniformSimplex(6, &rng), opts);
+    EXPECT_LE(r.stats.leaves_visited, 3u);
+    EXPECT_FALSE(r.neighbors.empty());
+  }
+}
+
+TEST(InflexSearchTest, AdEarlyStopVisitsAtMostLeafCap) {
+  const auto points = ClusteredPoints(400, 6, 71);
+  BbTreeOptions bopts;
+  bopts.max_leaf_size = 20;
+  auto tree_r = BbTree::Build(points, bopts);
+  ASSERT_TRUE(tree_r.ok());
+  Rng rng(72);
+  InflexSearchOptions opts;  // AD stop enabled, cap 5
+  size_t total_leaves = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    const auto r = tree_r.ValueOrDie().InflexSearch(
+        simplex::SampleUniformSimplex(6, &rng), opts);
+    EXPECT_GE(r.stats.leaves_visited, 1u);
+    EXPECT_LE(r.stats.leaves_visited, 5u);
+    total_leaves += r.stats.leaves_visited;
+  }
+  // The early stop should trigger before the cap at least sometimes.
+  EXPECT_LT(total_leaves, trials * 5u);
+}
+
+TEST(InflexSearchTest, NeighborsSortedAscending) {
+  const auto points = ClusteredPoints(300, 6, 81);
+  auto tree_r = BbTree::Build(points, {});
+  ASSERT_TRUE(tree_r.ok());
+  Rng rng(82);
+  const auto r = tree_r.ValueOrDie().InflexSearch(
+      simplex::SampleUniformSimplex(6, &rng), {});
+  for (size_t i = 1; i < r.neighbors.size(); ++i) {
+    EXPECT_LE(r.neighbors[i - 1].divergence, r.neighbors[i].divergence);
+  }
+}
+
+TEST(InflexSearchTest, PruningDoesNotChangeVisitedLeafResults) {
+  // With and without Eq. 5 pruning the search returns neighbors of equal
+  // quality (pruned subtrees cannot contain closer points than δ).
+  const auto points = ClusteredPoints(400, 6, 91);
+  BbTreeOptions bopts;
+  bopts.max_leaf_size = 12;
+  auto tree_r = BbTree::Build(points, bopts);
+  ASSERT_TRUE(tree_r.ok());
+  Rng rng(92);
+  for (int t = 0; t < 10; ++t) {
+    const TopicVector q = simplex::SampleUniformSimplex(6, &rng);
+    InflexSearchOptions with_pruning;
+    with_pruning.use_ad_early_stop = false;
+    with_pruning.max_leaves = 4;
+    InflexSearchOptions without_pruning = with_pruning;
+    without_pruning.use_pruning = false;
+    const auto a = tree_r.ValueOrDie().InflexSearch(q, with_pruning);
+    const auto b = tree_r.ValueOrDie().InflexSearch(q, without_pruning);
+    ASSERT_FALSE(a.neighbors.empty());
+    ASSERT_FALSE(b.neighbors.empty());
+    // The closest retrieved neighbor must agree.
+    EXPECT_NEAR(a.neighbors[0].divergence, b.neighbors[0].divergence, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace bbtree
+}  // namespace inflex

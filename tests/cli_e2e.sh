@@ -1,0 +1,64 @@
+#!/bin/sh
+# End-to-end exercise of inflex_cli: generate → learn → suggest-h →
+# build-index → query → add-item → evaluate → info, asserting exit codes and
+# key output markers. Registered as a CTest test; $1 is the path to the
+# inflex_cli binary.
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+echo "== generate"
+"$CLI" generate --out data --users 300 --topics 4 --items 150 --seed 9 \
+  | grep -q "generated 300 users"
+
+echo "== info (dataset only)"
+"$CLI" info --data data | grep -q "users: 300"
+
+echo "== learn"
+"$CLI" learn --data data --out learned --iters 5 | grep -q "learned model"
+
+echo "== suggest-h"
+"$CLI" suggest-h --data data --target 0.5 | grep -q "suggested h"
+
+echo "== build-index"
+"$CLI" build-index --data data --out index.bin --h 16 --ell 10 \
+  --snapshots 30 | grep -q "built index"
+
+echo "== query"
+"$CLI" query --data data --index index.bin --mix 0.7,0.1,0.1,0.1 --k 5 \
+  | grep -q "seeds:"
+
+echo "== query with explicit strategy"
+"$CLI" query --data data --index index.bin --mix 0.25,0.25,0.25,0.25 \
+  --k 5 --strategy exact | grep -q "exact"
+
+echo "== add-item"
+"$CLI" add-item --data data --index index.bin --mix 0.1,0.1,0.1,0.7 \
+  --ell 8 | grep -q "index now has 17 points"
+
+echo "== evaluate"
+"$CLI" evaluate --data data --index index.bin --queries 4 --k 8 \
+  | grep -q "avg Kendall-tau"
+
+echo "== info (with index)"
+"$CLI" info --data data --index index.bin | grep -q "points (h): 17"
+
+echo "== error handling"
+if "$CLI" query --data data --index index.bin --mix 0.5,0.5 --k 5 \
+    2>/dev/null; then
+  echo "expected dimension mismatch to fail" >&2
+  exit 1
+fi
+if "$CLI" build-index --data data --out x.bin --bogus 1 2>/dev/null; then
+  echo "expected unknown option to fail" >&2
+  exit 1
+fi
+if "$CLI" nonsense-command 2>/dev/null; then
+  echo "expected unknown command to fail" >&2
+  exit 1
+fi
+
+echo "CLI end-to-end: OK"

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/dataset_io.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "simplex/divergence.h"
+
+namespace inflex {
+namespace data {
+namespace {
+
+SyntheticDatasetOptions SmallOptions(uint64_t seed) {
+  SyntheticDatasetOptions o;
+  o.num_users = 200;
+  o.num_topics = 4;
+  o.num_items = 80;
+  o.seed = seed;
+  return o;
+}
+
+TEST(SyntheticDatasetTest, ValidatesOptions) {
+  SyntheticDatasetOptions o = SmallOptions(1);
+  o.num_users = 2;
+  EXPECT_FALSE(GenerateSyntheticDataset(o).ok());
+  o = SmallOptions(1);
+  o.num_topics = 1;
+  EXPECT_FALSE(GenerateSyntheticDataset(o).ok());
+  o = SmallOptions(1);
+  o.strong_prob_lo = 0.5;
+  o.strong_prob_hi = 0.1;
+  EXPECT_FALSE(GenerateSyntheticDataset(o).ok());
+  o = SmallOptions(1);
+  o.seeds_per_cascade = 0;
+  EXPECT_FALSE(GenerateSyntheticDataset(o).ok());
+}
+
+TEST(SyntheticDatasetTest, StructuralInvariants) {
+  auto ds_r = GenerateSyntheticDataset(SmallOptions(7));
+  ASSERT_TRUE(ds_r.ok()) << ds_r.status().ToString();
+  const SyntheticDataset& ds = ds_r.ValueOrDie();
+
+  EXPECT_EQ(ds.graph.num_nodes(), 200u);
+  EXPECT_EQ(ds.graph.num_topics(), 4u);
+  EXPECT_GT(ds.graph.num_arcs(), 200u);  // several arcs per node on average
+  EXPECT_EQ(ds.catalog.size(), 80u);
+  EXPECT_EQ(ds.user_community.size(), 200u);
+  EXPECT_EQ(ds.log.num_users(), 200u);
+  EXPECT_EQ(ds.log.num_items(), 80u);
+  EXPECT_GT(ds.log.size(), 80u);  // cascades produced activity
+
+  for (uint32_t c : ds.user_community) EXPECT_LT(c, 4u);
+  for (const auto& item : ds.catalog) {
+    EXPECT_EQ(item.num_topics(), 4u);
+  }
+  for (graph::ArcId a = 0; a < ds.graph.num_arcs(); ++a) {
+    for (size_t z = 0; z < 4; ++z) {
+      const double p = ds.graph.ArcTopicProb(a, z);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LT(p, 1.0);
+    }
+  }
+}
+
+TEST(SyntheticDatasetTest, TopicStructureIsPresent) {
+  // An arc's strongest topic should usually be its source's community —
+  // the property that makes influence topic-dependent.
+  auto ds_r = GenerateSyntheticDataset(SmallOptions(11));
+  ASSERT_TRUE(ds_r.ok());
+  const SyntheticDataset& ds = ds_r.ValueOrDie();
+  size_t matches = 0, arcs = 0;
+  for (graph::NodeId u = 0; u < ds.graph.num_nodes(); ++u) {
+    graph::ArcId a = ds.graph.OutArcBegin(u);
+    for (size_t i = 0; i < ds.graph.OutDegree(u); ++i, ++a) {
+      const auto probs = ds.graph.ArcTopicProbs(a);
+      const size_t best =
+          std::max_element(probs.begin(), probs.end()) - probs.begin();
+      if (best == ds.user_community[u]) ++matches;
+      ++arcs;
+    }
+  }
+  EXPECT_GT(static_cast<double>(matches) / arcs, 0.8);
+}
+
+TEST(SyntheticDatasetTest, DeterministicForFixedSeed) {
+  auto a = GenerateSyntheticDataset(SmallOptions(13));
+  auto b = GenerateSyntheticDataset(SmallOptions(13));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.ValueOrDie().graph.num_arcs(), b.ValueOrDie().graph.num_arcs());
+  EXPECT_EQ(a.ValueOrDie().log.size(), b.ValueOrDie().log.size());
+  for (size_t i = 0; i < 80; ++i) {
+    EXPECT_EQ(a.ValueOrDie().catalog[i].probs(),
+              b.ValueOrDie().catalog[i].probs());
+  }
+}
+
+TEST(SyntheticDatasetTest, DifferentSeedsDiffer) {
+  auto a = GenerateSyntheticDataset(SmallOptions(17));
+  auto b = GenerateSyntheticDataset(SmallOptions(18));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.ValueOrDie().catalog[0].probs(),
+            b.ValueOrDie().catalog[0].probs());
+}
+
+TEST(DatasetIoTest, FullRoundTrip) {
+  auto ds_r = GenerateSyntheticDataset(SmallOptions(19));
+  ASSERT_TRUE(ds_r.ok());
+  const std::string dir = testing::TempDir() + "/dataset_roundtrip";
+  ASSERT_TRUE(SaveDataset(ds_r.ValueOrDie(), dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SyntheticDataset& a = ds_r.ValueOrDie();
+  const SyntheticDataset& b = loaded.ValueOrDie();
+  EXPECT_EQ(a.graph.num_arcs(), b.graph.num_arcs());
+  EXPECT_EQ(a.catalog.size(), b.catalog.size());
+  EXPECT_EQ(a.log.size(), b.log.size());
+  EXPECT_EQ(a.user_community, b.user_community);
+  for (size_t i = 0; i < a.catalog.size(); ++i) {
+    EXPECT_EQ(a.catalog[i].probs(), b.catalog[i].probs());
+  }
+}
+
+TEST(DatasetIoTest, CatalogRoundTrip) {
+  auto ds_r = GenerateSyntheticDataset(SmallOptions(23));
+  ASSERT_TRUE(ds_r.ok());
+  const std::string path = testing::TempDir() + "/catalog.bin";
+  ASSERT_TRUE(SaveCatalog(ds_r.ValueOrDie().catalog, path).ok());
+  auto loaded = LoadCatalog(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie().size(), 80u);
+  EXPECT_FALSE(SaveCatalog({}, path).ok());
+  EXPECT_FALSE(LoadCatalog("/no/such/catalog.bin").ok());
+}
+
+// ----------------------------------------------------------------- workload ---
+
+TEST(WorkloadTest, GeneratesBothPopulations) {
+  auto ds_r = GenerateSyntheticDataset(SmallOptions(29));
+  ASSERT_TRUE(ds_r.ok());
+  QueryWorkloadOptions opts;
+  opts.num_data_driven = 20;
+  opts.num_uniform = 15;
+  auto w = GenerateQueryWorkload(ds_r.ValueOrDie().catalog, opts);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w.ValueOrDie().queries.size(), 35u);
+  size_t data_driven = 0;
+  for (bool b : w.ValueOrDie().is_data_driven) data_driven += b;
+  EXPECT_EQ(data_driven, 20u);
+  for (const auto& q : w.ValueOrDie().queries) {
+    EXPECT_EQ(q.num_topics(), 4u);
+  }
+}
+
+TEST(WorkloadTest, DataDrivenQueriesFollowCatalogShape) {
+  // Data-driven queries should on average sit closer to their nearest
+  // catalog item (in symmetrized KL) than uniform-simplex queries do —
+  // they are drawn from the distribution the catalog induces.
+  auto ds_r = GenerateSyntheticDataset(SmallOptions(31));
+  ASSERT_TRUE(ds_r.ok());
+  const auto& catalog = ds_r.ValueOrDie().catalog;
+
+  QueryWorkloadOptions opts;
+  opts.num_data_driven = 100;
+  opts.num_uniform = 100;
+  auto w = GenerateQueryWorkload(catalog, opts);
+  ASSERT_TRUE(w.ok());
+  double dd = 0.0, uni = 0.0;
+  for (size_t i = 0; i < w.ValueOrDie().queries.size(); ++i) {
+    double nearest = 1e18;
+    for (const auto& item : catalog) {
+      nearest = std::min(nearest,
+                         simplex::SymmetrizedKl(
+                             w.ValueOrDie().queries[i].probs(), item.probs()));
+    }
+    if (w.ValueOrDie().is_data_driven[i]) {
+      dd += nearest;
+    } else {
+      uni += nearest;
+    }
+  }
+  EXPECT_LT(dd / 100.0, uni / 100.0);
+}
+
+TEST(WorkloadTest, RejectsBadInput) {
+  EXPECT_FALSE(GenerateQueryWorkload({}, {}).ok());
+  auto ds_r = GenerateSyntheticDataset(SmallOptions(37));
+  ASSERT_TRUE(ds_r.ok());
+  QueryWorkloadOptions bad;
+  bad.boundary_smoothing = 2.0;
+  EXPECT_FALSE(GenerateQueryWorkload(ds_r.ValueOrDie().catalog, bad).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace inflex

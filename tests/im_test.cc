@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/topic_graph.h"
+#include "im/cascade.h"
+#include "im/celf.h"
+#include "im/celfpp.h"
+#include "im/greedy.h"
+#include "im/heuristics.h"
+#include "im/snapshot_oracle.h"
+#include "im/spread_estimator.h"
+#include "util/random.h"
+
+namespace inflex {
+namespace im {
+namespace {
+
+using graph::ArcProbabilities;
+using graph::NodeId;
+using graph::TopicGraph;
+using graph::TopicGraphBuilder;
+
+// Path 0→1→2→3 with Z = 1; the single topic prob equals the IC prob.
+TopicGraph MakePathGraph(const std::vector<double>& probs) {
+  TopicGraphBuilder b(probs.size() + 1, 1);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_TRUE(b.AddArc(static_cast<NodeId>(i), static_cast<NodeId>(i + 1),
+                         {probs[i]})
+                    .ok());
+  }
+  return b.Build().ValueOrDie();
+}
+
+// Random sparse digraph for property tests.
+TopicGraph MakeRandomGraph(size_t n, size_t arcs, double p_lo, double p_hi,
+                           uint64_t seed) {
+  Rng rng(seed);
+  TopicGraphBuilder b(n, 1);
+  std::set<std::pair<NodeId, NodeId>> used;
+  size_t added = 0;
+  while (added < arcs) {
+    const NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+    if (u == v || used.count({u, v})) continue;
+    used.insert({u, v});
+    EXPECT_TRUE(b.AddArc(u, v, {rng.Uniform(p_lo, p_hi)}).ok());
+    ++added;
+  }
+  return b.Build().ValueOrDie();
+}
+
+ArcProbabilities SingleTopicProbs(const TopicGraph& g) {
+  ArcProbabilities p(g.num_arcs());
+  for (graph::ArcId a = 0; a < g.num_arcs(); ++a) p[a] = g.ArcTopicProb(a, 0);
+  return p;
+}
+
+// ----------------------------------------------------------------- cascade ---
+
+TEST(CascadeTest, DeterministicAllOnesPath) {
+  const TopicGraph g = MakePathGraph({1.0, 1.0, 1.0});
+  const ArcProbabilities p = SingleTopicProbs(g);
+  Rng rng(1);
+  CascadeWorkspace ws(g.num_nodes());
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(SimulateCascadeCount(g, p, seeds, &rng, &ws), 4u);
+}
+
+TEST(CascadeTest, ZeroProbabilitiesOnlySeedActive) {
+  TopicGraphBuilder b(4, 1);
+  ASSERT_TRUE(b.AddArc(0, 1, {0.0}).ok());
+  ASSERT_TRUE(b.AddArc(1, 2, {0.0}).ok());
+  const TopicGraph g = b.Build().ValueOrDie();
+  const ArcProbabilities p = SingleTopicProbs(g);
+  Rng rng(2);
+  CascadeWorkspace ws(g.num_nodes());
+  const std::vector<NodeId> seeds = {0};
+  for (int t = 0; t < 20; ++t) {
+    EXPECT_EQ(SimulateCascadeCount(g, p, seeds, &rng, &ws), 1u);
+  }
+}
+
+TEST(CascadeTest, DuplicateSeedsCountedOnce) {
+  const TopicGraph g = MakePathGraph({1.0});
+  const ArcProbabilities p = SingleTopicProbs(g);
+  Rng rng(3);
+  CascadeWorkspace ws(g.num_nodes());
+  const std::vector<NodeId> seeds = {0, 0, 1};
+  EXPECT_EQ(SimulateCascadeCount(g, p, seeds, &rng, &ws), 2u);
+}
+
+TEST(CascadeTest, NodesVariantRecordsActivationOrder) {
+  const TopicGraph g = MakePathGraph({1.0, 1.0});
+  const ArcProbabilities p = SingleTopicProbs(g);
+  Rng rng(4);
+  CascadeWorkspace ws(g.num_nodes());
+  std::vector<NodeId> activated;
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(SimulateCascadeNodes(g, p, seeds, &rng, &ws, &activated), 3u);
+  ASSERT_EQ(activated.size(), 3u);
+  EXPECT_EQ(activated[0], 0u);  // seed first, then BFS order
+  EXPECT_EQ(activated[1], 1u);
+  EXPECT_EQ(activated[2], 2u);
+}
+
+// -------------------------------------------------------- spread estimator ---
+
+TEST(SpreadEstimatorTest, ClosedFormSingleArc) {
+  // σ({0}) on 0→1 with prob p is 1 + p.
+  const double p_arc = 0.37;
+  const TopicGraph g = MakePathGraph({p_arc});
+  const ArcProbabilities p = SingleTopicProbs(g);
+  MonteCarloOptions opts;
+  opts.num_simulations = 200000;
+  const std::vector<NodeId> seeds = {0};
+  auto est = EstimateSpread(g, p, seeds, opts);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.ValueOrDie().mean, 1.0 + p_arc, 0.01);
+  EXPECT_GT(est.ValueOrDie().std_error, 0.0);
+}
+
+TEST(SpreadEstimatorTest, ClosedFormTwoHopPath) {
+  // σ({0}) on 0→1→2 with probs p, q is 1 + p + p·q.
+  const TopicGraph g = MakePathGraph({0.5, 0.4});
+  const ArcProbabilities p = SingleTopicProbs(g);
+  MonteCarloOptions opts;
+  opts.num_simulations = 200000;
+  const std::vector<NodeId> seeds = {0};
+  auto est = EstimateSpread(g, p, seeds, opts);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.ValueOrDie().mean, 1.0 + 0.5 + 0.2, 0.01);
+}
+
+TEST(SpreadEstimatorTest, EmptySeedsGiveZero) {
+  const TopicGraph g = MakePathGraph({0.5});
+  auto est = EstimateSpread(g, SingleTopicProbs(g), {});
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est.ValueOrDie().mean, 0.0);
+}
+
+TEST(SpreadEstimatorTest, ParallelMatchesSerial) {
+  const TopicGraph g = MakeRandomGraph(100, 500, 0.05, 0.3, 5);
+  const ArcProbabilities p = SingleTopicProbs(g);
+  const std::vector<NodeId> seeds = {3, 17, 42};
+  MonteCarloOptions serial;
+  serial.num_simulations = 2000;
+  serial.parallel = false;
+  MonteCarloOptions parallel = serial;
+  parallel.parallel = true;
+  auto a = EstimateSpread(g, p, seeds, serial);
+  auto b = EstimateSpread(g, p, seeds, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Identical per-simulation RNG streams ⇒ identical estimates.
+  EXPECT_DOUBLE_EQ(a.ValueOrDie().mean, b.ValueOrDie().mean);
+}
+
+TEST(SpreadEstimatorTest, ValidatesInput) {
+  const TopicGraph g = MakePathGraph({0.5});
+  const std::vector<NodeId> bad_seed = {99};
+  EXPECT_FALSE(EstimateSpread(g, SingleTopicProbs(g), bad_seed).ok());
+  ArcProbabilities wrong(5, 0.1);
+  const std::vector<NodeId> seeds = {0};
+  EXPECT_FALSE(EstimateSpread(g, wrong, seeds).ok());
+}
+
+// --------------------------------------------------------- snapshot oracle ---
+
+TEST(SnapshotOracleTest, DeterministicGraphExactSpread) {
+  const TopicGraph g = MakePathGraph({1.0, 1.0, 1.0});
+  SnapshotSpreadOracle::Options opts;
+  opts.num_snapshots = 10;
+  auto oracle = SnapshotSpreadOracle::Create(g, SingleTopicProbs(g), opts);
+  ASSERT_TRUE(oracle.ok());
+  auto& o = oracle.ValueOrDie();
+  auto ws = o.MakeWorkspace();
+  EXPECT_DOUBLE_EQ(o.MarginalGain(0, &ws), 4.0);
+  EXPECT_DOUBLE_EQ(o.MarginalGain(2, &ws), 2.0);
+  o.CommitSeed(2, &ws);
+  // After committing 2, node 0 only adds {0, 1}.
+  EXPECT_DOUBLE_EQ(o.MarginalGain(0, &ws), 2.0);
+  EXPECT_DOUBLE_EQ(o.CurrentSpread(), 2.0);
+}
+
+TEST(SnapshotOracleTest, MarginalGainMatchesSpreadDifference) {
+  const TopicGraph g = MakeRandomGraph(80, 400, 0.1, 0.5, 7);
+  SnapshotSpreadOracle::Options opts;
+  opts.num_snapshots = 50;
+  auto oracle = SnapshotSpreadOracle::Create(g, SingleTopicProbs(g), opts);
+  ASSERT_TRUE(oracle.ok());
+  auto& o = oracle.ValueOrDie();
+  auto ws = o.MakeWorkspace();
+
+  std::vector<NodeId> committed;
+  Rng rng(8);
+  for (int step = 0; step < 5; ++step) {
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(80));
+    const double before = o.SpreadOf(committed, &ws);
+    std::vector<NodeId> extended = committed;
+    extended.push_back(v);
+    const double after = o.SpreadOf(extended, &ws);
+    EXPECT_NEAR(o.MarginalGain(v, &ws), after - before, 1e-9);
+    o.CommitSeed(v, &ws);
+    committed.push_back(v);
+    EXPECT_NEAR(o.CurrentSpread(), after, 1e-9);
+  }
+}
+
+TEST(SnapshotOracleTest, MarginalGainPairConsistent) {
+  const TopicGraph g = MakeRandomGraph(60, 300, 0.1, 0.5, 9);
+  SnapshotSpreadOracle::Options opts;
+  opts.num_snapshots = 40;
+  auto oracle = SnapshotSpreadOracle::Create(g, SingleTopicProbs(g), opts);
+  ASSERT_TRUE(oracle.ok());
+  auto& o = oracle.ValueOrDie();
+  auto ws = o.MakeWorkspace();
+
+  Rng rng(10);
+  for (int t = 0; t < 20; ++t) {
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(60));
+    const NodeId other = static_cast<NodeId>(rng.UniformInt(60));
+    if (v == other) continue;
+    double mg1 = 0, mg2 = 0;
+    o.MarginalGainPair(v, other, &ws, &mg1, &mg2);
+    // mg1 must equal the plain marginal gain.
+    EXPECT_NEAR(mg1, o.MarginalGain(v, &ws), 1e-9);
+    // mg2 = σ(S∪{other,v}) − σ(S∪{other}).
+    const std::vector<NodeId> base = {other};
+    const std::vector<NodeId> both = {other, v};
+    EXPECT_NEAR(mg2, o.SpreadOf(both, &ws) - o.SpreadOf(base, &ws), 1e-9);
+    // Submodularity of the pair: mg2 ≤ mg1.
+    EXPECT_LE(mg2, mg1 + 1e-9);
+  }
+}
+
+TEST(SnapshotOracleTest, SubmodularityProperty) {
+  // Gains never increase as the committed seed set grows — the property
+  // CELF's lazy evaluation depends on.
+  const TopicGraph g = MakeRandomGraph(70, 350, 0.1, 0.4, 11);
+  SnapshotSpreadOracle::Options opts;
+  opts.num_snapshots = 30;
+  auto oracle = SnapshotSpreadOracle::Create(g, SingleTopicProbs(g), opts);
+  ASSERT_TRUE(oracle.ok());
+  auto& o = oracle.ValueOrDie();
+  auto ws = o.MakeWorkspace();
+
+  std::vector<double> gains_before(70), gains_after(70);
+  for (NodeId v = 0; v < 70; ++v) gains_before[v] = o.MarginalGain(v, &ws);
+  o.CommitSeed(5, &ws);
+  o.CommitSeed(50, &ws);
+  for (NodeId v = 0; v < 70; ++v) gains_after[v] = o.MarginalGain(v, &ws);
+  for (NodeId v = 0; v < 70; ++v) {
+    EXPECT_LE(gains_after[v], gains_before[v] + 1e-9) << "node " << v;
+  }
+}
+
+TEST(SnapshotOracleTest, SpreadApproximatesMonteCarlo) {
+  const TopicGraph g = MakeRandomGraph(100, 600, 0.05, 0.3, 13);
+  const ArcProbabilities p = SingleTopicProbs(g);
+  SnapshotSpreadOracle::Options opts;
+  opts.num_snapshots = 3000;
+  auto oracle = SnapshotSpreadOracle::Create(g, p, opts);
+  ASSERT_TRUE(oracle.ok());
+  auto ws = oracle.ValueOrDie().MakeWorkspace();
+  const std::vector<NodeId> seeds = {1, 20, 60};
+  const double snapshot_spread = oracle.ValueOrDie().SpreadOf(seeds, &ws);
+  MonteCarloOptions mc;
+  mc.num_simulations = 30000;
+  auto est = EstimateSpread(g, p, seeds, mc);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(snapshot_spread, est.ValueOrDie().mean,
+              0.05 * est.ValueOrDie().mean + 0.5);
+}
+
+TEST(SnapshotOracleTest, ResetSeedsRestoresGains) {
+  const TopicGraph g = MakeRandomGraph(50, 250, 0.1, 0.5, 15);
+  SnapshotSpreadOracle::Options opts;
+  auto oracle = SnapshotSpreadOracle::Create(g, SingleTopicProbs(g), opts);
+  ASSERT_TRUE(oracle.ok());
+  auto& o = oracle.ValueOrDie();
+  auto ws = o.MakeWorkspace();
+  const double g0 = o.MarginalGain(7, &ws);
+  o.CommitSeed(7, &ws);
+  EXPECT_NEAR(o.MarginalGain(7, &ws), 0.0, 1e-12);
+  o.ResetSeeds();
+  EXPECT_DOUBLE_EQ(o.MarginalGain(7, &ws), g0);
+  EXPECT_DOUBLE_EQ(o.CurrentSpread(), 0.0);
+}
+
+// ---------------------------------------------------- greedy / CELF / CELF++ ---
+
+class SeedSelectorAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeedSelectorAgreementTest, AllThreeAlgorithmsAgree) {
+  const TopicGraph g = MakeRandomGraph(120, 700, 0.05, 0.4, GetParam());
+  SnapshotSpreadOracle::Options opts;
+  opts.num_snapshots = 60;
+  opts.seed = GetParam() * 3 + 1;
+  auto oracle = SnapshotSpreadOracle::Create(g, SingleTopicProbs(g), opts);
+  ASSERT_TRUE(oracle.ok());
+  auto& o = oracle.ValueOrDie();
+
+  SeedSelectionOptions sopts;
+  sopts.parallel_first_iteration = false;
+  const size_t k = 8;
+  auto greedy = SelectSeedsGreedy(&o, k, sopts);
+  auto celf = SelectSeedsCelf(&o, k, sopts);
+  auto celfpp = SelectSeedsCelfPp(&o, k, sopts);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(celf.ok());
+  ASSERT_TRUE(celfpp.ok());
+
+  // Same oracle ⇒ identical greedy sequences (ties broken identically) and
+  // identical final spreads.
+  EXPECT_EQ(celf.ValueOrDie().seeds, greedy.ValueOrDie().seeds);
+  EXPECT_EQ(celfpp.ValueOrDie().seeds, greedy.ValueOrDie().seeds);
+  EXPECT_NEAR(celf.ValueOrDie().expected_spread,
+              greedy.ValueOrDie().expected_spread, 1e-9);
+
+  // Lazy evaluation must not do MORE work than plain greedy, and CELF++
+  // should not do more than CELF (its whole point).
+  EXPECT_LE(celf.ValueOrDie().num_evaluations,
+            greedy.ValueOrDie().num_evaluations);
+  EXPECT_LE(celfpp.ValueOrDie().num_evaluations,
+            celf.ValueOrDie().num_evaluations * 2);  // counts pair evals
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSelectorAgreementTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(SeedSelectorTest, MarginalGainsNonIncreasing) {
+  const TopicGraph g = MakeRandomGraph(100, 500, 0.1, 0.4, 17);
+  SnapshotSpreadOracle::Options opts;
+  auto oracle = SnapshotSpreadOracle::Create(g, SingleTopicProbs(g), opts);
+  ASSERT_TRUE(oracle.ok());
+  SeedSelectionOptions sopts;
+  sopts.parallel_first_iteration = false;
+  auto r = SelectSeedsCelfPp(&oracle.ValueOrDie(), 10, sopts);
+  ASSERT_TRUE(r.ok());
+  const auto& gains = r.ValueOrDie().marginal_gains;
+  for (size_t i = 1; i < gains.size(); ++i) {
+    EXPECT_LE(gains[i], gains[i - 1] + 1e-9) << i;
+  }
+  // Spread equals the sum of marginal gains.
+  double total = 0.0;
+  for (double gn : gains) total += gn;
+  EXPECT_NEAR(total, r.ValueOrDie().expected_spread, 1e-9);
+}
+
+TEST(SeedSelectorTest, SeedsAreDistinct) {
+  const TopicGraph g = MakeRandomGraph(60, 300, 0.1, 0.5, 19);
+  SnapshotSpreadOracle::Options opts;
+  auto oracle = SnapshotSpreadOracle::Create(g, SingleTopicProbs(g), opts);
+  ASSERT_TRUE(oracle.ok());
+  auto r = SelectSeedsCelfPp(&oracle.ValueOrDie(), 20, {});
+  ASSERT_TRUE(r.ok());
+  std::set<NodeId> unique(r.ValueOrDie().seeds.begin(),
+                          r.ValueOrDie().seeds.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(SeedSelectorTest, RejectsBadK) {
+  const TopicGraph g = MakePathGraph({0.5});
+  SnapshotSpreadOracle::Options opts;
+  auto oracle = SnapshotSpreadOracle::Create(g, SingleTopicProbs(g), opts);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_FALSE(SelectSeedsGreedy(&oracle.ValueOrDie(), 0, {}).ok());
+  EXPECT_FALSE(SelectSeedsCelf(&oracle.ValueOrDie(), 99, {}).ok());
+  EXPECT_FALSE(SelectSeedsCelfPp(&oracle.ValueOrDie(), 99, {}).ok());
+}
+
+TEST(SeedSelectorTest, ParallelFirstIterationMatchesSerial) {
+  const TopicGraph g = MakeRandomGraph(400, 2000, 0.05, 0.3, 23);
+  SnapshotSpreadOracle::Options opts;
+  opts.num_snapshots = 40;
+  auto o1 = SnapshotSpreadOracle::Create(g, SingleTopicProbs(g), opts);
+  auto o2 = SnapshotSpreadOracle::Create(g, SingleTopicProbs(g), opts);
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  SeedSelectionOptions serial;
+  serial.parallel_first_iteration = false;
+  SeedSelectionOptions parallel;
+  parallel.parallel_first_iteration = true;
+  auto a = SelectSeedsCelfPp(&o1.ValueOrDie(), 5, serial);
+  auto b = SelectSeedsCelfPp(&o2.ValueOrDie(), 5, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.ValueOrDie().seeds, b.ValueOrDie().seeds);
+}
+
+// ---------------------------------------------------------------- heuristics ---
+
+TEST(HeuristicsTest, RandomSeedsDistinctAndInRange) {
+  Rng rng(29);
+  auto r = SelectSeedsRandom(50, 10, &rng);
+  ASSERT_TRUE(r.ok());
+  std::set<NodeId> unique(r.ValueOrDie().begin(), r.ValueOrDie().end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (NodeId v : r.ValueOrDie()) EXPECT_LT(v, 50u);
+  EXPECT_FALSE(SelectSeedsRandom(5, 6, &rng).ok());
+  EXPECT_FALSE(SelectSeedsRandom(5, 0, &rng).ok());
+}
+
+TEST(HeuristicsTest, DegreeSeedsAreTopDegree) {
+  TopicGraphBuilder b(5, 1);
+  // Node 2 has out-degree 3; node 0 has 2; others less.
+  ASSERT_TRUE(b.AddArc(2, 0, {0.5}).ok());
+  ASSERT_TRUE(b.AddArc(2, 1, {0.5}).ok());
+  ASSERT_TRUE(b.AddArc(2, 3, {0.5}).ok());
+  ASSERT_TRUE(b.AddArc(0, 1, {0.5}).ok());
+  ASSERT_TRUE(b.AddArc(0, 3, {0.5}).ok());
+  ASSERT_TRUE(b.AddArc(4, 3, {0.5}).ok());
+  const TopicGraph g = b.Build().ValueOrDie();
+  auto r = SelectSeedsByDegree(g, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie()[0], 2u);
+  EXPECT_EQ(r.ValueOrDie()[1], 0u);
+}
+
+TEST(HeuristicsTest, WeightedDegreeUsesProbabilities) {
+  TopicGraphBuilder b(4, 1);
+  ASSERT_TRUE(b.AddArc(0, 1, {0.9}).ok());   // node 0: weight 0.9
+  ASSERT_TRUE(b.AddArc(1, 2, {0.1}).ok());   // node 1: weight 0.3 total
+  ASSERT_TRUE(b.AddArc(1, 3, {0.2}).ok());
+  const TopicGraph g = b.Build().ValueOrDie();
+  auto r = SelectSeedsByWeightedDegree(g, SingleTopicProbs(g), 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie()[0], 0u);
+}
+
+}  // namespace
+}  // namespace im
+}  // namespace inflex

@@ -1,0 +1,544 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "rank/aggregators.h"
+#include "rank/kemeny.h"
+#include "rank/kendall_tau.h"
+#include "rank/local_kemenization.h"
+#include "rank/preference_matrix.h"
+#include "rank/ranked_list.h"
+#include "util/random.h"
+
+namespace inflex {
+namespace rank {
+namespace {
+
+// -------------------------------------------------------------- validation ---
+
+TEST(RankedListTest, ValidateDetectsDuplicates) {
+  EXPECT_TRUE(ValidateRankedList({1, 2, 3}).ok());
+  EXPECT_FALSE(ValidateRankedList({1, 2, 1}).ok());
+  EXPECT_TRUE(ValidateRankedList({}).ok());
+}
+
+TEST(RankedListTest, UnionPreservesFirstAppearanceOrder) {
+  const RankedList u = UnionOfLists({{3, 1, 2}, {2, 4}, {5}});
+  EXPECT_EQ(u, (RankedList{3, 1, 2, 4, 5}));
+}
+
+// ------------------------------------------------------------ Kendall full ---
+
+TEST(KendallTauFullTest, IdenticalListsZero) {
+  EXPECT_DOUBLE_EQ(KendallTauFull({1, 2, 3, 4}, {1, 2, 3, 4}).ValueOrDie(),
+                   0.0);
+}
+
+TEST(KendallTauFullTest, ReversedListsOne) {
+  EXPECT_DOUBLE_EQ(KendallTauFull({1, 2, 3, 4}, {4, 3, 2, 1}).ValueOrDie(),
+                   1.0);
+}
+
+TEST(KendallTauFullTest, SingleSwap) {
+  // One adjacent transposition = 1 discordant pair out of C(4,2)=6.
+  EXPECT_DOUBLE_EQ(KendallTauFull({1, 2, 3, 4}, {2, 1, 3, 4}).ValueOrDie(),
+                   1.0 / 6.0);
+}
+
+TEST(KendallTauFullTest, UnnormalizedCountsInversions) {
+  EXPECT_DOUBLE_EQ(
+      KendallTauFull({1, 2, 3}, {3, 2, 1}, /*normalized=*/false).ValueOrDie(),
+      3.0);
+}
+
+TEST(KendallTauFullTest, SymmetricInArguments) {
+  Rng rng(3);
+  RankedList a(20), b(20);
+  std::iota(a.begin(), a.end(), 0u);
+  b = a;
+  rng.Shuffle(&a);
+  rng.Shuffle(&b);
+  EXPECT_DOUBLE_EQ(KendallTauFull(a, b).ValueOrDie(),
+                   KendallTauFull(b, a).ValueOrDie());
+}
+
+TEST(KendallTauFullTest, MatchesBruteForceOnRandomPermutations) {
+  Rng rng(5);
+  for (int t = 0; t < 30; ++t) {
+    RankedList a(12), b(12);
+    std::iota(a.begin(), a.end(), 0u);
+    b = a;
+    rng.Shuffle(&a);
+    rng.Shuffle(&b);
+    // Brute force discordant pair count.
+    std::vector<size_t> pos_a(12), pos_b(12);
+    for (size_t i = 0; i < 12; ++i) {
+      pos_a[a[i]] = i;
+      pos_b[b[i]] = i;
+    }
+    double brute = 0;
+    for (Item i = 0; i < 12; ++i) {
+      for (Item j = i + 1; j < 12; ++j) {
+        if ((pos_a[i] < pos_a[j]) != (pos_b[i] < pos_b[j])) brute += 1.0;
+      }
+    }
+    EXPECT_DOUBLE_EQ(
+        KendallTauFull(a, b, /*normalized=*/false).ValueOrDie(), brute);
+  }
+}
+
+TEST(KendallTauFullTest, RejectsBadInput) {
+  EXPECT_FALSE(KendallTauFull({1, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(KendallTauFull({1, 1}, {1, 2}).ok());
+  EXPECT_FALSE(KendallTauFull({1, 2}, {1, 3}).ok());  // different item sets
+}
+
+// ----------------------------------------------------------- Kendall top-ℓ ---
+
+TEST(KendallTauTopLTest, IdenticalListsZero) {
+  EXPECT_DOUBLE_EQ(KendallTauTopL({5, 9, 2}, {5, 9, 2}).ValueOrDie(), 0.0);
+}
+
+TEST(KendallTauTopLTest, DisjointListsOne) {
+  // Completely disjoint top-ℓ lists are at the maximum distance.
+  EXPECT_DOUBLE_EQ(KendallTauTopL({1, 2, 3}, {4, 5, 6}).ValueOrDie(), 1.0);
+}
+
+TEST(KendallTauTopLTest, HandComputedFourCases) {
+  // a = [1,2,3], b = [1,3,4], p = 0.5.
+  // Pairs over union {1,2,3,4}:
+  //  {1,2}: both in a (1≺2); only 1 in b → case 2, 1 ahead: penalty 0.
+  //  {1,3}: in both, same order: 0.
+  //  {1,4}: both in b (1≺4); only 1 in a → case 2: 0.
+  //  {2,3}: both in a (2≺3); only 3 in b → case 2, present item 3 must be
+  //         ahead but a says 2≺3: penalty 1.
+  //  {2,4}: 2 only in a, 4 only in b → case 3: penalty 1.
+  //  {3,4}: both in b (3≺4); only 3 in a → case 2: 0.
+  // Total = 2; normalizer = ℓ² + ℓ(ℓ−1)p = 9 + 3 = 12.
+  TopLKendallOptions opts;
+  opts.normalized = false;
+  EXPECT_DOUBLE_EQ(KendallTauTopL({1, 2, 3}, {1, 3, 4}, opts).ValueOrDie(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(KendallTauTopL({1, 2, 3}, {1, 3, 4}).ValueOrDie(),
+                   2.0 / 12.0);
+}
+
+TEST(KendallTauTopLTest, PenaltyParameterMatters) {
+  // Lists sharing no order info within their exclusive tails.
+  TopLKendallOptions p0;
+  p0.p = 0.0;
+  p0.normalized = false;
+  TopLKendallOptions p1;
+  p1.p = 1.0;
+  p1.normalized = false;
+  const RankedList a = {1, 2, 3};
+  const RankedList b = {4, 5, 6};
+  // Case-4 pairs: {1,2},{1,3},{2,3},{4,5},{4,6},{5,6} = 6 pairs; case-3: 9.
+  EXPECT_DOUBLE_EQ(KendallTauTopL(a, b, p0).ValueOrDie(), 9.0);
+  EXPECT_DOUBLE_EQ(KendallTauTopL(a, b, p1).ValueOrDie(), 15.0);
+}
+
+TEST(KendallTauTopLTest, SymmetricInArguments) {
+  EXPECT_DOUBLE_EQ(KendallTauTopL({1, 2, 3}, {3, 5, 1}).ValueOrDie(),
+                   KendallTauTopL({3, 5, 1}, {1, 2, 3}).ValueOrDie());
+}
+
+TEST(KendallTauTopLTest, ValueInUnitInterval) {
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    RankedList a, b;
+    for (Item i = 0; i < 10; ++i) {
+      a.push_back(static_cast<Item>(rng.UniformInt(1000) + 1000 * i));
+      b.push_back(static_cast<Item>(rng.UniformInt(1000) + 1000 * i + 500));
+    }
+    const double d = KendallTauTopL(a, b).ValueOrDie();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(KendallTauTopLTest, RejectsBadInput) {
+  EXPECT_FALSE(KendallTauTopL({}, {}).ok());
+  EXPECT_FALSE(KendallTauTopL({1, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(KendallTauTopL({1, 1}, {1, 2}).ok());
+  TopLKendallOptions bad;
+  bad.p = 1.5;
+  EXPECT_FALSE(KendallTauTopL({1, 2}, {3, 4}, bad).ok());
+}
+
+// -------------------------------------------------------- preference matrix ---
+
+TEST(PreferenceMatrixTest, CountsPairwiseVotes) {
+  auto pm = PreferenceMatrix::Build({{1, 2, 3}, {2, 1, 3}, {1, 3, 2}}, {});
+  ASSERT_TRUE(pm.ok());
+  const auto& m = pm.ValueOrDie();
+  EXPECT_DOUBLE_EQ(m.Preference(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.Preference(2, 1), 1.0);
+  EXPECT_TRUE(m.MajorityPrefers(1, 2));
+  EXPECT_FALSE(m.MajorityPrefers(2, 1));
+  EXPECT_DOUBLE_EQ(m.Preference(1, 3), 3.0);
+}
+
+TEST(PreferenceMatrixTest, PresentBeatsAbsent) {
+  auto pm = PreferenceMatrix::Build({{1, 2}, {3, 4}}, {});
+  ASSERT_TRUE(pm.ok());
+  // 1 present only in list 1, 3 present only in list 2: one vote each way.
+  EXPECT_DOUBLE_EQ(pm.ValueOrDie().Preference(1, 3), 1.0);
+  EXPECT_DOUBLE_EQ(pm.ValueOrDie().Preference(3, 1), 1.0);
+}
+
+TEST(PreferenceMatrixTest, WeightsScaleVotes) {
+  auto pm = PreferenceMatrix::Build({{1, 2}, {2, 1}}, {3.0, 1.0});
+  ASSERT_TRUE(pm.ok());
+  EXPECT_DOUBLE_EQ(pm.ValueOrDie().Preference(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(pm.ValueOrDie().Preference(2, 1), 1.0);
+  EXPECT_TRUE(pm.ValueOrDie().MajorityPrefers(1, 2));
+}
+
+TEST(PreferenceMatrixTest, RejectsBadInput) {
+  EXPECT_FALSE(PreferenceMatrix::Build({}, {}).ok());
+  EXPECT_FALSE(PreferenceMatrix::Build({{1, 2}}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(PreferenceMatrix::Build({{1, 1}}, {}).ok());
+  EXPECT_FALSE(PreferenceMatrix::Build({{1, 2}}, {-1.0}).ok());
+}
+
+// ---------------------------------------------------------------- Borda ---
+
+TEST(BordaTest, UnweightedKnownExample) {
+  // Lists over {a=1,b=2,c=3}: ℓ = 3; scores: rank r gets ℓ − r.
+  auto scores = WeightedBordaScores({{1, 2, 3}, {2, 1, 3}}, {});
+  ASSERT_TRUE(scores.ok());
+  // Union order: 1, 2, 3.
+  // 1: (3−0) + (3−1) = 5;  2: (3−1)+(3−0) = 5;  3: 1+1 = 2.
+  EXPECT_DOUBLE_EQ(scores.ValueOrDie()[0], 5.0);
+  EXPECT_DOUBLE_EQ(scores.ValueOrDie()[1], 5.0);
+  EXPECT_DOUBLE_EQ(scores.ValueOrDie()[2], 2.0);
+}
+
+TEST(BordaTest, WeightsShiftTheWinner) {
+  const std::vector<RankedList> lists = {{1, 2}, {2, 1}};
+  auto unweighted = WeightedBordaScores(lists, {});
+  ASSERT_TRUE(unweighted.ok());
+  EXPECT_DOUBLE_EQ(unweighted.ValueOrDie()[0], unweighted.ValueOrDie()[1]);
+  auto weighted = WeightedBordaScores(lists, {5.0, 1.0});
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_GT(weighted.ValueOrDie()[0], weighted.ValueOrDie()[1]);  // item 1 wins
+}
+
+TEST(BordaTest, AbsentItemContributesNothing) {
+  auto scores = WeightedBordaScores({{1, 2}, {3, 4}}, {});
+  ASSERT_TRUE(scores.ok());
+  // Every item appears in exactly one list at symmetric positions.
+  EXPECT_DOUBLE_EQ(scores.ValueOrDie()[0], scores.ValueOrDie()[2]);  // 1 vs 3
+  EXPECT_DOUBLE_EQ(scores.ValueOrDie()[1], scores.ValueOrDie()[3]);  // 2 vs 4
+}
+
+// --------------------------------------------------------------- Copeland ---
+
+TEST(CopelandTest, CondorcetWinnerGetsTopScore) {
+  // Item 1 beats every other item in a majority of lists.
+  auto scores =
+      WeightedCopelandScores({{1, 2, 3}, {1, 3, 2}, {2, 1, 3}}, {});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ(scores.ValueOrDie()[0], 2.0);  // item 1 beats 2 and 3
+  EXPECT_GT(scores.ValueOrDie()[0], scores.ValueOrDie()[1]);
+  EXPECT_GT(scores.ValueOrDie()[0], scores.ValueOrDie()[2]);
+}
+
+TEST(CopelandTest, WeightedMajorityFlips) {
+  const std::vector<RankedList> lists = {{1, 2}, {2, 1}, {2, 1}};
+  auto unweighted = WeightedCopelandScores(lists, {});
+  ASSERT_TRUE(unweighted.ok());
+  EXPECT_GT(unweighted.ValueOrDie()[1], unweighted.ValueOrDie()[0]);
+  // Give the first list overwhelming weight: item 1 now wins.
+  auto weighted = WeightedCopelandScores(lists, {10.0, 1.0, 1.0});
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_GT(weighted.ValueOrDie()[0], weighted.ValueOrDie()[1]);
+}
+
+// ------------------------------------------------------ local kemenization ---
+
+TEST(LocalKemenizationTest, FixesObviousInversion) {
+  const std::vector<RankedList> lists = {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}};
+  RankedList tau = {3, 2, 1};
+  ASSERT_TRUE(LocalKemenization(lists, {}, &tau).ok());
+  EXPECT_EQ(tau, (RankedList{1, 2, 3}));
+}
+
+TEST(LocalKemenizationTest, NeverWorsensKemenyObjective) {
+  Rng rng(11);
+  for (int t = 0; t < 40; ++t) {
+    std::vector<RankedList> lists;
+    for (int j = 0; j < 4; ++j) {
+      RankedList l(8);
+      std::iota(l.begin(), l.end(), 0u);
+      rng.Shuffle(&l);
+      l.resize(5);
+      lists.push_back(l);
+    }
+    RankedList tau = UnionOfLists(lists);
+    rng.Shuffle(&tau);
+    const double before = KemenyObjective(tau, lists, {}).ValueOrDie();
+    RankedList improved = tau;
+    ASSERT_TRUE(LocalKemenization(lists, {}, &improved).ok());
+    const double after = KemenyObjective(improved, lists, {}).ValueOrDie();
+    EXPECT_LE(after, before + 1e-9) << "trial " << t;
+  }
+}
+
+TEST(LocalKemenizationTest, ResultIsLocallyOptimal) {
+  Rng rng(13);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<RankedList> lists;
+    for (int j = 0; j < 3; ++j) {
+      RankedList l(6);
+      std::iota(l.begin(), l.end(), 0u);
+      rng.Shuffle(&l);
+      lists.push_back(l);
+    }
+    RankedList tau(6);
+    std::iota(tau.begin(), tau.end(), 0u);
+    rng.Shuffle(&tau);
+    ASSERT_TRUE(LocalKemenization(lists, {}, &tau).ok());
+    // No adjacent pair should be majority-inverted.
+    auto pm = PreferenceMatrix::Build(lists, {}).ValueOrDie();
+    for (size_t i = 0; i + 1 < tau.size(); ++i) {
+      EXPECT_FALSE(pm.MajorityPrefers(tau[i + 1], tau[i]))
+          << "trial " << t << " position " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------------- aggregation ---
+
+TEST(AggregateRankingsTest, ReturnsTopK) {
+  const std::vector<RankedList> lists = {{1, 2, 3, 4}, {2, 1, 3, 5}};
+  AggregationOptions opts;
+  auto r = AggregateRankings(lists, {}, 3, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().size(), 3u);
+}
+
+TEST(AggregateRankingsTest, KLargerThanUnionReturnsUnion) {
+  const std::vector<RankedList> lists = {{1, 2}, {2, 3}};
+  auto r = AggregateRankings(lists, {}, 100, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().size(), 3u);  // union is {1,2,3}
+}
+
+TEST(AggregateRankingsTest, PerfectConsensusIsRecovered) {
+  const RankedList consensus = {7, 3, 9, 1, 5};
+  const std::vector<RankedList> lists(4, consensus);
+  for (auto method : {AggregationMethod::kBorda, AggregationMethod::kCopeland}) {
+    AggregationOptions opts;
+    opts.method = method;
+    auto r = AggregateRankings(lists, {}, 5, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.ValueOrDie(), consensus);
+  }
+}
+
+TEST(AggregateRankingsTest, WeightsPullTowardClosestList) {
+  const std::vector<RankedList> lists = {{1, 2, 3}, {4, 5, 6}, {4, 6, 5}};
+  AggregationOptions opts;
+  opts.method = AggregationMethod::kCopeland;
+  // Dominant weight on the first list: its items must lead the output.
+  auto r = AggregateRankings(lists, {100.0, 1.0, 1.0}, 3, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), (RankedList{1, 2, 3}));
+}
+
+TEST(AggregateRankingsTest, UnweightedOptionIgnoresWeights) {
+  const std::vector<RankedList> lists = {{1, 2}, {2, 1}, {2, 1}};
+  AggregationOptions opts;
+  opts.use_weights = false;
+  auto r = AggregateRankings(lists, {100.0, 1.0, 1.0}, 2, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie()[0], 2u);  // majority wins despite the weights
+}
+
+TEST(AggregateRankingsTest, DeterministicOnTies) {
+  const std::vector<RankedList> lists = {{1, 2}, {2, 1}};
+  auto a = AggregateRankings(lists, {}, 2, {});
+  auto b = AggregateRankings(lists, {}, 2, {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.ValueOrDie(), b.ValueOrDie());
+}
+
+TEST(AggregateRankingsTest, AggregationApproximatesKemeny) {
+  // The aggregated list should score no worse on the Kemeny objective than
+  // the best single input list (a weak but meaningful quality bar).
+  Rng rng(17);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<RankedList> lists;
+    for (int j = 0; j < 5; ++j) {
+      RankedList l(10);
+      std::iota(l.begin(), l.end(), 0u);
+      // Mild perturbations of a common base order.
+      for (int s = 0; s < 3; ++s) {
+        const size_t i = rng.UniformInt(9);
+        std::swap(l[i], l[i + 1]);
+      }
+      lists.push_back(l);
+    }
+    AggregationOptions opts;
+    opts.method = AggregationMethod::kCopeland;
+    auto agg = AggregateRankings(lists, {}, 10, opts);
+    ASSERT_TRUE(agg.ok());
+    const double agg_cost =
+        KemenyObjective(agg.ValueOrDie(), lists, {}).ValueOrDie();
+    double best_single = 1e9;
+    for (const auto& l : lists) {
+      best_single =
+          std::min(best_single, KemenyObjective(l, lists, {}).ValueOrDie());
+    }
+    EXPECT_LE(agg_cost, best_single + 1e-9) << "trial " << t;
+  }
+}
+
+TEST(AggregateRankingsTest, RejectsBadInput) {
+  EXPECT_FALSE(AggregateRankings({}, {}, 3, {}).ok());
+  EXPECT_FALSE(AggregateRankings({{1, 2}}, {}, 0, {}).ok());
+  EXPECT_FALSE(AggregateRankings({{1, 1}}, {}, 2, {}).ok());
+  EXPECT_FALSE(AggregateRankings({{1, 2}}, {1.0, 2.0}, 2, {}).ok());
+}
+
+TEST(KemenyObjectiveTest, ZeroForIdenticalInput) {
+  const RankedList l = {4, 2, 9};
+  EXPECT_DOUBLE_EQ(KemenyObjective(l, {l, l}, {}).ValueOrDie(), 0.0);
+}
+
+// ------------------------------------------------------------ exact Kemeny ---
+
+TEST(ExactKemenyTest, ConsensusHasZeroCost) {
+  const RankedList l = {3, 1, 4, 2};
+  auto r = ExactKemenyAggregate({l, l, l}, {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.ValueOrDie(), l);
+  EXPECT_DOUBLE_EQ(PairwiseKemenyCost(l, {l, l, l}, {}).ValueOrDie(), 0.0);
+}
+
+TEST(ExactKemenyTest, MatchesBruteForceOnSmallInstances) {
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<RankedList> lists;
+    for (int j = 0; j < 5; ++j) {
+      RankedList l(5);
+      std::iota(l.begin(), l.end(), 10u);
+      rng.Shuffle(&l);
+      lists.push_back(l);
+    }
+    auto dp = ExactKemenyAggregate(lists, {});
+    ASSERT_TRUE(dp.ok());
+    const double dp_cost =
+        PairwiseKemenyCost(dp.ValueOrDie(), lists, {}).ValueOrDie();
+    // Brute force over all 5! permutations.
+    RankedList perm = {10, 11, 12, 13, 14};
+    double best = 1e18;
+    std::sort(perm.begin(), perm.end());
+    do {
+      best = std::min(best, PairwiseKemenyCost(perm, lists, {}).ValueOrDie());
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(dp_cost, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ExactKemenyTest, NeverWorseThanHeuristicAggregators) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<RankedList> lists;
+    for (int j = 0; j < 4; ++j) {
+      RankedList l(9);
+      std::iota(l.begin(), l.end(), 0u);
+      rng.Shuffle(&l);
+      lists.push_back(l);
+    }
+    auto exact = ExactKemenyAggregate(lists, {});
+    ASSERT_TRUE(exact.ok());
+    const double optimum =
+        PairwiseKemenyCost(exact.ValueOrDie(), lists, {}).ValueOrDie();
+    for (auto method : {AggregationMethod::kBorda, AggregationMethod::kCopeland,
+                        AggregationMethod::kMarkovChainMc4}) {
+      AggregationOptions opts;
+      opts.method = method;
+      auto heur = AggregateRankings(lists, {}, 9, opts);
+      ASSERT_TRUE(heur.ok());
+      const double cost =
+          PairwiseKemenyCost(heur.ValueOrDie(), lists, {}).ValueOrDie();
+      EXPECT_GE(cost + 1e-9, optimum) << static_cast<int>(method);
+      // Sanity against the cited approximation bounds: nothing remotely
+      // near-optimal should blow past 5x on mild random instances.
+      if (optimum > 0.0) {
+        EXPECT_LE(cost, 5.0 * optimum + 1e-9) << static_cast<int>(method);
+      }
+    }
+  }
+}
+
+TEST(ExactKemenyTest, WeightedInstanceFollowsDominantList) {
+  const std::vector<RankedList> lists = {{1, 2, 3}, {3, 2, 1}, {3, 2, 1}};
+  auto unweighted = ExactKemenyAggregate(lists, {});
+  ASSERT_TRUE(unweighted.ok());
+  EXPECT_EQ(unweighted.ValueOrDie(), (RankedList{3, 2, 1}));
+  auto weighted = ExactKemenyAggregate(lists, {10.0, 1.0, 1.0});
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_EQ(weighted.ValueOrDie(), (RankedList{1, 2, 3}));
+}
+
+TEST(ExactKemenyTest, RejectsOversizedUnions) {
+  RankedList big(25);
+  std::iota(big.begin(), big.end(), 0u);
+  EXPECT_FALSE(ExactKemenyAggregate({big}, {}).ok());
+  RankedList ok_list(10);
+  std::iota(ok_list.begin(), ok_list.end(), 0u);
+  EXPECT_FALSE(ExactKemenyAggregate({ok_list}, {}, /*max_union_size=*/5).ok());
+}
+
+TEST(PairwiseKemenyCostTest, Validation) {
+  EXPECT_FALSE(PairwiseKemenyCost({1, 2}, {{1, 2, 3}}, {}).ok());  // subset
+  EXPECT_FALSE(PairwiseKemenyCost({1, 2, 9}, {{1, 2, 3}}, {}).ok());
+}
+
+// ---------------------------------------------------------------- footrule ---
+
+TEST(FootruleTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(
+      FootruleDistance({1, 2, 3}, {1, 2, 3}).ValueOrDie(), 0.0);
+  // Reversal of 3 items: |0−2| + |1−1| + |2−0| = 4; max = ⌊9/2⌋ = 4.
+  EXPECT_DOUBLE_EQ(
+      FootruleDistance({1, 2, 3}, {3, 2, 1}).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(FootruleDistance({1, 2, 3}, {3, 2, 1},
+                                    /*normalized=*/false)
+                       .ValueOrDie(),
+                   4.0);
+}
+
+TEST(FootruleTest, DiaconisGrahamInequality) {
+  // For permutations: Kendall ≤ Footrule ≤ 2 · Kendall (unnormalized).
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    RankedList a(12), b(12);
+    std::iota(a.begin(), a.end(), 0u);
+    b = a;
+    rng.Shuffle(&a);
+    rng.Shuffle(&b);
+    const double kendall =
+        KendallTauFull(a, b, /*normalized=*/false).ValueOrDie();
+    const double footrule =
+        FootruleDistance(a, b, /*normalized=*/false).ValueOrDie();
+    EXPECT_LE(kendall, footrule + 1e-9);
+    EXPECT_LE(footrule, 2.0 * kendall + 1e-9);
+  }
+}
+
+TEST(FootruleTest, Validation) {
+  EXPECT_FALSE(FootruleDistance({1, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(FootruleDistance({1, 2}, {1, 3}).ok());
+  EXPECT_FALSE(FootruleDistance({1, 1}, {1, 2}).ok());
+}
+
+}  // namespace
+}  // namespace rank
+}  // namespace inflex

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simplex/divergence.h"
+#include "simplex/ilr.h"
+#include "simplex/sampling.h"
+#include "simplex/topic_distribution.h"
+#include "util/random.h"
+
+namespace inflex {
+namespace simplex {
+namespace {
+
+// ------------------------------------------------------ TopicDistribution ---
+
+TEST(TopicDistributionTest, CreateValid) {
+  auto td = TopicDistribution::Create({0.2, 0.3, 0.5});
+  ASSERT_TRUE(td.ok());
+  EXPECT_EQ(td.ValueOrDie().num_topics(), 3u);
+  EXPECT_DOUBLE_EQ(td.ValueOrDie()[2], 0.5);
+}
+
+TEST(TopicDistributionTest, CreateRejectsBadInput) {
+  EXPECT_FALSE(TopicDistribution::Create({}).ok());
+  EXPECT_FALSE(TopicDistribution::Create({0.5, 0.6}).ok());   // sums to 1.1
+  EXPECT_FALSE(TopicDistribution::Create({-0.1, 1.1}).ok());  // negative
+  EXPECT_FALSE(TopicDistribution::Create({0.5, NAN}).ok());
+}
+
+TEST(TopicDistributionTest, CreateRenormalizesWithinTolerance) {
+  auto td = TopicDistribution::Create({0.2500001, 0.7499999});
+  ASSERT_TRUE(td.ok());
+  double sum = 0.0;
+  for (double p : td.ValueOrDie().probs()) sum += p;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(TopicDistributionTest, FromUnnormalized) {
+  auto td = TopicDistribution::FromUnnormalized({1.0, 3.0});
+  ASSERT_TRUE(td.ok());
+  EXPECT_NEAR(td.ValueOrDie()[0], 0.25, 1e-12);
+  EXPECT_NEAR(td.ValueOrDie()[1], 0.75, 1e-12);
+  EXPECT_FALSE(TopicDistribution::FromUnnormalized({0.0, 0.0}).ok());
+  EXPECT_FALSE(TopicDistribution::FromUnnormalized({-1.0, 2.0}).ok());
+}
+
+TEST(TopicDistributionTest, UniformAndDelta) {
+  const auto u = TopicDistribution::Uniform(4);
+  for (size_t z = 0; z < 4; ++z) EXPECT_DOUBLE_EQ(u[z], 0.25);
+  const auto d = TopicDistribution::Delta(4, 2);
+  EXPECT_DOUBLE_EQ(d[2], 1.0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+}
+
+TEST(TopicDistributionTest, SmoothedTowardUniform) {
+  const auto d = TopicDistribution::Delta(2, 0);
+  const auto s = d.SmoothedTowardUniform(0.1);
+  EXPECT_NEAR(s[0], 0.95, 1e-12);
+  EXPECT_NEAR(s[1], 0.05, 1e-12);
+  const auto full = d.SmoothedTowardUniform(1.0);
+  EXPECT_NEAR(full[0], 0.5, 1e-12);
+}
+
+TEST(TopicDistributionTest, ToStringRendersProbabilities) {
+  auto td = TopicDistribution::Create({0.25, 0.75}).ValueOrDie();
+  EXPECT_EQ(td.ToString(), "(0.250, 0.750)");
+}
+
+// -------------------------------------------------------------- divergence ---
+
+TEST(KlDivergenceTest, ZeroIffIdentical) {
+  const TopicVector p = {0.1, 0.4, 0.5};
+  EXPECT_DOUBLE_EQ(KlDivergence(p, p), 0.0);
+  const TopicVector q = {0.2, 0.3, 0.5};
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+  EXPECT_GT(KlDivergence(q, p), 0.0);
+}
+
+TEST(KlDivergenceTest, KnownValue) {
+  // KL((0.5,0.5) || (0.25,0.75)) = 0.5 ln 2 + 0.5 ln(2/3).
+  const double expected = 0.5 * std::log(2.0) + 0.5 * std::log(2.0 / 3.0);
+  EXPECT_NEAR(KlDivergence({0.5, 0.5}, {0.25, 0.75}), expected, 1e-12);
+}
+
+TEST(KlDivergenceTest, IsAsymmetric) {
+  const TopicVector p = {0.9, 0.1};
+  const TopicVector q = {0.5, 0.5};
+  EXPECT_NE(KlDivergence(p, q), KlDivergence(q, p));
+}
+
+TEST(KlDivergenceTest, HandlesZerosViaSmoothing) {
+  const TopicVector p = {1.0, 0.0};
+  const TopicVector q = {0.0, 1.0};
+  const double d = KlDivergence(p, q);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_NEAR(d, KlMaxBound(), 1e-9);
+  // Zero entries in p contribute nothing.
+  EXPECT_DOUBLE_EQ(KlDivergence({0.0, 1.0}, {0.5, 0.5}), std::log(2.0));
+}
+
+TEST(KlDivergenceTest, SymmetrizedIsSymmetric) {
+  const TopicVector p = {0.7, 0.2, 0.1};
+  const TopicVector q = {0.1, 0.2, 0.7};
+  EXPECT_DOUBLE_EQ(SymmetrizedKl(p, q), SymmetrizedKl(q, p));
+  EXPECT_GT(SymmetrizedKl(p, q), 0.0);
+}
+
+TEST(KlDivergenceTest, TriangleInequalityFails) {
+  // KL is not a metric: exhibit a concrete triangle-inequality violation,
+  // the reason the paper needs a Bregman (not metric) index structure.
+  const TopicVector a = {0.98, 0.02};
+  const TopicVector b = {0.5, 0.5};
+  const TopicVector c = {0.02, 0.98};
+  EXPECT_GT(KlDivergence(a, c), KlDivergence(a, b) + KlDivergence(b, c));
+}
+
+TEST(EntropyTest, BoundsAndKnownValues) {
+  EXPECT_DOUBLE_EQ(Entropy({1.0, 0.0}), 0.0);
+  EXPECT_NEAR(Entropy({0.5, 0.5}), std::log(2.0), 1e-12);
+  // Uniform maximizes entropy.
+  EXPECT_GT(Entropy({0.25, 0.25, 0.25, 0.25}), Entropy({0.7, 0.1, 0.1, 0.1}));
+}
+
+TEST(SquaredEuclideanTest, Basic) {
+  EXPECT_DOUBLE_EQ(SquaredEuclidean({1, 2}, {4, 6}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclidean({1, 2}, {1, 2}), 0.0);
+}
+
+// --------------------------------------------------------------------- ILR ---
+
+TEST(IlrTest, DimensionIsZMinusOne) {
+  const auto y = IlrTransform({0.2, 0.3, 0.5});
+  EXPECT_EQ(y.size(), 2u);
+}
+
+TEST(IlrTest, UniformMapsToOrigin) {
+  const auto y = IlrTransform({0.25, 0.25, 0.25, 0.25});
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(IlrTest, RoundTripThroughInverse) {
+  Rng rng(4);
+  for (int t = 0; t < 50; ++t) {
+    const TopicVector x = SampleUniformSimplex(5, &rng);
+    const TopicVector back = IlrInverse(IlrTransform(x));
+    ASSERT_EQ(back.size(), x.size());
+    for (size_t d = 0; d < x.size(); ++d) {
+      EXPECT_NEAR(back[d], x[d], 1e-9) << "trial " << t << " dim " << d;
+    }
+  }
+}
+
+TEST(IlrTest, IsometryOnAitchisonMetric) {
+  // The ILR transform is an isometry between the Aitchison geometry and
+  // Euclidean space: Euclidean distance of images equals the Aitchison
+  // distance of the originals (computed via CLR differences).
+  Rng rng(6);
+  for (int t = 0; t < 20; ++t) {
+    const TopicVector a = SampleUniformSimplex(4, &rng);
+    const TopicVector b = SampleUniformSimplex(4, &rng);
+    // Aitchison distance via centered log-ratio.
+    auto clr = [](const TopicVector& x) {
+      std::vector<double> out(x.size());
+      double mean_log = 0.0;
+      for (double v : x) mean_log += std::log(v);
+      mean_log /= static_cast<double>(x.size());
+      for (size_t i = 0; i < x.size(); ++i) out[i] = std::log(x[i]) - mean_log;
+      return out;
+    };
+    const auto ca = clr(a), cb = clr(b);
+    double aitchison_sq = 0.0;
+    for (size_t i = 0; i < ca.size(); ++i) {
+      aitchison_sq += (ca[i] - cb[i]) * (ca[i] - cb[i]);
+    }
+    const auto ya = IlrTransform(a), yb = IlrTransform(b);
+    double euclid_sq = 0.0;
+    for (size_t i = 0; i < ya.size(); ++i) {
+      euclid_sq += (ya[i] - yb[i]) * (ya[i] - yb[i]);
+    }
+    EXPECT_NEAR(euclid_sq, aitchison_sq, 1e-9 * (1.0 + aitchison_sq));
+  }
+}
+
+// ---------------------------------------------------------------- sampling ---
+
+TEST(SamplingTest, UniformSimplexPointsAreValid) {
+  Rng rng(8);
+  for (int t = 0; t < 100; ++t) {
+    const TopicVector x = SampleUniformSimplex(6, &rng);
+    double sum = 0.0;
+    for (double v : x) {
+      EXPECT_GT(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SamplingTest, UniformSimplexMeanIsCenter) {
+  Rng rng(9);
+  const size_t z = 4;
+  std::vector<double> mean(z, 0.0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const TopicVector x = SampleUniformSimplex(z, &rng);
+    for (size_t d = 0; d < z; ++d) mean[d] += x[d];
+  }
+  for (size_t d = 0; d < z; ++d) {
+    EXPECT_NEAR(mean[d] / n, 0.25, 0.005) << d;
+  }
+}
+
+TEST(SamplingTest, SampleManyCount) {
+  Rng rng(10);
+  const auto pts = SampleUniformSimplexMany(3, 17, &rng);
+  EXPECT_EQ(pts.size(), 17u);
+}
+
+}  // namespace
+}  // namespace simplex
+}  // namespace inflex

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/anderson_darling.h"
+#include "stats/descriptive.h"
+#include "stats/dirichlet.h"
+#include "stats/special_functions.h"
+#include "util/random.h"
+
+namespace inflex {
+namespace stats {
+namespace {
+
+// ------------------------------------------------------ special functions ---
+
+TEST(SpecialFunctionsTest, DigammaKnownValues) {
+  // ψ(1) = −γ (Euler–Mascheroni).
+  EXPECT_NEAR(Digamma(1.0), -0.5772156649015329, 1e-10);
+  // ψ(0.5) = −γ − 2 ln 2.
+  EXPECT_NEAR(Digamma(0.5), -1.9635100260214235, 1e-10);
+  // ψ(2) = 1 − γ.
+  EXPECT_NEAR(Digamma(2.0), 0.42278433509846713, 1e-10);
+  // Large-argument behaviour: ψ(x) ≈ ln x − 1/(2x).
+  EXPECT_NEAR(Digamma(100.0), std::log(100.0) - 0.005, 1e-4);
+}
+
+TEST(SpecialFunctionsTest, DigammaRecurrence) {
+  // ψ(x+1) = ψ(x) + 1/x.
+  for (double x : {0.1, 0.7, 1.3, 3.9, 12.0}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-10) << x;
+  }
+}
+
+TEST(SpecialFunctionsTest, TrigammaKnownValues) {
+  // ψ'(1) = π²/6.
+  EXPECT_NEAR(Trigamma(1.0), M_PI * M_PI / 6.0, 1e-10);
+  // ψ'(0.5) = π²/2.
+  EXPECT_NEAR(Trigamma(0.5), M_PI * M_PI / 2.0, 1e-10);
+}
+
+TEST(SpecialFunctionsTest, TrigammaRecurrence) {
+  for (double x : {0.2, 0.9, 2.6, 7.7}) {
+    EXPECT_NEAR(Trigamma(x + 1.0), Trigamma(x) - 1.0 / (x * x), 1e-10) << x;
+  }
+}
+
+TEST(SpecialFunctionsTest, TrigammaIsDigammaDerivative) {
+  const double h = 1e-6;
+  for (double x : {0.5, 1.5, 4.0, 10.0}) {
+    const double numeric = (Digamma(x + h) - Digamma(x - h)) / (2 * h);
+    EXPECT_NEAR(Trigamma(x), numeric, 1e-5) << x;
+  }
+}
+
+TEST(SpecialFunctionsTest, InverseDigammaRoundTrip) {
+  for (double x : {0.01, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0}) {
+    EXPECT_NEAR(InverseDigamma(Digamma(x)), x, 1e-8 * (1 + x)) << x;
+  }
+}
+
+TEST(SpecialFunctionsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145707, 1e-9);
+}
+
+TEST(SpecialFunctionsTest, IncompleteBetaKnownValues) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(2, 2) = x²(3 − 2x).
+  EXPECT_NEAR(RegularizedIncompleteBeta(2, 2, 0.4), 0.16 * (3 - 0.8), 1e-10);
+  // Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+  EXPECT_NEAR(RegularizedIncompleteBeta(3.5, 1.2, 0.7),
+              1.0 - RegularizedIncompleteBeta(1.2, 3.5, 0.3), 1e-10);
+  EXPECT_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(SpecialFunctionsTest, StudentTPValues) {
+  // t=0 → p=1 two-sided.
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 10), 1.0, 1e-12);
+  // Known quantile: t_{0.975, 10} = 2.228139.
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.228139, 10), 0.05, 1e-4);
+  // Symmetric in t.
+  EXPECT_NEAR(StudentTTwoSidedPValue(1.7, 7),
+              StudentTTwoSidedPValue(-1.7, 7), 1e-12);
+  // Upper tail of a positive t is half the two-sided p.
+  EXPECT_NEAR(StudentTUpperPValue(2.0, 12),
+              StudentTTwoSidedPValue(2.0, 12) / 2, 1e-12);
+}
+
+// --------------------------------------------------------------- Dirichlet ---
+
+TEST(DirichletTest, MeanIsNormalizedAlpha) {
+  Dirichlet d({2.0, 6.0, 2.0});
+  const auto mean = d.Mean();
+  EXPECT_NEAR(mean[0], 0.2, 1e-12);
+  EXPECT_NEAR(mean[1], 0.6, 1e-12);
+  EXPECT_NEAR(mean[2], 0.2, 1e-12);
+  EXPECT_NEAR(d.alpha_sum(), 10.0, 1e-12);
+}
+
+TEST(DirichletTest, SamplesLieOnSimplex) {
+  Dirichlet d({0.5, 1.5, 3.0, 0.2});
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto s = d.Sample(&rng);
+    double sum = 0.0;
+    for (double v : s) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DirichletTest, SampleMeanConvergesToExpectation) {
+  Dirichlet d({1.0, 4.0, 5.0});
+  Rng rng(5);
+  std::vector<double> mean(3, 0.0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = d.Sample(&rng);
+    for (int k = 0; k < 3; ++k) mean[k] += s[k];
+  }
+  for (int k = 0; k < 3; ++k) mean[k] /= n;
+  EXPECT_NEAR(mean[0], 0.1, 0.005);
+  EXPECT_NEAR(mean[1], 0.4, 0.005);
+  EXPECT_NEAR(mean[2], 0.5, 0.005);
+}
+
+TEST(DirichletTest, LogPdfIntegratesViaMonteCarloSanity) {
+  // LogPdf at the mode of a symmetric Dirichlet should exceed the density at
+  // a corner-ish point for alpha > 1.
+  Dirichlet d({3.0, 3.0, 3.0});
+  EXPECT_GT(d.LogPdf({1.0 / 3, 1.0 / 3, 1.0 / 3}),
+            d.LogPdf({0.9, 0.05, 0.05}));
+}
+
+class DirichletMleRecoveryTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(DirichletMleRecoveryTest, RecoversGroundTruthAlpha) {
+  const std::vector<double> truth = GetParam();
+  Dirichlet d(truth);
+  Rng rng(42);
+  const auto data = d.SampleMany(20000, &rng);
+  auto fit = FitDirichletMle(data);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  const auto& alpha = fit.ValueOrDie().alpha();
+  ASSERT_EQ(alpha.size(), truth.size());
+  for (size_t k = 0; k < truth.size(); ++k) {
+    EXPECT_NEAR(alpha[k], truth[k], 0.12 * truth[k] + 0.03)
+        << "component " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaSweep, DirichletMleRecoveryTest,
+    ::testing::Values(std::vector<double>{1.0, 1.0, 1.0},
+                      std::vector<double>{2.0, 5.0, 3.0},
+                      std::vector<double>{0.5, 0.5, 0.5, 0.5},
+                      std::vector<double>{10.0, 1.0, 0.5, 2.0},
+                      std::vector<double>{0.3, 4.0}));
+
+TEST(DirichletMleTest, FixedPointAgreesWithNewton) {
+  Dirichlet d({1.5, 3.0, 0.8});
+  Rng rng(11);
+  const auto data = d.SampleMany(5000, &rng);
+  DirichletMleOptions newton;
+  DirichletMleOptions fixed_point;
+  fixed_point.use_newton = false;
+  auto a = FitDirichletMle(data, newton);
+  auto b = FitDirichletMle(data, fixed_point);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(a.ValueOrDie().alpha()[k], b.ValueOrDie().alpha()[k], 1e-4);
+  }
+}
+
+TEST(DirichletMleTest, RejectsBadInput) {
+  EXPECT_FALSE(FitDirichletMle({}).ok());
+  EXPECT_FALSE(FitDirichletMle({{1.0}}).ok());  // dimension 1
+  EXPECT_FALSE(FitDirichletMle({{0.5, 0.5}, {0.3, 0.3, 0.4}}).ok());
+  EXPECT_FALSE(
+      FitDirichletMle({{0.5, 0.5}, {-0.1, 1.1}}).ok());  // negative entry
+}
+
+// -------------------------------------------------------- Anderson-Darling ---
+
+TEST(AndersonDarlingTest, AcceptsGaussianSample) {
+  Rng rng(123);
+  std::vector<double> sample(500);
+  for (auto& v : sample) v = 3.0 + 2.0 * rng.Normal();
+  auto r = AndersonDarlingNormality(sample);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.ValueOrDie().IsNormal(0.05))
+      << "A*^2=" << r.ValueOrDie().a_squared_star;
+}
+
+TEST(AndersonDarlingTest, RejectsUniformSample) {
+  Rng rng(123);
+  std::vector<double> sample(500);
+  for (auto& v : sample) v = rng.Uniform();
+  auto r = AndersonDarlingNormality(sample);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.ValueOrDie().IsNormal(0.05));
+}
+
+TEST(AndersonDarlingTest, RejectsBimodalSample) {
+  Rng rng(7);
+  std::vector<double> sample(400);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    sample[i] = (i % 2 == 0 ? -4.0 : 4.0) + 0.5 * rng.Normal();
+  }
+  auto r = AndersonDarlingNormality(sample);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.ValueOrDie().IsNormal(0.05));
+}
+
+TEST(AndersonDarlingTest, RejectsExponentialSample) {
+  Rng rng(9);
+  std::vector<double> sample(300);
+  for (auto& v : sample) v = -std::log1p(-rng.Uniform());
+  auto r = AndersonDarlingNormality(sample);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.ValueOrDie().IsNormal(0.05));
+}
+
+TEST(AndersonDarlingTest, FalsePositiveRateRoughlyCalibrated) {
+  // At α = 0.05 the test should reject a true normal sample ~5% of the time.
+  Rng rng(31);
+  int rejections = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> sample(60);
+    for (auto& v : sample) v = rng.Normal();
+    auto r = AndersonDarlingNormality(sample);
+    ASSERT_TRUE(r.ok());
+    if (!r.ValueOrDie().IsNormal(0.05)) ++rejections;
+  }
+  const double rate = static_cast<double>(rejections) / trials;
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.12);
+}
+
+TEST(AndersonDarlingTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(AndersonDarlingNormality({1.0, 2.0}).ok());  // too small
+  EXPECT_FALSE(
+      AndersonDarlingNormality({2.0, 2.0, 2.0, 2.0, 2.0, 2.0}).ok());
+}
+
+// ------------------------------------------------------------- descriptive ---
+
+TEST(DescriptiveTest, MeanVarianceStdDev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(Mean(v), 5.0, 1e-12);
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y).ValueOrDie(), 1.0, 1e-12);
+  const std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z).ValueOrDie(), -1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, PearsonRejectsDegenerate) {
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1}, {2}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).ok());
+}
+
+TEST(DescriptiveTest, RmseAndNrmse) {
+  const std::vector<double> truth = {10, 10, 10, 10};
+  const std::vector<double> pred = {11, 9, 11, 9};
+  EXPECT_NEAR(Rmse(pred, truth).ValueOrDie(), 1.0, 1e-12);
+  EXPECT_NEAR(Nrmse(pred, truth).ValueOrDie(), 0.1, 1e-12);
+  EXPECT_FALSE(Nrmse(pred, {0, 0, 0, 0}).ok());
+  EXPECT_FALSE(Rmse({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(DescriptiveTest, PairedTTestDetectsShift) {
+  Rng rng(77);
+  std::vector<double> a(50), b(50);
+  for (int i = 0; i < 50; ++i) {
+    a[i] = rng.Normal();
+    b[i] = a[i] + 1.0 + 0.1 * rng.Normal();  // systematic +1 shift
+  }
+  auto r = PairedTTest(b, a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.ValueOrDie().t_statistic, 5.0);
+  EXPECT_LT(r.ValueOrDie().p_value_two_sided, 1e-6);
+  EXPECT_NEAR(r.ValueOrDie().mean_difference, 1.0, 0.1);
+}
+
+TEST(DescriptiveTest, PairedTTestNoShift) {
+  Rng rng(78);
+  std::vector<double> a(100), b(100);
+  for (int i = 0; i < 100; ++i) {
+    a[i] = rng.Normal();
+    b[i] = a[i] + 0.5 * rng.Normal();  // no systematic shift
+  }
+  auto r = PairedTTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.ValueOrDie().p_value_two_sided, 0.01);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace inflex
