@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ad_earlystop"
+  "../bench/bench_ablation_ad_earlystop.pdb"
+  "CMakeFiles/bench_ablation_ad_earlystop.dir/bench_ablation_ad_earlystop.cc.o"
+  "CMakeFiles/bench_ablation_ad_earlystop.dir/bench_ablation_ad_earlystop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ad_earlystop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_kemeny"
+  "../bench/bench_ablation_kemeny.pdb"
+  "CMakeFiles/bench_ablation_kemeny.dir/bench_ablation_kemeny.cc.o"
+  "CMakeFiles/bench_ablation_kemeny.dir/bench_ablation_kemeny.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kemeny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_weights"
+  "../bench/bench_ablation_weights.pdb"
+  "CMakeFiles/bench_ablation_weights.dir/bench_ablation_weights.cc.o"
+  "CMakeFiles/bench_ablation_weights.dir/bench_ablation_weights.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_kl_vs_kendall"
+  "../bench/bench_fig4_kl_vs_kendall.pdb"
+  "CMakeFiles/bench_fig4_kl_vs_kendall.dir/bench_fig4_kl_vs_kendall.cc.o"
+  "CMakeFiles/bench_fig4_kl_vs_kendall.dir/bench_fig4_kl_vs_kendall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_kl_vs_kendall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_kl_vs_kendall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_runtime"
+  "../bench/bench_fig7_runtime.pdb"
+  "CMakeFiles/bench_fig7_runtime.dir/bench_fig7_runtime.cc.o"
+  "CMakeFiles/bench_fig7_runtime.dir/bench_fig7_runtime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

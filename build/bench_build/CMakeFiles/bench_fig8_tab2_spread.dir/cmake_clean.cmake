@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_tab2_spread"
+  "../bench/bench_fig8_tab2_spread.pdb"
+  "CMakeFiles/bench_fig8_tab2_spread.dir/bench_fig8_tab2_spread.cc.o"
+  "CMakeFiles/bench_fig8_tab2_spread.dir/bench_fig8_tab2_spread.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tab2_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab1_rank_aggregation"
+  "../bench/bench_tab1_rank_aggregation.pdb"
+  "CMakeFiles/bench_tab1_rank_aggregation.dir/bench_tab1_rank_aggregation.cc.o"
+  "CMakeFiles/bench_tab1_rank_aggregation.dir/bench_tab1_rank_aggregation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_rank_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab3_spread_by_k"
+  "../bench/bench_tab3_spread_by_k.pdb"
+  "CMakeFiles/bench_tab3_spread_by_k.dir/bench_tab3_spread_by_k.cc.o"
+  "CMakeFiles/bench_tab3_spread_by_k.dir/bench_tab3_spread_by_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_spread_by_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/index_persistence"
+  "../examples/index_persistence.pdb"
+  "CMakeFiles/index_persistence.dir/index_persistence.cpp.o"
+  "CMakeFiles/index_persistence.dir/index_persistence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

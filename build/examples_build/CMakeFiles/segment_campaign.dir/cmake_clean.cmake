@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/segment_campaign"
+  "../examples/segment_campaign.pdb"
+  "CMakeFiles/segment_campaign.dir/segment_campaign.cpp.o"
+  "CMakeFiles/segment_campaign.dir/segment_campaign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/viral_ad_platform"
+  "../examples/viral_ad_platform.pdb"
+  "CMakeFiles/viral_ad_platform.dir/viral_ad_platform.cpp.o"
+  "CMakeFiles/viral_ad_platform.dir/viral_ad_platform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viral_ad_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for viral_ad_platform.
+# This may be replaced when dependencies are built.

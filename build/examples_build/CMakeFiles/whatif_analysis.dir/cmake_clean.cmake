@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/whatif_analysis"
+  "../examples/whatif_analysis.pdb"
+  "CMakeFiles/whatif_analysis.dir/whatif_analysis.cpp.o"
+  "CMakeFiles/whatif_analysis.dir/whatif_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

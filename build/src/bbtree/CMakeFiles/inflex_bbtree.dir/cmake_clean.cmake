@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_bbtree.dir/bbtree.cc.o"
+  "CMakeFiles/inflex_bbtree.dir/bbtree.cc.o.d"
+  "CMakeFiles/inflex_bbtree.dir/bregman_ball.cc.o"
+  "CMakeFiles/inflex_bbtree.dir/bregman_ball.cc.o.d"
+  "CMakeFiles/inflex_bbtree.dir/search.cc.o"
+  "CMakeFiles/inflex_bbtree.dir/search.cc.o.d"
+  "libinflex_bbtree.a"
+  "libinflex_bbtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_bbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

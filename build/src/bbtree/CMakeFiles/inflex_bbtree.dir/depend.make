@@ -1,0 +1,2 @@
+# Empty dependencies file for inflex_bbtree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_cluster.dir/gmeans.cc.o"
+  "CMakeFiles/inflex_cluster.dir/gmeans.cc.o.d"
+  "CMakeFiles/inflex_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/inflex_cluster.dir/kmeans.cc.o.d"
+  "libinflex_cluster.a"
+  "libinflex_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

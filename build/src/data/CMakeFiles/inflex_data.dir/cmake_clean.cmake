@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_data.dir/dataset_io.cc.o"
+  "CMakeFiles/inflex_data.dir/dataset_io.cc.o.d"
+  "CMakeFiles/inflex_data.dir/synthetic.cc.o"
+  "CMakeFiles/inflex_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/inflex_data.dir/workload.cc.o"
+  "CMakeFiles/inflex_data.dir/workload.cc.o.d"
+  "libinflex_data.a"
+  "libinflex_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/inflex_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/inflex_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/topic_graph.cc" "src/graph/CMakeFiles/inflex_graph.dir/topic_graph.cc.o" "gcc" "src/graph/CMakeFiles/inflex_graph.dir/topic_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/inflex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simplex/CMakeFiles/inflex_simplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/inflex_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

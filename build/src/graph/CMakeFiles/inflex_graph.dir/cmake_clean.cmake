@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_graph.dir/graph_io.cc.o"
+  "CMakeFiles/inflex_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/inflex_graph.dir/topic_graph.cc.o"
+  "CMakeFiles/inflex_graph.dir/topic_graph.cc.o.d"
+  "libinflex_graph.a"
+  "libinflex_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinflex_graph.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/im/cascade.cc" "src/im/CMakeFiles/inflex_im.dir/cascade.cc.o" "gcc" "src/im/CMakeFiles/inflex_im.dir/cascade.cc.o.d"
+  "/root/repo/src/im/celf.cc" "src/im/CMakeFiles/inflex_im.dir/celf.cc.o" "gcc" "src/im/CMakeFiles/inflex_im.dir/celf.cc.o.d"
+  "/root/repo/src/im/celfpp.cc" "src/im/CMakeFiles/inflex_im.dir/celfpp.cc.o" "gcc" "src/im/CMakeFiles/inflex_im.dir/celfpp.cc.o.d"
+  "/root/repo/src/im/greedy.cc" "src/im/CMakeFiles/inflex_im.dir/greedy.cc.o" "gcc" "src/im/CMakeFiles/inflex_im.dir/greedy.cc.o.d"
+  "/root/repo/src/im/heuristics.cc" "src/im/CMakeFiles/inflex_im.dir/heuristics.cc.o" "gcc" "src/im/CMakeFiles/inflex_im.dir/heuristics.cc.o.d"
+  "/root/repo/src/im/lt_model.cc" "src/im/CMakeFiles/inflex_im.dir/lt_model.cc.o" "gcc" "src/im/CMakeFiles/inflex_im.dir/lt_model.cc.o.d"
+  "/root/repo/src/im/ris.cc" "src/im/CMakeFiles/inflex_im.dir/ris.cc.o" "gcc" "src/im/CMakeFiles/inflex_im.dir/ris.cc.o.d"
+  "/root/repo/src/im/snapshot_oracle.cc" "src/im/CMakeFiles/inflex_im.dir/snapshot_oracle.cc.o" "gcc" "src/im/CMakeFiles/inflex_im.dir/snapshot_oracle.cc.o.d"
+  "/root/repo/src/im/spread_estimator.cc" "src/im/CMakeFiles/inflex_im.dir/spread_estimator.cc.o" "gcc" "src/im/CMakeFiles/inflex_im.dir/spread_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/inflex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/inflex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/simplex/CMakeFiles/inflex_simplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/inflex_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_im.dir/cascade.cc.o"
+  "CMakeFiles/inflex_im.dir/cascade.cc.o.d"
+  "CMakeFiles/inflex_im.dir/celf.cc.o"
+  "CMakeFiles/inflex_im.dir/celf.cc.o.d"
+  "CMakeFiles/inflex_im.dir/celfpp.cc.o"
+  "CMakeFiles/inflex_im.dir/celfpp.cc.o.d"
+  "CMakeFiles/inflex_im.dir/greedy.cc.o"
+  "CMakeFiles/inflex_im.dir/greedy.cc.o.d"
+  "CMakeFiles/inflex_im.dir/heuristics.cc.o"
+  "CMakeFiles/inflex_im.dir/heuristics.cc.o.d"
+  "CMakeFiles/inflex_im.dir/lt_model.cc.o"
+  "CMakeFiles/inflex_im.dir/lt_model.cc.o.d"
+  "CMakeFiles/inflex_im.dir/ris.cc.o"
+  "CMakeFiles/inflex_im.dir/ris.cc.o.d"
+  "CMakeFiles/inflex_im.dir/snapshot_oracle.cc.o"
+  "CMakeFiles/inflex_im.dir/snapshot_oracle.cc.o.d"
+  "CMakeFiles/inflex_im.dir/spread_estimator.cc.o"
+  "CMakeFiles/inflex_im.dir/spread_estimator.cc.o.d"
+  "libinflex_im.a"
+  "libinflex_im.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_im.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_core.dir/baselines.cc.o"
+  "CMakeFiles/inflex_core.dir/baselines.cc.o.d"
+  "CMakeFiles/inflex_core.dir/index_points.cc.o"
+  "CMakeFiles/inflex_core.dir/index_points.cc.o.d"
+  "CMakeFiles/inflex_core.dir/inflex_index.cc.o"
+  "CMakeFiles/inflex_core.dir/inflex_index.cc.o.d"
+  "CMakeFiles/inflex_core.dir/query_cache.cc.o"
+  "CMakeFiles/inflex_core.dir/query_cache.cc.o.d"
+  "CMakeFiles/inflex_core.dir/weighting.cc.o"
+  "CMakeFiles/inflex_core.dir/weighting.cc.o.d"
+  "libinflex_core.a"
+  "libinflex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rank/aggregators.cc" "src/rank/CMakeFiles/inflex_rank.dir/aggregators.cc.o" "gcc" "src/rank/CMakeFiles/inflex_rank.dir/aggregators.cc.o.d"
+  "/root/repo/src/rank/kemeny.cc" "src/rank/CMakeFiles/inflex_rank.dir/kemeny.cc.o" "gcc" "src/rank/CMakeFiles/inflex_rank.dir/kemeny.cc.o.d"
+  "/root/repo/src/rank/kendall_tau.cc" "src/rank/CMakeFiles/inflex_rank.dir/kendall_tau.cc.o" "gcc" "src/rank/CMakeFiles/inflex_rank.dir/kendall_tau.cc.o.d"
+  "/root/repo/src/rank/local_kemenization.cc" "src/rank/CMakeFiles/inflex_rank.dir/local_kemenization.cc.o" "gcc" "src/rank/CMakeFiles/inflex_rank.dir/local_kemenization.cc.o.d"
+  "/root/repo/src/rank/markov_chain.cc" "src/rank/CMakeFiles/inflex_rank.dir/markov_chain.cc.o" "gcc" "src/rank/CMakeFiles/inflex_rank.dir/markov_chain.cc.o.d"
+  "/root/repo/src/rank/preference_matrix.cc" "src/rank/CMakeFiles/inflex_rank.dir/preference_matrix.cc.o" "gcc" "src/rank/CMakeFiles/inflex_rank.dir/preference_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/inflex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

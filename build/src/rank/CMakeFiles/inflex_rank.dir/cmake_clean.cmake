@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_rank.dir/aggregators.cc.o"
+  "CMakeFiles/inflex_rank.dir/aggregators.cc.o.d"
+  "CMakeFiles/inflex_rank.dir/kemeny.cc.o"
+  "CMakeFiles/inflex_rank.dir/kemeny.cc.o.d"
+  "CMakeFiles/inflex_rank.dir/kendall_tau.cc.o"
+  "CMakeFiles/inflex_rank.dir/kendall_tau.cc.o.d"
+  "CMakeFiles/inflex_rank.dir/local_kemenization.cc.o"
+  "CMakeFiles/inflex_rank.dir/local_kemenization.cc.o.d"
+  "CMakeFiles/inflex_rank.dir/markov_chain.cc.o"
+  "CMakeFiles/inflex_rank.dir/markov_chain.cc.o.d"
+  "CMakeFiles/inflex_rank.dir/preference_matrix.cc.o"
+  "CMakeFiles/inflex_rank.dir/preference_matrix.cc.o.d"
+  "libinflex_rank.a"
+  "libinflex_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simplex/divergence.cc" "src/simplex/CMakeFiles/inflex_simplex.dir/divergence.cc.o" "gcc" "src/simplex/CMakeFiles/inflex_simplex.dir/divergence.cc.o.d"
+  "/root/repo/src/simplex/ilr.cc" "src/simplex/CMakeFiles/inflex_simplex.dir/ilr.cc.o" "gcc" "src/simplex/CMakeFiles/inflex_simplex.dir/ilr.cc.o.d"
+  "/root/repo/src/simplex/sampling.cc" "src/simplex/CMakeFiles/inflex_simplex.dir/sampling.cc.o" "gcc" "src/simplex/CMakeFiles/inflex_simplex.dir/sampling.cc.o.d"
+  "/root/repo/src/simplex/topic_distribution.cc" "src/simplex/CMakeFiles/inflex_simplex.dir/topic_distribution.cc.o" "gcc" "src/simplex/CMakeFiles/inflex_simplex.dir/topic_distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/inflex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/inflex_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_simplex.dir/divergence.cc.o"
+  "CMakeFiles/inflex_simplex.dir/divergence.cc.o.d"
+  "CMakeFiles/inflex_simplex.dir/ilr.cc.o"
+  "CMakeFiles/inflex_simplex.dir/ilr.cc.o.d"
+  "CMakeFiles/inflex_simplex.dir/sampling.cc.o"
+  "CMakeFiles/inflex_simplex.dir/sampling.cc.o.d"
+  "CMakeFiles/inflex_simplex.dir/topic_distribution.cc.o"
+  "CMakeFiles/inflex_simplex.dir/topic_distribution.cc.o.d"
+  "libinflex_simplex.a"
+  "libinflex_simplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_stats.dir/anderson_darling.cc.o"
+  "CMakeFiles/inflex_stats.dir/anderson_darling.cc.o.d"
+  "CMakeFiles/inflex_stats.dir/descriptive.cc.o"
+  "CMakeFiles/inflex_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/inflex_stats.dir/dirichlet.cc.o"
+  "CMakeFiles/inflex_stats.dir/dirichlet.cc.o.d"
+  "CMakeFiles/inflex_stats.dir/special_functions.cc.o"
+  "CMakeFiles/inflex_stats.dir/special_functions.cc.o.d"
+  "libinflex_stats.a"
+  "libinflex_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tic/propagation_log.cc" "src/tic/CMakeFiles/inflex_tic.dir/propagation_log.cc.o" "gcc" "src/tic/CMakeFiles/inflex_tic.dir/propagation_log.cc.o.d"
+  "/root/repo/src/tic/tic_learner.cc" "src/tic/CMakeFiles/inflex_tic.dir/tic_learner.cc.o" "gcc" "src/tic/CMakeFiles/inflex_tic.dir/tic_learner.cc.o.d"
+  "/root/repo/src/tic/tic_model.cc" "src/tic/CMakeFiles/inflex_tic.dir/tic_model.cc.o" "gcc" "src/tic/CMakeFiles/inflex_tic.dir/tic_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/inflex_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/inflex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/im/CMakeFiles/inflex_im.dir/DependInfo.cmake"
+  "/root/repo/build/src/simplex/CMakeFiles/inflex_simplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/inflex_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/inflex_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

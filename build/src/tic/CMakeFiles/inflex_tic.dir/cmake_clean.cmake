@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_tic.dir/propagation_log.cc.o"
+  "CMakeFiles/inflex_tic.dir/propagation_log.cc.o.d"
+  "CMakeFiles/inflex_tic.dir/tic_learner.cc.o"
+  "CMakeFiles/inflex_tic.dir/tic_learner.cc.o.d"
+  "CMakeFiles/inflex_tic.dir/tic_model.cc.o"
+  "CMakeFiles/inflex_tic.dir/tic_model.cc.o.d"
+  "libinflex_tic.a"
+  "libinflex_tic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_tic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for inflex_tic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_util.dir/args.cc.o"
+  "CMakeFiles/inflex_util.dir/args.cc.o.d"
+  "CMakeFiles/inflex_util.dir/logging.cc.o"
+  "CMakeFiles/inflex_util.dir/logging.cc.o.d"
+  "CMakeFiles/inflex_util.dir/serialize.cc.o"
+  "CMakeFiles/inflex_util.dir/serialize.cc.o.d"
+  "CMakeFiles/inflex_util.dir/status.cc.o"
+  "CMakeFiles/inflex_util.dir/status.cc.o.d"
+  "CMakeFiles/inflex_util.dir/thread_pool.cc.o"
+  "CMakeFiles/inflex_util.dir/thread_pool.cc.o.d"
+  "libinflex_util.a"
+  "libinflex_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

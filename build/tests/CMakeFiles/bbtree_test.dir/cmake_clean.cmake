@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbtree_test.dir/bbtree_test.cc.o"
+  "CMakeFiles/bbtree_test.dir/bbtree_test.cc.o.d"
+  "bbtree_test"
+  "bbtree_test.pdb"
+  "bbtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/im_test.dir/im_test.cc.o"
+  "CMakeFiles/im_test.dir/im_test.cc.o.d"
+  "im_test"
+  "im_test.pdb"
+  "im_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/im_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflex_core_test.dir/inflex_core_test.cc.o"
+  "CMakeFiles/inflex_core_test.dir/inflex_core_test.cc.o.d"
+  "inflex_core_test"
+  "inflex_core_test.pdb"
+  "inflex_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tic_test.dir/tic_test.cc.o"
+  "CMakeFiles/tic_test.dir/tic_test.cc.o.d"
+  "tic_test"
+  "tic_test.pdb"
+  "tic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/inflex_cli"
+  "../tools/inflex_cli.pdb"
+  "CMakeFiles/inflex_cli.dir/inflex_cli.cc.o"
+  "CMakeFiles/inflex_cli.dir/inflex_cli.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
