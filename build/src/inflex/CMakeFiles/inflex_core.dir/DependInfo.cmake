@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/inflex/index_points.cc" "src/inflex/CMakeFiles/inflex_core.dir/index_points.cc.o" "gcc" "src/inflex/CMakeFiles/inflex_core.dir/index_points.cc.o.d"
   "/root/repo/src/inflex/inflex_index.cc" "src/inflex/CMakeFiles/inflex_core.dir/inflex_index.cc.o" "gcc" "src/inflex/CMakeFiles/inflex_core.dir/inflex_index.cc.o.d"
   "/root/repo/src/inflex/query_cache.cc" "src/inflex/CMakeFiles/inflex_core.dir/query_cache.cc.o" "gcc" "src/inflex/CMakeFiles/inflex_core.dir/query_cache.cc.o.d"
+  "/root/repo/src/inflex/query_engine.cc" "src/inflex/CMakeFiles/inflex_core.dir/query_engine.cc.o" "gcc" "src/inflex/CMakeFiles/inflex_core.dir/query_engine.cc.o.d"
   "/root/repo/src/inflex/weighting.cc" "src/inflex/CMakeFiles/inflex_core.dir/weighting.cc.o" "gcc" "src/inflex/CMakeFiles/inflex_core.dir/weighting.cc.o.d"
   )
 

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/inflex_core.dir/inflex_index.cc.o.d"
   "CMakeFiles/inflex_core.dir/query_cache.cc.o"
   "CMakeFiles/inflex_core.dir/query_cache.cc.o.d"
+  "CMakeFiles/inflex_core.dir/query_engine.cc.o"
+  "CMakeFiles/inflex_core.dir/query_engine.cc.o.d"
   "CMakeFiles/inflex_core.dir/weighting.cc.o"
   "CMakeFiles/inflex_core.dir/weighting.cc.o.d"
   "libinflex_core.a"

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/serving_test.cc" "tests/CMakeFiles/serving_test.dir/serving_test.cc.o" "gcc" "tests/CMakeFiles/serving_test.dir/serving_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inflex/CMakeFiles/inflex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/inflex_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/bbtree/CMakeFiles/inflex_bbtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/rank/CMakeFiles/inflex_rank.dir/DependInfo.cmake"
+  "/root/repo/build/src/tic/CMakeFiles/inflex_tic.dir/DependInfo.cmake"
+  "/root/repo/build/src/im/CMakeFiles/inflex_im.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/inflex_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/inflex_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/simplex/CMakeFiles/inflex_simplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/inflex_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/inflex_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -17,6 +17,7 @@ include("/root/repo/build/tests/bbtree_test[1]_include.cmake")
 include("/root/repo/build/tests/inflex_core_test[1]_include.cmake")
 include("/root/repo/build/tests/data_test[1]_include.cmake")
 include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/serving_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/inflex_serve"
+  "../tools/inflex_serve.pdb"
+  "CMakeFiles/inflex_serve.dir/inflex_serve.cc.o"
+  "CMakeFiles/inflex_serve.dir/inflex_serve.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflex_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

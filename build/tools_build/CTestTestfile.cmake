@@ -4,5 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
-add_test(cli_end_to_end "sh" "/root/repo/tests/cli_e2e.sh" "/root/repo/build/tools/inflex_cli")
-set_tests_properties(cli_end_to_end PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_end_to_end "sh" "/root/repo/tests/cli_e2e.sh" "/root/repo/build/tools/inflex_cli" "/root/repo/build/tools/inflex_serve")
+set_tests_properties(cli_end_to_end PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -74,6 +74,10 @@ struct QueryResult {
   double similarity_search_ms = 0.0;
   double aggregation_ms = 0.0;
   double total_ms = 0.0;
+  /// True when this answer was served from a QueryCache without running the
+  /// index. Per-stage timings and search_stats are zero in that case — the
+  /// stages did not run; only total_ms reflects the (cached) serving cost.
+  bool from_cache = false;
 };
 
 /// \brief Options for building an INFLEX index.

@@ -1,22 +1,86 @@
 #include "inflex/query_cache.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
+#include <type_traits>
 
 #include "util/timer.h"
 
 namespace inflex {
 namespace core {
 
+namespace {
+
+/// FNV-1a over raw bytes; used to fold the query options into the cache key.
+uint64_t FnvMix(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+uint64_t FnvMixPod(uint64_t h, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return FnvMix(h, &value, sizeof(value));
+}
+
+/// Fingerprints every answer-shaping field of QueryOptions. Two option sets
+/// with different fingerprints never share a cache entry — in particular a
+/// segment-restricted query can never be answered from an unrestricted one
+/// (or from a different segment), and knn_k / max_leaves / search and
+/// weighting parameters all key separately.
+uint64_t OptionsFingerprint(const QueryOptions& o) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  h = FnvMixPod(h, static_cast<uint32_t>(o.strategy));
+  h = FnvMixPod(h, static_cast<uint64_t>(o.knn_k));
+  h = FnvMixPod(h, static_cast<uint64_t>(o.max_leaves));
+  h = FnvMixPod(h, o.search.epsilon_exact);
+  h = FnvMixPod(h, o.search.ad_alpha);
+  h = FnvMixPod(h, static_cast<uint64_t>(o.search.max_leaves));
+  h = FnvMixPod(h, static_cast<uint8_t>(o.search.use_pruning));
+  h = FnvMixPod(h, static_cast<uint8_t>(o.search.use_ad_early_stop));
+  h = FnvMixPod(h, static_cast<uint32_t>(o.weighting.function));
+  h = FnvMixPod(h, o.weighting.exponential_scale);
+  h = FnvMixPod(h, o.weighting.kl_max);
+  h = FnvMixPod(h, static_cast<uint8_t>(o.weighting.enable_selection));
+  h = FnvMixPod(h, static_cast<uint32_t>(o.weighting.selection_rule));
+  h = FnvMixPod(h, o.weighting.selection_threshold);
+  h = FnvMixPod(h, o.weighting.selection_ratio);
+  h = FnvMixPod(h, static_cast<uint64_t>(o.weighting.min_neighbors));
+  h = FnvMixPod(h, static_cast<uint32_t>(o.aggregation.method));
+  h = FnvMixPod(h, static_cast<uint8_t>(o.aggregation.use_weights));
+  h = FnvMixPod(h, static_cast<uint8_t>(o.aggregation.local_kemenization));
+  h = FnvMixPod(h, static_cast<uint64_t>(o.segment_mask.size()));
+  if (!o.segment_mask.empty()) {
+    h = FnvMix(h, o.segment_mask.data(), o.segment_mask.size());
+  }
+  return h;
+}
+
+}  // namespace
+
 QueryCache::QueryCache(const Options& options) : options_(options) {
   INFLEX_CHECK_GT(options_.capacity, 0u);
   INFLEX_CHECK_GE(options_.quantization, 0.0);
+  const size_t num_shards =
+      std::clamp<size_t>(options_.num_shards, 1, options_.capacity);
+  per_shard_capacity_ = (options_.capacity + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
 std::string QueryCache::MakeKey(const simplex::TopicDistribution& item,
-                                size_t k, QueryStrategy strategy) const {
+                                size_t k,
+                                const QueryOptions& query_options) const {
   std::string key;
-  key.reserve(item.num_topics() * sizeof(uint32_t) + 16);
+  key.reserve(item.num_topics() * sizeof(uint32_t) + 24);
   if (options_.quantization > 0.0) {
     for (double p : item.probs()) {
       const auto cell =
@@ -28,11 +92,15 @@ std::string QueryCache::MakeKey(const simplex::TopicDistribution& item,
       key.append(reinterpret_cast<const char*>(&p), sizeof(p));
     }
   }
-  const auto k32 = static_cast<uint32_t>(k);
-  const auto s32 = static_cast<uint32_t>(strategy);
-  key.append(reinterpret_cast<const char*>(&k32), sizeof(k32));
-  key.append(reinterpret_cast<const char*>(&s32), sizeof(s32));
+  const auto k64 = static_cast<uint64_t>(k);
+  const uint64_t fp = OptionsFingerprint(query_options);
+  key.append(reinterpret_cast<const char*>(&k64), sizeof(k64));
+  key.append(reinterpret_cast<const char*>(&fp), sizeof(fp));
   return key;
+}
+
+QueryCache::Shard& QueryCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
 Result<QueryResult> QueryCache::Query(const InflexIndex& index,
@@ -40,30 +108,66 @@ Result<QueryResult> QueryCache::Query(const InflexIndex& index,
                                       size_t k,
                                       const QueryOptions& query_options) {
   Timer timer;
-  const std::string key = MakeKey(item, k, query_options.strategy);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-    QueryResult result = it->second->result;
-    result.total_ms = timer.ElapsedMillis();
-    return result;
+  const std::string key = MakeKey(item, k, query_options);
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      QueryResult result = it->second->result;
+      // This answer skipped the search/aggregation stages entirely: report
+      // zero stage timings and stats rather than the original run's, and
+      // flag the hit. Only total_ms reflects this serving's cost.
+      result.similarity_search_ms = 0.0;
+      result.aggregation_ms = 0.0;
+      result.search_stats = bbtree::SearchStats{};
+      result.from_cache = true;
+      result.total_ms = timer.ElapsedMillis();
+      return result;
+    }
   }
-  ++misses_;
+  // Miss: run the index outside the shard lock so a slow query does not
+  // serialize the shard. Concurrent misses on one key may duplicate work;
+  // the answers are identical, so whichever insert lands last wins.
+  misses_.fetch_add(1, std::memory_order_relaxed);
   INFLEX_ASSIGN_OR_RETURN(QueryResult result,
                           index.Query(item, k, query_options));
-  lru_.push_front(Entry{key, result});
-  entries_[key] = lru_.begin();
-  if (entries_.size() > options_.capacity) {
-    entries_.erase(lru_.back().key);
-    lru_.pop_back();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      // Another thread computed the same cell while we ran: refresh it.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      it->second->result = result;
+    } else {
+      shard.lru.push_front(Entry{key, result});
+      shard.entries[key] = shard.lru.begin();
+      if (shard.entries.size() > per_shard_capacity_) {
+        shard.entries.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+      }
+    }
   }
   return result;
 }
 
 void QueryCache::Clear() {
-  lru_.clear();
-  entries_.clear();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->entries.clear();
+  }
+}
+
+size_t QueryCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
 }
 
 }  // namespace core

@@ -1,17 +1,22 @@
 #ifndef INFLEX_INFLEX_QUERY_CACHE_H_
 #define INFLEX_INFLEX_QUERY_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "inflex/inflex_index.h"
 
 namespace inflex {
 namespace core {
 
-/// \brief LRU cache of TIM answers keyed by the quantized topic mixture.
+/// \brief Thread-safe sharded LRU cache of TIM answers keyed by the quantized
+/// topic mixture plus a fingerprint of the query options.
 ///
 /// Ad platforms see near-duplicate item descriptions constantly (advertisers
 /// iterate on a campaign, re-submission after edits, A/B arms with the same
@@ -19,20 +24,33 @@ namespace core {
 /// cached ranked list without touching the index, cutting the common-case
 /// latency from ~1 ms to ~1 µs.
 ///
-/// The cache key includes k and the strategy but NOT the rest of
-/// QueryOptions — use one cache per option profile, and Clear() whenever the
-/// underlying index changes (AddIndexPoint/Compact). Not thread-safe; wrap
-/// externally for concurrent serving.
+/// The cache key covers k and every answer-shaping field of QueryOptions
+/// (strategy, knn_k, max_leaves, search/weighting/aggregation parameters and
+/// the segment mask), so one cache can serve heterogeneous traffic. Call
+/// Clear() whenever the underlying index changes (AddIndexPoint/Compact).
+///
+/// Concurrency: safe for concurrent Query/Clear/size from any number of
+/// threads. Entries are striped across `num_shards` independent LRU shards
+/// (shard = key hash), each behind its own mutex, so concurrent queries only
+/// contend when they land on the same shard; hit/miss counters are atomic.
+/// On a miss the index query runs outside any lock — two threads missing on
+/// the same key may both compute the answer (last writer wins), which is
+/// benign because answers are deterministic functions of the key.
 class QueryCache {
  public:
   struct Options {
-    /// Maximum number of cached answers (LRU eviction beyond this).
+    /// Maximum number of cached answers across all shards (per-shard LRU
+    /// eviction beyond capacity/num_shards).
     size_t capacity = 4096;
     /// Grid size per topic coordinate; two mixtures rounding to the same
     /// grid cell share an answer. Figure 4's KL↔Kendall correlation makes
     /// small cells safe: at 0.01 the within-cell divergence is ≪ the
     /// divergence to the nearest index point. 0 keys on exact bytes.
     double quantization = 0.01;
+    /// Mutex-striping width. Clamped to [1, capacity]; the default keeps
+    /// shard contention negligible for dozens of serving threads. Use 1 for
+    /// strict global LRU order (e.g. in eviction tests).
+    size_t num_shards = 16;
   };
 
   /// Default options (NSDMI defaults above).
@@ -41,7 +59,9 @@ class QueryCache {
 
   /// Cache-through query: returns the cached answer for the cell when
   /// present, otherwise runs index.Query(), caches and returns it.
-  /// `QueryResult::total_ms` reflects the actual (cached or computed) cost.
+  /// `QueryResult::total_ms` reflects the actual (cached or computed) cost;
+  /// on a hit, `from_cache` is set and the per-stage timings/search stats
+  /// are zeroed (those stages did not run for this answer).
   Result<QueryResult> Query(const InflexIndex& index,
                             const simplex::TopicDistribution& item, size_t k,
                             const QueryOptions& query_options = {});
@@ -49,24 +69,34 @@ class QueryCache {
   /// Drops every entry (call after mutating the index).
   void Clear();
 
-  size_t size() const { return entries_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  /// Total entries across shards (a point-in-time sum under concurrency).
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t num_shards() const { return shards_.size(); }
 
  private:
-  std::string MakeKey(const simplex::TopicDistribution& item, size_t k,
-                      QueryStrategy strategy) const;
-
-  Options options_;
-  // LRU list, most recent at the front; map points into the list.
   struct Entry {
     std::string key;
     QueryResult result;
   };
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  /// One mutex-striped LRU segment; keys are assigned by hash.
+  struct Shard {
+    std::mutex mu;
+    // LRU list, most recent at the front; map points into the list.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> entries;
+  };
+
+  std::string MakeKey(const simplex::TopicDistribution& item, size_t k,
+                      const QueryOptions& query_options) const;
+  Shard& ShardFor(const std::string& key);
+
+  Options options_;
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace core

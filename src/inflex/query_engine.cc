@@ -1,0 +1,112 @@
+#include "inflex/query_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "stats/descriptive.h"
+#include "util/timer.h"
+
+namespace inflex {
+namespace core {
+
+double ServingStats::hit_rate() const {
+  const uint64_t total = cache_hits + cache_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(cache_hits) /
+                          static_cast<double>(total);
+}
+
+std::string ServingStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%zu req in %.2f ms | %.0f QPS | hit rate %.1f%% | "
+                "p50 %.3f ms p95 %.3f ms p99 %.3f ms max %.3f ms | %zu failed",
+                num_requests, wall_ms, qps, 100.0 * hit_rate(), p50_ms, p95_ms,
+                p99_ms, max_ms, num_failed);
+  return buf;
+}
+
+QueryEngine::QueryEngine(const InflexIndex* index,
+                         const QueryEngineOptions& options)
+    : index_(index), options_(options), cache_(options.cache) {
+  INFLEX_CHECK(index_ != nullptr);
+}
+
+Result<QueryResult> QueryEngine::Query(const QueryRequest& request) {
+  if (options_.enable_cache) {
+    return cache_.Query(*index_, request.item, request.k, request.options);
+  }
+  return index_->Query(request.item, request.k, request.options);
+}
+
+std::vector<Result<QueryResult>> QueryEngine::QueryBatch(
+    std::span<const QueryRequest> requests, ServingStats* stats) {
+  const size_t n = requests.size();
+  std::vector<Result<QueryResult>> results(n, Status::Internal("not served"));
+  std::vector<double> latencies_ms(n, 0.0);
+  const uint64_t hits_before = cache_.hits();
+  const uint64_t misses_before = cache_.misses();
+
+  Timer wall;
+  ParallelFor(
+      0, n,
+      [&](size_t i) {
+        Timer t;
+        results[i] = Query(requests[i]);
+        latencies_ms[i] = t.ElapsedMillis();
+      },
+      options_.pool);
+
+  ServingStats batch;
+  batch.num_requests = n;
+  for (const auto& r : results) {
+    if (r.ok()) {
+      ++batch.num_ok;
+    } else {
+      ++batch.num_failed;
+    }
+  }
+  batch.cache_hits = cache_.hits() - hits_before;
+  batch.cache_misses = cache_.misses() - misses_before;
+  batch.wall_ms = wall.ElapsedMillis();
+  batch.qps = batch.wall_ms > 0.0
+                  ? static_cast<double>(n) / (batch.wall_ms / 1e3)
+                  : 0.0;
+  if (n > 0) {
+    batch.mean_ms = stats::Mean(latencies_ms);
+    batch.p50_ms = stats::Percentile(latencies_ms, 0.50);
+    batch.p95_ms = stats::Percentile(latencies_ms, 0.95);
+    batch.p99_ms = stats::Percentile(latencies_ms, 0.99);
+    batch.max_ms = *std::max_element(latencies_ms.begin(), latencies_ms.end());
+  }
+  if (stats != nullptr) *stats = batch;
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    cumulative_.num_requests += batch.num_requests;
+    cumulative_.num_ok += batch.num_ok;
+    cumulative_.num_failed += batch.num_failed;
+    cumulative_.cache_hits += batch.cache_hits;
+    cumulative_.cache_misses += batch.cache_misses;
+    cumulative_.wall_ms += batch.wall_ms;
+    cumulative_.qps = cumulative_.wall_ms > 0.0
+                          ? static_cast<double>(cumulative_.num_requests) /
+                                (cumulative_.wall_ms / 1e3)
+                          : 0.0;
+    // Percentiles are per-batch quantities; report the latest batch's.
+    cumulative_.mean_ms = batch.mean_ms;
+    cumulative_.p50_ms = batch.p50_ms;
+    cumulative_.p95_ms = batch.p95_ms;
+    cumulative_.p99_ms = batch.p99_ms;
+    cumulative_.max_ms = std::max(cumulative_.max_ms, batch.max_ms);
+  }
+  return results;
+}
+
+ServingStats QueryEngine::cumulative_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return cumulative_;
+}
+
+}  // namespace core
+}  // namespace inflex

@@ -1,0 +1,114 @@
+#ifndef INFLEX_INFLEX_QUERY_ENGINE_H_
+#define INFLEX_INFLEX_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "inflex/inflex_index.h"
+#include "inflex/query_cache.h"
+#include "util/thread_pool.h"
+
+namespace inflex {
+namespace core {
+
+/// \brief One TIM request as it arrives at the serving layer: the item's
+/// topic mixture, the answer size k, and the evaluation options.
+struct QueryRequest {
+  simplex::TopicDistribution item;
+  size_t k = 10;
+  QueryOptions options;
+};
+
+/// \brief Per-batch (or cumulative) serving statistics: what an operator
+/// watches on a dashboard — throughput, cache effectiveness, and the latency
+/// distribution tail.
+struct ServingStats {
+  size_t num_requests = 0;
+  size_t num_ok = 0;
+  size_t num_failed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Wall-clock of the whole batch (not the sum of per-request latencies).
+  double wall_ms = 0.0;
+  /// num_requests / wall seconds.
+  double qps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  /// Hits / (hits + misses); 0 when the batch had no cache traffic.
+  double hit_rate() const;
+  /// One-line dashboard rendering ("1000 req in 12.3 ms | 81300 QPS | ...").
+  std::string ToString() const;
+};
+
+/// \brief Options for a QueryEngine.
+struct QueryEngineOptions {
+  /// Answer cache configuration (sharded; see QueryCache).
+  QueryCache::Options cache;
+  /// When false every request runs the index directly (useful to measure
+  /// raw index throughput, or when answers must reflect a mutating index).
+  bool enable_cache = true;
+  /// Pool the batch API fans requests across; nullptr = the process-global
+  /// pool. The engine does not own the pool.
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief The concurrent TIM serving layer: owns the sharded QueryCache in
+/// front of an InflexIndex and fans request batches across a ThreadPool.
+///
+/// This is the paper's "online" half (§4) industrialized: the index answers
+/// one query in ~1 ms, so serving millions of users is a scheduling-and-
+/// caching problem, not an algorithmic one. All public methods are safe to
+/// call concurrently from any number of threads; the index must not be
+/// mutated (AddIndexPoint/Compact) while queries are in flight — mutate it
+/// between batches and call InvalidateCache().
+///
+/// Determinism: answers are pure functions of (item, k, options), so batched
+/// parallel serving returns bit-identical results to a serial loop — the
+/// serving_test stress suite asserts exactly that.
+class QueryEngine {
+ public:
+  /// The index must outlive the engine.
+  explicit QueryEngine(const InflexIndex* index,
+                       const QueryEngineOptions& options = {});
+
+  /// Serves one request through the cache (thread-safe).
+  Result<QueryResult> Query(const QueryRequest& request);
+
+  /// Serves a batch by fanning the requests across the pool; results are
+  /// positionally aligned with the requests. Per-batch stats (latency
+  /// percentiles, hit rate, QPS) are written to `stats` when non-null and
+  /// folded into cumulative_stats() either way.
+  std::vector<Result<QueryResult>> QueryBatch(
+      std::span<const QueryRequest> requests, ServingStats* stats = nullptr);
+
+  /// Drops every cached answer; call after mutating the index.
+  void InvalidateCache() { cache_.Clear(); }
+
+  /// Totals over every request served so far. The latency fields hold the
+  /// percentiles of the most recent batch (percentiles do not aggregate);
+  /// wall_ms/qps aggregate across batches.
+  ServingStats cumulative_stats() const;
+
+  const InflexIndex& index() const { return *index_; }
+  QueryCache& cache() { return cache_; }
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  const InflexIndex* index_;
+  QueryEngineOptions options_;
+  QueryCache cache_;
+
+  mutable std::mutex stats_mu_;
+  ServingStats cumulative_;  // guarded by stats_mu_
+};
+
+}  // namespace core
+}  // namespace inflex
+
+#endif  // INFLEX_INFLEX_QUERY_ENGINE_H_

@@ -1,5 +1,6 @@
 #include "stats/descriptive.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/special_functions.h"
@@ -24,6 +25,19 @@ double Variance(const std::vector<double>& v) {
 }
 
 double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Percentile(const std::vector<double>& v, double q) {
+  INFLEX_CHECK(!v.empty());
+  INFLEX_CHECK_GE(q, 0.0);
+  INFLEX_CHECK_LE(q, 1.0);
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
 
 Result<double> PearsonCorrelation(const std::vector<double>& x,
                                   const std::vector<double>& y) {

@@ -18,6 +18,12 @@ double Variance(const std::vector<double>& v);
 /// Sample standard deviation.
 double StdDev(const std::vector<double>& v);
 
+/// The q-quantile (q in [0, 1]) by linear interpolation between order
+/// statistics (the common "type 7" estimator). Requires a non-empty vector;
+/// the input need not be sorted (a copy is sorted internally). Used for the
+/// serving-latency percentiles (p50/p95/p99).
+double Percentile(const std::vector<double>& v, double q);
+
 /// Pearson correlation coefficient of two equal-length samples.
 /// Fails on mismatched lengths, n < 2, or a zero-variance side.
 Result<double> PearsonCorrelation(const std::vector<double>& x,

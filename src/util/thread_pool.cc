@@ -6,6 +6,14 @@
 
 namespace inflex {
 
+namespace {
+// The pool whose WorkerLoop the calling thread is running, if any. Lets
+// Submit/ParallelFor/Wait detect nested use from inside a task: a worker
+// blocking on its own pool's completion can deadlock the whole pool, so
+// nested work runs inline instead (see the header's re-entrancy contract).
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
@@ -25,7 +33,16 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::OnWorkerThread() const { return tls_worker_pool == this; }
+
 void ThreadPool::Submit(std::function<void()> task) {
+  if (OnWorkerThread()) {
+    // Nested submission from one of our own tasks: run it right here. All
+    // sibling workers may be blocked waiting for this very task's caller to
+    // finish, so parking it in the queue could wait forever.
+    task();
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     INFLEX_CHECK(!shutting_down_);
@@ -36,11 +53,13 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  INFLEX_CHECK(!OnWorkerThread());
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {
@@ -70,7 +89,10 @@ void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn
   const size_t n = end - begin;
   if (pool == nullptr) pool = &ThreadPool::Global();
   const size_t num_workers = pool->num_threads();
-  if (n <= 1 || num_workers <= 1) {
+  // Serial fallbacks: trivial ranges, single-worker pools, and nested calls
+  // from a task already running on this pool (the outer parallel stage owns
+  // the workers; fanning out again would enqueue work nobody can pick up).
+  if (n <= 1 || num_workers <= 1 || pool->OnWorkerThread()) {
     for (size_t i = begin; i < end; ++i) fn(i);
     return;
   }

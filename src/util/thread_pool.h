@@ -13,10 +13,19 @@
 namespace inflex {
 
 /// \brief Fixed-size worker pool used to parallelize embarrassingly parallel
-/// stages (Monte-Carlo spread estimation, per-index-point CELF++ runs).
+/// stages (Monte-Carlo spread estimation, per-index-point CELF++ runs, batched
+/// query serving).
 ///
 /// Tasks are plain std::function<void()>; Wait() blocks until every submitted
-/// task has finished. The pool is not re-entrant: tasks must not submit tasks.
+/// task has finished.
+///
+/// Re-entrancy contract: Submit() and ParallelFor() may be called from inside
+/// a task running on this pool. A nested submission executes inline on the
+/// calling worker (and a nested ParallelFor degrades to a serial loop) instead
+/// of enqueueing — enqueueing and blocking on a pool whose workers are all
+/// blocked on the same queue is a self-deadlock. Wait() must NOT be called
+/// from a worker of the same pool (a worker can never observe its own task as
+/// finished); this is CHECK-enforced.
 class ThreadPool {
  public:
   /// Creates a pool with `num_threads` workers (0 means hardware concurrency).
@@ -26,11 +35,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task for execution. Called from one of this pool's own
+  /// workers, the task runs inline (synchronously) instead — see the
+  /// re-entrancy contract above.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed. Must not be called
+  /// from one of this pool's workers.
   void Wait();
+
+  /// True when the calling thread is one of this pool's workers (i.e. we are
+  /// inside a task of this pool).
+  bool OnWorkerThread() const;
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -51,7 +67,9 @@ class ThreadPool {
 
 /// Runs `fn(i)` for every i in [begin, end) across the given pool (or the
 /// global pool when `pool` is nullptr), in contiguous chunks. Blocks until
-/// every iteration has finished. Falls back to a serial loop for tiny ranges.
+/// every iteration has finished. Falls back to a serial loop for tiny ranges
+/// and when invoked from a worker of the target pool (nested parallelism —
+/// the outer loop already owns the workers).
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& fn,
                  ThreadPool* pool = nullptr);

@@ -1,11 +1,13 @@
 #!/bin/sh
 # End-to-end exercise of inflex_cli: generate → learn → suggest-h →
 # build-index → query → add-item → evaluate → info, asserting exit codes and
-# key output markers. Registered as a CTest test; $1 is the path to the
-# inflex_cli binary.
+# key output markers, plus a concurrent-serving replay through inflex_serve.
+# Registered as a CTest test; $1 is the path to the inflex_cli binary and the
+# optional $2 the path to inflex_serve.
 set -eu
 
 CLI="$1"
+SERVE="${2:-}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 cd "$WORK"
@@ -38,6 +40,15 @@ echo "== query with explicit strategy"
 echo "== add-item"
 "$CLI" add-item --data data --index index.bin --mix 0.1,0.1,0.1,0.7 \
   --ell 8 | grep -q "index now has 17 points"
+
+if [ -n "$SERVE" ]; then
+  echo "== serve (batched concurrent replay, cache on)"
+  "$SERVE" --data data --index index.bin --queries 256 --unique 32 \
+    --batch 64 --threads 4 --k 5 | grep -q "QPS overall"
+  echo "== serve (cache off)"
+  "$SERVE" --data data --index index.bin --queries 64 --unique 32 \
+    --batch 32 --threads 2 --k 5 --no-cache | grep -q "hit rate 0.0%"
+fi
 
 echo "== evaluate"
 "$CLI" evaluate --data data --index index.bin --queries 4 --k 8 \

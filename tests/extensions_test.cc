@@ -638,6 +638,9 @@ TEST_F(SegmentQueryTest, QueryCacheHitsOnRepeatAndNearbyQueries) {
 TEST_F(SegmentQueryTest, QueryCacheEvictsLru) {
   core::QueryCache::Options copts;
   copts.capacity = 2;
+  // Strict global LRU order needs a single shard; with striping each shard
+  // evicts independently.
+  copts.num_shards = 1;
   core::QueryCache cache(copts);
   Rng rng(7);
   const auto a = simplex::TopicDistribution::Create(

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Tier-1 concurrency gate: builds the serving stress tests under
+# ThreadSanitizer (-DINFLEX_SANITIZE=thread) in a dedicated build directory
+# and runs them. Any data race in the sharded QueryCache, the QueryEngine
+# batch path, or the ThreadPool re-entrancy logic fails this script.
+#
+# Usage: tests/run_sanitized_stress.sh [source-dir] [build-dir]
+# (defaults: the repo root containing this script, <source>/build-tsan)
+set -eu
+
+SRC="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+BUILD="${2:-$SRC/build-tsan}"
+
+echo "== configure ($BUILD, INFLEX_SANITIZE=thread)"
+cmake -B "$BUILD" -S "$SRC" \
+  -DINFLEX_SANITIZE=thread \
+  -DINFLEX_BUILD_BENCHMARKS=OFF \
+  -DINFLEX_BUILD_EXAMPLES=OFF \
+  -DINFLEX_BUILD_TOOLS=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+
+echo "== build (serving_test util_test)"
+cmake --build "$BUILD" --target serving_test util_test -j "$(nproc)" > /dev/null
+
+echo "== run serving stress + thread-pool tests under TSan"
+# halt_on_error: any reported race is a hard failure, not a log line.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  "$BUILD/tests/serving_test"
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  "$BUILD/tests/util_test" --gtest_filter='ThreadPoolTest.*'
+
+echo "TSan stress: OK (zero reported races)"

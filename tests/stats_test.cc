@@ -261,6 +261,15 @@ TEST(DescriptiveTest, MeanVarianceStdDev) {
   EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
 }
 
+TEST(DescriptiveTest, PercentileInterpolatesOrderStatistics) {
+  const std::vector<double> v = {40.0, 10.0, 30.0, 20.0};  // unsorted on purpose
+  EXPECT_NEAR(Percentile(v, 0.0), 10.0, 1e-12);
+  EXPECT_NEAR(Percentile(v, 1.0), 40.0, 1e-12);
+  EXPECT_NEAR(Percentile(v, 0.5), 25.0, 1e-12);   // between 20 and 30
+  EXPECT_NEAR(Percentile(v, 0.25), 17.5, 1e-12);  // 10 + 0.75·(20−10)
+  EXPECT_NEAR(Percentile({3.5}, 0.99), 3.5, 1e-12);
+}
+
 TEST(DescriptiveTest, PearsonPerfectCorrelation) {
   const std::vector<double> x = {1, 2, 3, 4, 5};
   const std::vector<double> y = {2, 4, 6, 8, 10};

@@ -214,6 +214,59 @@ TEST(ThreadPoolTest, ParallelForSmallRangeSerial) {
   EXPECT_EQ(total.load(), 10);
 }
 
+// Regression: a task submitting to its own pool used to be forbidden (and a
+// task blocking in a nested ParallelFor could wedge every worker). Nested
+// submissions now execute inline on the calling worker.
+TEST(ThreadPoolTest, NestedSubmitRunsInlineInsteadOfDeadlocking) {
+  ThreadPool pool(1);  // one worker: any queued nested task could never run
+  std::atomic<int> inner{0};
+  std::atomic<bool> inner_done_before_outer_returned{false};
+  pool.Submit([&] {
+    pool.Submit([&] { inner.fetch_add(1); });
+    inner_done_before_outer_returned = inner.load() == 1;
+  });
+  pool.Wait();
+  EXPECT_EQ(inner.load(), 1);
+  EXPECT_TRUE(inner_done_before_outer_returned.load());
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletesOnSamePool) {
+  ThreadPool pool(2);
+  std::vector<int> hits(256, 0);
+  std::atomic<int> outer_done{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&] {
+      // Nested ParallelFor on the pool this task runs on: must degrade to a
+      // serial loop rather than deadlock waiting for busy workers.
+      std::vector<int> local(hits.size(), 0);
+      ParallelFor(0, local.size(), [&local](size_t i) { local[i]++; }, &pool);
+      for (int h : local) {
+        if (h != 1) return;  // leave outer_done unincremented
+      }
+      outer_done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(outer_done.load(), 4);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadDistinguishesPools) {
+  ThreadPool a(1);
+  ThreadPool b(1);
+  EXPECT_FALSE(a.OnWorkerThread());
+  std::atomic<int> checks{0};
+  a.Submit([&] {
+    if (a.OnWorkerThread() && !b.OnWorkerThread()) checks.fetch_add(1);
+    // Submitting to a *different* pool from a worker still enqueues there.
+    b.Submit([&] {
+      if (b.OnWorkerThread() && !a.OnWorkerThread()) checks.fetch_add(1);
+    });
+  });
+  a.Wait();
+  b.Wait();
+  EXPECT_EQ(checks.load(), 2);
+}
+
 // --------------------------------------------------------------- Serialize ---
 
 std::string TempPath(const std::string& name) {

@@ -1,0 +1,147 @@
+// inflex_serve — serving-layer demo: replays a synthetic request trace
+// against a built index through the concurrent QueryEngine (sharded
+// QueryCache + batched ThreadPool fan-out) and prints per-batch and final
+// serving statistics. This is what a production front-end in front of the
+// INFLEX index looks like: accept a batch of TIM requests, fan them across
+// workers, answer repeats from the cache.
+//
+//   inflex_serve --data data/ --index index.bin
+//                [--queries N] [--unique U] [--batch B] [--threads T]
+//                [--k K] [--strategy inflex|exact|approx|approx-sel|approx-ad]
+//                [--cache-capacity C] [--shards S] [--quantization Q]
+//                [--no-cache] [--seed S]
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset_io.h"
+#include "data/workload.h"
+#include "inflex/query_engine.h"
+#include "util/args.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace inflex {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<core::QueryStrategy> ParseStrategy(const std::string& name) {
+  if (name == "inflex") return core::QueryStrategy::kInflex;
+  if (name == "exact") return core::QueryStrategy::kExactKnn;
+  if (name == "approx") return core::QueryStrategy::kApproxKnn;
+  if (name == "approx-sel") return core::QueryStrategy::kApproxKnnSel;
+  if (name == "approx-ad") return core::QueryStrategy::kApproxAd;
+  return Status::InvalidArgument("unknown strategy: " + name);
+}
+
+int Run(ArgParser& args) {
+  const std::string data_dir = args.GetString("data", "");
+  const std::string index_path = args.GetString("index", "");
+  auto queries = args.GetInt("queries", 4096);
+  auto unique = args.GetInt("unique", 128);
+  auto batch = args.GetInt("batch", 512);
+  auto threads = args.GetInt("threads", 0);  // 0 = hardware concurrency
+  auto k = args.GetInt("k", 10);
+  auto capacity = args.GetInt("cache-capacity", 4096);
+  auto shards = args.GetInt("shards", 16);
+  auto quantization = args.GetDouble("quantization", 0.01);
+  auto seed = args.GetInt("seed", 7);
+  const std::string strategy_name = args.GetString("strategy", "inflex");
+  const bool no_cache = args.HasFlag("no-cache");
+  if (auto st = args.Validate(); !st.ok()) return Fail(st);
+  if (data_dir.empty() || index_path.empty()) {
+    return Fail(Status::InvalidArgument("--data and --index are required"));
+  }
+  for (const auto* r : {&queries, &unique, &batch, &threads, &k, &capacity,
+                        &shards, &seed}) {
+    if (!r->ok()) return Fail(r->status());
+  }
+  if (!quantization.ok()) return Fail(quantization.status());
+  auto strategy = ParseStrategy(strategy_name);
+  if (!strategy.ok()) return Fail(strategy.status());
+
+  auto ds = data::LoadDataset(data_dir);
+  if (!ds.ok()) return Fail(ds.status());
+  auto index = core::InflexIndex::Load(index_path, &ds.ValueOrDie().graph);
+  if (!index.ok()) return Fail(index.status());
+
+  // Build the request trace: `unique` distinct mixtures drawn like real
+  // queries (half data-driven, half uniform), replayed with repetition up to
+  // `queries` requests — the repetition profile is what the cache collapses.
+  data::QueryWorkloadOptions wopts;
+  wopts.num_data_driven = static_cast<size_t>(unique.ValueOrDie()) / 2;
+  wopts.num_uniform =
+      static_cast<size_t>(unique.ValueOrDie()) - wopts.num_data_driven;
+  wopts.seed = static_cast<uint64_t>(seed.ValueOrDie());
+  auto workload =
+      data::GenerateQueryWorkload(ds.ValueOrDie().catalog, wopts);
+  if (!workload.ok()) return Fail(workload.status());
+  const auto& mixtures = workload.ValueOrDie().queries;
+  Rng rng(static_cast<uint64_t>(seed.ValueOrDie()) + 1);
+  std::vector<core::QueryRequest> trace;
+  trace.reserve(static_cast<size_t>(queries.ValueOrDie()));
+  for (size_t i = 0; i < static_cast<size_t>(queries.ValueOrDie()); ++i) {
+    core::QueryRequest r;
+    r.item = mixtures[i < mixtures.size() ? i : rng.UniformInt(mixtures.size())];
+    r.k = static_cast<size_t>(k.ValueOrDie());
+    r.options.strategy = strategy.ValueOrDie();
+    trace.push_back(std::move(r));
+  }
+
+  ThreadPool pool(static_cast<size_t>(threads.ValueOrDie()));
+  core::QueryEngineOptions eopts;
+  eopts.pool = &pool;
+  eopts.enable_cache = !no_cache;
+  eopts.cache.capacity = static_cast<size_t>(capacity.ValueOrDie());
+  eopts.cache.num_shards = static_cast<size_t>(shards.ValueOrDie());
+  eopts.cache.quantization = quantization.ValueOrDie();
+  core::QueryEngine engine(&index.ValueOrDie(), eopts);
+
+  std::printf("serving %zu requests (%zu unique mixtures, k=%lld, %s) in "
+              "batches of %lld across %zu threads, cache %s (capacity %lld, "
+              "%lld shards)\n",
+              trace.size(), mixtures.size(),
+              static_cast<long long>(k.ValueOrDie()), strategy_name.c_str(),
+              static_cast<long long>(batch.ValueOrDie()), pool.num_threads(),
+              no_cache ? "OFF" : "ON",
+              static_cast<long long>(capacity.ValueOrDie()),
+              static_cast<long long>(shards.ValueOrDie()));
+
+  Timer total;
+  const size_t batch_size = static_cast<size_t>(batch.ValueOrDie());
+  size_t batch_no = 0;
+  for (size_t start = 0; start < trace.size(); start += batch_size) {
+    const size_t stop = std::min(trace.size(), start + batch_size);
+    std::span<const core::QueryRequest> slice(trace.data() + start,
+                                              stop - start);
+    core::ServingStats stats;
+    engine.QueryBatch(slice, &stats);
+    std::printf("  batch %zu: %s\n", ++batch_no, stats.ToString().c_str());
+  }
+  const double wall_s = total.ElapsedSeconds();
+
+  const auto stats = engine.cumulative_stats();
+  std::printf("served %zu requests in %.2f s -> %.0f QPS overall | "
+              "hit rate %.1f%% | %zu failed | cache holds %zu entries\n",
+              stats.num_requests, wall_s,
+              static_cast<double>(stats.num_requests) / wall_s,
+              100.0 * stats.hit_rate(), stats.num_failed,
+              engine.cache().size());
+  return stats.num_failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace inflex
+
+int main(int argc, char** argv) {
+  using namespace inflex;  // NOLINT
+  ArgParser args(argc, argv);  // the parser skips argv[0] itself
+  return Run(args);
+}
