@@ -1,6 +1,7 @@
 #include "bbtree/bbtree.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "cluster/gmeans.h"
 #include "cluster/kmeans.h"
@@ -39,6 +40,7 @@ class BbTreeBuilder {
                 const BbTreeOptions& options)
       : options_(options), rng_(options.seed) {
     tree_.points_ = std::move(points);
+    tree_.options_ = options;
   }
 
   Result<BbTree> Build() {
@@ -104,6 +106,7 @@ class BbTreeBuilder {
   }
 
   Status MakeLeaf(uint32_t node_id, std::vector<uint32_t> ids) {
+    tree_.largest_leaf_ = std::max(tree_.largest_leaf_, ids.size());
     tree_.nodes_[node_id].point_ids = std::move(ids);
     ++tree_.num_leaves_;
     return Status::OK();
@@ -133,6 +136,58 @@ Result<BbTree> BbTree::Build(std::vector<simplex::TopicVector> points,
   }
   BbTreeBuilder builder(std::move(points), options);
   return builder.Build();
+}
+
+Result<uint32_t> BbTree::Insert(simplex::TopicVector point) {
+  INFLEX_CHECK(!nodes_.empty());
+  if (point.size() != dim()) {
+    return Status::InvalidArgument("inserted point dimension mismatch");
+  }
+
+  // Descend by the same closest-center rule the searches use, enlarging
+  // every ball on the path so it keeps covering the new point (the ball is
+  // {x : D_KL(x ‖ center) ≤ R}, so the required radius is the point's
+  // divergence from the center).
+  uint32_t current = 0;
+  while (true) {
+    Node& node = nodes_[current];
+    const double to_center =
+        simplex::KlDivergence(point, node.ball.center());
+    if (to_center > node.ball.radius()) {
+      node.ball = BregmanBall(node.ball.center(), to_center);
+    }
+    if (node.is_leaf()) break;
+    double best_div = std::numeric_limits<double>::infinity();
+    uint32_t best_child = node.children.front();
+    for (uint32_t child : node.children) {
+      const double d =
+          simplex::KlDivergence(nodes_[child].ball.center(), point);
+      if (d < best_div) {
+        best_div = d;
+        best_child = child;
+      }
+    }
+    current = best_child;
+  }
+
+  const auto id = static_cast<uint32_t>(points_.size());
+  points_.push_back(std::move(point));
+  nodes_[current].point_ids.push_back(id);
+  largest_leaf_ = std::max(largest_leaf_, nodes_[current].point_ids.size());
+  ++num_inserted_;
+  return id;
+}
+
+double BbTree::degradation() const {
+  if (points_.empty()) return 0.0;
+  const double inserted_fraction =
+      static_cast<double>(num_inserted_) / static_cast<double>(points_.size());
+  const size_t cap = std::max<size_t>(options_.max_leaf_size, 1);
+  const double leaf_overflow =
+      largest_leaf_ > cap
+          ? static_cast<double>(largest_leaf_ - cap) / static_cast<double>(cap)
+          : 0.0;
+  return inserted_fraction + leaf_overflow;
 }
 
 }  // namespace bbtree

@@ -76,9 +76,12 @@ struct InflexSearchResult {
   SearchStats stats;
 };
 
-/// \brief Bregman ball tree over a fixed set of topic distributions,
-/// built top-down with Bregman K-means++ splits whose branching factor is
-/// learned by G-means (Nielsen et al. 2009), following §3.2.
+/// \brief Bregman ball tree over a set of topic distributions, built
+/// top-down with Bregman K-means++ splits whose branching factor is learned
+/// by G-means (Nielsen et al. 2009), following §3.2. After Build() the tree
+/// additionally supports online point insertion (Insert) for live index
+/// maintenance; inserted points degrade the partition quality, which
+/// degradation() quantifies so a maintainer can decide when to rebuild.
 class BbTree {
  public:
   /// Creates an empty tree; usable only as a move-assignment target.
@@ -88,6 +91,27 @@ class BbTree {
   /// dimensions.
   static Result<BbTree> Build(std::vector<simplex::TopicVector> points,
                               const BbTreeOptions& options = {});
+
+  /// Inserts one point online in O(depth): descends from the root picking at
+  /// each level the child minimizing D_KL(center ‖ point) (the same rule
+  /// every search uses to order its descent), appends the point to the
+  /// reached leaf, and conservatively enlarges each ball on the path to
+  /// contain the point. All search bounds stay sound — ExactKnn remains
+  /// exact — but leaves grow beyond max_leaf_size and ball radii beyond
+  /// their built-time tightness, which is what degradation() tracks.
+  /// Returns the new point id (= num_points() before the call). Fails on a
+  /// dimension mismatch.
+  Result<uint32_t> Insert(simplex::TopicVector point);
+
+  /// Number of points added by Insert() since Build().
+  size_t num_inserted() const { return num_inserted_; }
+
+  /// Quality loss of the incrementally maintained tree, 0 for a freshly
+  /// built one: the fraction of points that arrived via Insert() plus the
+  /// worst leaf's relative occupancy overflow beyond the configured
+  /// max_leaf_size. A maintainer triggers a full §3.2 rebuild once this
+  /// crosses its threshold.
+  double degradation() const;
 
   size_t num_points() const { return points_.size(); }
   size_t num_nodes() const { return nodes_.size(); }
@@ -147,6 +171,10 @@ class BbTree {
   std::vector<Node> nodes_;  // nodes_[0] is the root
   size_t num_leaves_ = 0;
   size_t depth_ = 0;
+  // Online-insert bookkeeping (see Insert/degradation).
+  BbTreeOptions options_;
+  size_t num_inserted_ = 0;
+  size_t largest_leaf_ = 0;
 };
 
 }  // namespace bbtree

@@ -1,0 +1,222 @@
+#include "inflex/index_maintainer.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "inflex/baselines.h"
+#include "util/check.h"
+
+namespace inflex {
+namespace core {
+
+const char* DeltaOutcomeName(DeltaOutcome outcome) {
+  switch (outcome) {
+    case DeltaOutcome::kAdmitted:
+      return "admitted";
+    case DeltaOutcome::kCovered:
+      return "covered";
+    case DeltaOutcome::kSuperseded:
+      return "superseded";
+  }
+  return "unknown";
+}
+
+std::string MaintenanceStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%llu deltas: %llu admitted %llu covered %llu superseded "
+                "%llu failed | %llu generations (epoch %llu, %zu points, "
+                "%llu rebuilds) | %zu pending",
+                static_cast<unsigned long long>(submitted),
+                static_cast<unsigned long long>(admitted),
+                static_cast<unsigned long long>(covered),
+                static_cast<unsigned long long>(superseded),
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(generations_published),
+                static_cast<unsigned long long>(epoch), index_points,
+                static_cast<unsigned long long>(tree_rebuilds), pending);
+  return buf;
+}
+
+IndexMaintainer::IndexMaintainer(std::shared_ptr<const InflexIndex> initial,
+                                 const graph::TopicGraph* graph,
+                                 QueryEngine* engine,
+                                 const IndexMaintainerOptions& options)
+    : graph_(graph), engine_(engine), options_(options) {
+  INFLEX_CHECK(initial != nullptr);
+  INFLEX_CHECK(graph_ != nullptr);
+  INFLEX_CHECK_GT(options_.admission_threshold, 0.0);
+  INFLEX_CHECK_GT(options_.oracle_snapshots, 0u);
+  if (options_.pool == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(1);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = options_.pool;
+  }
+  current_ = std::move(initial);
+  epoch_ = engine_ != nullptr ? engine_->index_epoch() : 0;
+  stats_.epoch = epoch_;
+  stats_.index_points = current_->num_index_points();
+}
+
+IndexMaintainer::~IndexMaintainer() { Drain(); }
+
+double IndexMaintainer::MinDivergence(const InflexIndex& index,
+                                      const simplex::TopicDistribution& item) {
+  // Neighbor.divergence is D_KL(index point ‖ query) — exactly the §3.1
+  // coverage objective evaluated at the incoming item.
+  const auto nearest = index.tree().ExactKnn(item.probs(), 1);
+  INFLEX_CHECK(!nearest.empty());
+  return nearest.front().divergence;
+}
+
+Result<DeltaReceipt> IndexMaintainer::SubmitDelta(const CatalogDelta& delta) {
+  std::shared_ptr<const InflexIndex> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++stats_.submitted;
+    snapshot = current_;
+  }
+  if (delta.item.num_topics() != snapshot->num_topics()) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++stats_.failed;
+    return Status::InvalidArgument("delta topic dimension mismatch");
+  }
+
+  DeltaReceipt receipt;
+  receipt.min_divergence = MinDivergence(*snapshot, delta.item);
+  if (receipt.min_divergence <= options_.admission_threshold) {
+    receipt.outcome = DeltaOutcome::kCovered;
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++stats_.covered;
+    return receipt;
+  }
+
+  receipt.outcome = DeltaOutcome::kAdmitted;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++stats_.admitted;
+    ++pending_;
+    receipt.ticket = ++next_ticket_;
+  }
+  // Capture by value: the delta outlives the caller's buffer, the `this`
+  // lifetime is covered by ~IndexMaintainer draining the pool.
+  CatalogDelta copy = delta;
+  const uint64_t ticket = receipt.ticket;
+  pool_->Submit([this, copy = std::move(copy), ticket]() mutable {
+    ProcessAdmitted(copy, ticket);
+  });
+  return receipt;
+}
+
+void IndexMaintainer::ProcessAdmitted(const CatalogDelta& delta,
+                                      uint64_t ticket) {
+  // Stage 2: the expensive CELF++ precompute, against the graph only — no
+  // lock held, no generation pinned; serving proceeds untouched.
+  size_t ell = options_.seed_list_length;
+  std::shared_ptr<const InflexIndex> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    snapshot = current_;
+  }
+  if (ell == 0) ell = snapshot->seed_list_length();
+  snapshot.reset();
+
+  OfflineImOptions oopts;
+  oopts.num_snapshots = options_.oracle_snapshots;
+  // Per-ticket seed: deterministic given the admission order, decorrelated
+  // across deltas.
+  oopts.seed = options_.seed + ticket;
+  // This task may share a pool with other maintenance work; nested
+  // parallelism inside CELF++ would run inline anyway (pool re-entrancy
+  // contract), so ask for the serial first iteration explicitly.
+  oopts.selection.parallel_first_iteration = false;
+  auto seeds = OfflineTicSeeds(*graph_, delta.item, ell, oopts);
+
+  Status publish_status = Status::OK();
+  bool superseded = false;
+  bool rebuilt = false;
+  if (!seeds.ok()) {
+    publish_status = seeds.status();
+  } else {
+    // Stage 3: serialized clone→insert→publish. publish_mu_ makes the
+    // generation history linear; state_mu_ is only taken for the short
+    // pointer/counter updates inside.
+    std::lock_guard<std::mutex> publish_lock(publish_mu_);
+    std::shared_ptr<const InflexIndex> base;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      base = current_;
+    }
+    // Re-check coverage against the LATEST generation: a concurrent
+    // publication (a near-duplicate delta racing through) may have covered
+    // this item since admission.
+    if (MinDivergence(*base, delta.item) <= options_.admission_threshold) {
+      superseded = true;
+    } else {
+      auto next = std::make_shared<InflexIndex>(*base);
+      rank::RankedList list(seeds.ValueOrDie().seeds.begin(),
+                            seeds.ValueOrDie().seeds.end());
+      publish_status = next->AddIndexPoint(delta.item, std::move(list));
+      if (publish_status.ok() &&
+          next->tree().degradation() >= options_.rebuild_degradation) {
+        publish_status = next->Compact(options_.tree);
+        rebuilt = publish_status.ok();
+      }
+      if (publish_status.ok()) {
+        std::shared_ptr<const InflexIndex> published = std::move(next);
+        uint64_t epoch = 0;
+        if (engine_ != nullptr) {
+          epoch = engine_->PublishIndex(published);
+        }
+        {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          if (engine_ == nullptr) epoch = epoch_ + 1;
+          current_ = published;
+          epoch_ = epoch;
+          ++stats_.generations_published;
+          if (rebuilt) ++stats_.tree_rebuilds;
+          stats_.epoch = epoch_;
+          stats_.index_points = published->num_index_points();
+        }
+        if (options_.on_publish) options_.on_publish(epoch, published);
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (superseded) {
+    ++stats_.superseded;
+  } else if (!publish_status.ok()) {
+    ++stats_.failed;
+  }
+  INFLEX_CHECK_GT(pending_, 0u);
+  --pending_;
+  drained_.notify_all();
+}
+
+void IndexMaintainer::Drain() {
+  INFLEX_CHECK(!pool_->OnWorkerThread());
+  std::unique_lock<std::mutex> lock(state_mu_);
+  drained_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::shared_ptr<const InflexIndex> IndexMaintainer::current() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return current_;
+}
+
+uint64_t IndexMaintainer::epoch() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return epoch_;
+}
+
+MaintenanceStats IndexMaintainer::stats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  MaintenanceStats out = stats_;
+  out.pending = pending_;
+  return out;
+}
+
+}  // namespace core
+}  // namespace inflex

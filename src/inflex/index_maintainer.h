@@ -1,0 +1,196 @@
+#ifndef INFLEX_INFLEX_INDEX_MAINTAINER_H_
+#define INFLEX_INFLEX_INDEX_MAINTAINER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "inflex/inflex_index.h"
+#include "inflex/query_engine.h"
+#include "util/thread_pool.h"
+
+namespace inflex {
+namespace core {
+
+/// \brief One catalog change as it reaches the maintenance plane: a new (or
+/// re-described) item's topic mixture, plus an operator-facing identifier.
+struct CatalogDelta {
+  /// Free-form item identifier, used only for logs and receipts.
+  std::string id;
+  simplex::TopicDistribution item;
+};
+
+/// \brief What happened to a submitted delta.
+enum class DeltaOutcome {
+  /// The delta passed the KL-coverage test: a background CELF++ seed
+  /// precompute was scheduled and a new index generation will be published.
+  kAdmitted,
+  /// An existing index point already covers the item (its divergence is
+  /// within the admission threshold, so by the Fig. 4 KL↔Kendall coupling
+  /// the stored seed list answers it accurately). No work scheduled.
+  kCovered,
+  /// Admitted at submission, but by the time its seeds were ready another
+  /// publication had already covered the item; the generation was not
+  /// produced. (Only ever reported through MaintenanceStats — SubmitDelta
+  /// itself has returned kAdmitted long before.)
+  kSuperseded,
+};
+
+const char* DeltaOutcomeName(DeltaOutcome outcome);
+
+/// \brief Receipt returned synchronously by SubmitDelta.
+struct DeltaReceipt {
+  DeltaOutcome outcome = DeltaOutcome::kCovered;
+  /// min_i D_KL(γ_i ‖ γ_new) against the generation current at submission —
+  /// the §3.1 coverage objective evaluated for the incoming item.
+  double min_divergence = 0.0;
+  /// Monotone ticket of an admitted delta (0 when not admitted). Tickets
+  /// order admissions, not publications.
+  uint64_t ticket = 0;
+};
+
+/// \brief Counters describing the maintenance plane (all cumulative).
+struct MaintenanceStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t covered = 0;
+  uint64_t superseded = 0;
+  uint64_t failed = 0;
+  uint64_t generations_published = 0;
+  uint64_t tree_rebuilds = 0;
+  /// Epoch of the newest published generation.
+  uint64_t epoch = 0;
+  /// Index points in the newest generation.
+  size_t index_points = 0;
+  /// Admitted deltas whose background precompute has not finished yet.
+  size_t pending = 0;
+  /// One-line operator rendering.
+  std::string ToString() const;
+};
+
+/// \brief Options for an IndexMaintainer.
+struct IndexMaintainerOptions {
+  /// KL-coverage admission threshold: a delta is admitted as a new index
+  /// point when min_i D_KL(γ_i ‖ γ_new) exceeds this. Mirrors the §3.1
+  /// objective (cover the catalog's density with index points); Figure 4's
+  /// KL↔Kendall correlation makes small divergences safe to serve from the
+  /// nearest existing point.
+  double admission_threshold = 0.05;
+  /// ℓ of the precomputed seed list for admitted points (0 = the current
+  /// index's seed_list_length()).
+  size_t seed_list_length = 0;
+  /// Live-edge snapshots behind each background CELF++ run.
+  size_t oracle_snapshots = 150;
+  uint64_t seed = 101;
+  /// Publish-time tree-quality gate: when the incrementally maintained ball
+  /// tree's degradation() reaches this after an insert, the new generation
+  /// is produced by a full §3.2 rebuild instead (Compact()).
+  double rebuild_degradation = 0.10;
+  /// Options for those full rebuilds.
+  bbtree::BbTreeOptions tree;
+  /// Dedicated background pool for the CELF++ precompute; the serving path
+  /// never blocks on it. nullptr = the maintainer creates a private
+  /// single-thread pool.
+  ThreadPool* pool = nullptr;
+  /// Invoked after every generation publication (under the internal publish
+  /// lock, so invocations are ordered by epoch). Must not call SubmitDelta
+  /// of this maintainer synchronously from the callback on pain of
+  /// re-entrancy surprises; reading stats()/current() is fine.
+  std::function<void(uint64_t epoch, std::shared_ptr<const InflexIndex>)>
+      on_publish;
+};
+
+/// \brief The live index maintenance plane: turns a stream of catalog deltas
+/// into a sequence of immutable InflexIndex *generations* published under
+/// serving load, without ever blocking the query path.
+///
+/// Pipeline per delta (the paper's offline §3 stages made incremental):
+///  1. **Admission** (synchronous, microseconds): a 1-NN probe of the
+///     current generation's ball tree evaluates the §3.1 coverage objective
+///     min_i D_KL(γ_i ‖ γ_new). Deltas inside the threshold are already
+///     covered — the nearest point's precomputed list serves them — and are
+///     dropped.
+///  2. **Seed precompute** (background, the expensive part): CELF++ over a
+///     live-edge snapshot oracle on the item-specific IC instance (Eq. 1),
+///     exactly the per-point offline computation of InflexIndex::Build, run
+///     on the dedicated maintenance pool.
+///  3. **Publication** (serialized, milliseconds): re-check coverage against
+///     the *latest* generation (a concurrent publication may have covered
+///     the item meanwhile → superseded), clone it, insert the new point
+///     incrementally into the clone's ball tree — or trigger a full §3.2
+///     rebuild when tree degradation crosses the gate — and publish the
+///     clone as the next immutable generation via QueryEngine::PublishIndex
+///     (atomic shared_ptr swap + cache-epoch bump). In-flight queries keep
+///     the generation they pinned; nobody waits.
+///
+/// Thread-safety: SubmitDelta/Drain/current/epoch/stats may be called
+/// concurrently from any threads, concurrently with serving. Two
+/// near-duplicate deltas racing through admission may both be admitted; the
+/// publish-time re-check resolves the race (one becomes kSuperseded).
+class IndexMaintainer {
+ public:
+  /// `initial` is generation 0 (must be the same index the engine serves).
+  /// `graph` backs the CELF++ precompute and must outlive the maintainer.
+  /// `engine` receives the publications; may be nullptr (the maintainer
+  /// then only tracks generations itself — useful for tests and tools).
+  IndexMaintainer(std::shared_ptr<const InflexIndex> initial,
+                  const graph::TopicGraph* graph, QueryEngine* engine,
+                  const IndexMaintainerOptions& options = {});
+
+  /// Drains pending work before destruction.
+  ~IndexMaintainer();
+
+  IndexMaintainer(const IndexMaintainer&) = delete;
+  IndexMaintainer& operator=(const IndexMaintainer&) = delete;
+
+  /// Runs the admission test and, for admitted deltas, schedules the
+  /// background precompute+publication. Returns immediately in either case.
+  /// Fails on a dimension mismatch with the index.
+  Result<DeltaReceipt> SubmitDelta(const CatalogDelta& delta);
+
+  /// Blocks until every admitted delta has been published, superseded, or
+  /// failed. Must not be called from the maintenance pool itself.
+  void Drain();
+
+  /// Pins and returns the newest published generation.
+  std::shared_ptr<const InflexIndex> current() const;
+
+  /// Epoch of the newest published generation.
+  uint64_t epoch() const;
+
+  MaintenanceStats stats() const;
+
+ private:
+  /// Background stage: seed precompute + serialized publication.
+  void ProcessAdmitted(const CatalogDelta& delta, uint64_t ticket);
+
+  /// min_i D_KL(γ_i ‖ γ_item) via a 1-NN tree probe of `index`.
+  static double MinDivergence(const InflexIndex& index,
+                              const simplex::TopicDistribution& item);
+
+  const graph::TopicGraph* graph_;
+  QueryEngine* engine_;  // may be null
+  IndexMaintainerOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;  // options_.pool or owned_pool_.get()
+
+  /// Serializes the clone→insert→publish critical section so generations
+  /// form a linear history.
+  std::mutex publish_mu_;
+
+  mutable std::mutex state_mu_;
+  std::condition_variable drained_;          // pending_ == 0
+  std::shared_ptr<const InflexIndex> current_;  // guarded by state_mu_
+  uint64_t epoch_ = 0;                       // guarded by state_mu_
+  uint64_t next_ticket_ = 0;                 // guarded by state_mu_
+  size_t pending_ = 0;                       // guarded by state_mu_
+  MaintenanceStats stats_;                   // guarded by state_mu_
+};
+
+}  // namespace core
+}  // namespace inflex
+
+#endif  // INFLEX_INFLEX_INDEX_MAINTAINER_H_

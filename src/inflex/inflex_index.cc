@@ -6,6 +6,7 @@
 #include "im/celfpp.h"
 #include "im/snapshot_oracle.h"
 #include "simplex/topic_distribution.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/serialize.h"
 #include "util/timer.h"
@@ -143,38 +144,6 @@ Result<InflexIndex> InflexIndex::FromParts(
 }
 
 bbtree::InflexSearchResult InflexIndex::RunSearch(
-    const simplex::TopicVector& q, const QueryOptions& options) const {
-  bbtree::InflexSearchResult result = RunTreeSearch(q, options);
-  if (overflow_points_.empty() || result.epsilon_exact) return result;
-
-  // Fold in the online-added points: they are few by contract (Compact()
-  // is called when the buffer grows), so a linear scan is cheap. The
-  // ε-exact shortcut only exists in the Algorithm-1 strategies.
-  const bool epsilon_enabled =
-      options.strategy == QueryStrategy::kInflex ||
-      options.strategy == QueryStrategy::kApproxAd;
-  const uint32_t base = static_cast<uint32_t>(tree_.num_points());
-  for (uint32_t i = 0; i < overflow_points_.size(); ++i) {
-    const double d = simplex::KlDivergence(overflow_points_[i], q);
-    ++result.stats.kl_evaluations;
-    if (epsilon_enabled && d <= options.search.epsilon_exact) {
-      result.neighbors.assign(1, bbtree::Neighbor{base + i, d});
-      result.epsilon_exact = true;
-      return result;
-    }
-    result.neighbors.push_back(bbtree::Neighbor{base + i, d});
-  }
-  std::sort(result.neighbors.begin(), result.neighbors.end());
-  const bool knn_bounded = options.strategy == QueryStrategy::kExactKnn ||
-                           options.strategy == QueryStrategy::kApproxKnn ||
-                           options.strategy == QueryStrategy::kApproxKnnSel;
-  if (knn_bounded && result.neighbors.size() > options.knn_k) {
-    result.neighbors.resize(options.knn_k);
-  }
-  return result;
-}
-
-bbtree::InflexSearchResult InflexIndex::RunTreeSearch(
     const simplex::TopicVector& q, const QueryOptions& options) const {
   switch (options.strategy) {
     case QueryStrategy::kInflex: {
@@ -322,14 +291,15 @@ Status InflexIndex::AddIndexPoint(const simplex::TopicDistribution& item,
       }
     }
   }
+  INFLEX_ASSIGN_OR_RETURN(uint32_t id, tree_.Insert(item.probs()));
+  INFLEX_CHECK_EQ(static_cast<size_t>(id), seed_lists_.size());
   seed_list_length_ = std::max(seed_list_length_, seed_list.size());
-  overflow_points_.push_back(item.probs());
   seed_lists_.push_back(std::move(seed_list));
   return Status::OK();
 }
 
 Status InflexIndex::Compact(const bbtree::BbTreeOptions& tree_options) {
-  if (overflow_points_.empty()) return Status::OK();
+  if (tree_.num_inserted() == 0) return Status::OK();
   std::vector<simplex::TopicVector> points;
   points.reserve(num_index_points());
   for (uint32_t i = 0; i < num_index_points(); ++i) {
@@ -338,7 +308,6 @@ Status InflexIndex::Compact(const bbtree::BbTreeOptions& tree_options) {
   INFLEX_ASSIGN_OR_RETURN(tree_,
                           bbtree::BbTree::Build(std::move(points),
                                                 tree_options));
-  overflow_points_.clear();
   return Status::OK();
 }
 

@@ -78,6 +78,10 @@ struct QueryResult {
   /// index. Per-stage timings and search_stats are zero in that case — the
   /// stages did not run; only total_ms reflects the (cached) serving cost.
   bool from_cache = false;
+  /// Epoch of the index generation this answer was computed against (set by
+  /// the serving layer; 0 when querying an InflexIndex directly). Under live
+  /// maintenance an answer is reproducible only against its own generation.
+  uint64_t generation = 0;
 };
 
 /// \brief Options for building an INFLEX index.
@@ -129,29 +133,30 @@ class InflexIndex {
     return seed_lists_[point_id];
   }
   const simplex::TopicVector& index_point(uint32_t point_id) const {
-    return point_id < tree_.num_points()
-               ? tree_.point(point_id)
-               : overflow_points_[point_id - tree_.num_points()];
+    return tree_.point(point_id);
   }
 
   /// Adds one index point online (a newly catalogued item with its
-  /// pre-computed seed list) without rebuilding the ball tree: the point
-  /// lands in an overflow buffer that every search scans linearly. Call
-  /// Compact() once the overflow grows past a few percent of h to fold the
-  /// buffer into a fresh tree. Fails on dimension mismatch, an invalid
-  /// list, or (when a graph is attached) out-of-range node ids.
+  /// pre-computed seed list) without rebuilding the ball tree: the point is
+  /// inserted incrementally into the tree (O(depth), conservative ball
+  /// enlargement — every search stays sound and finds it immediately).
+  /// Inserts degrade the tree's partition quality; watch
+  /// tree().degradation() and call Compact() for a full §3.2 rebuild once
+  /// it crosses your budget. Fails on dimension mismatch, an invalid list,
+  /// or (when a graph is attached) out-of-range node ids.
   Status AddIndexPoint(const simplex::TopicDistribution& item,
                        rank::RankedList seed_list);
 
-  /// Rebuilds the ball tree over base + overflow points. Invalidates point
-  /// ids previously returned in QueryResult::neighbors_used.
+  /// Rebuilds the ball tree from scratch over all points (the §3.2 offline
+  /// construction), restoring tree().degradation() to 0. Point ids are
+  /// preserved (ids are positions in the point set, which rebuilding keeps).
   Status Compact(const bbtree::BbTreeOptions& tree_options = {});
 
-  /// Number of points currently in the overflow buffer.
-  size_t overflow_size() const { return overflow_points_.size(); }
+  /// Number of points added online since the last full (re)build.
+  size_t overflow_size() const { return tree_.num_inserted(); }
 
   /// Persists points + seed lists (the tree is rebuilt on load; any
-  /// overflow points are folded in).
+  /// online-inserted points are folded in).
   Status Save(const std::string& path) const;
 
   /// Loads an index saved by Save(). `graph` may be nullptr — it is only
@@ -163,22 +168,14 @@ class InflexIndex {
  private:
   InflexIndex() = default;
 
-  /// Retrieval stage of Query() per strategy (tree + overflow buffer).
+  /// Retrieval stage of Query() per strategy.
   bbtree::InflexSearchResult RunSearch(const simplex::TopicVector& q,
                                        const QueryOptions& options) const;
-
-  /// Tree-only part of RunSearch (no overflow merge).
-  bbtree::InflexSearchResult RunTreeSearch(const simplex::TopicVector& q,
-                                           const QueryOptions& options) const;
 
   const graph::TopicGraph* graph_ = nullptr;  // may be null after Load
   bbtree::BbTree tree_;
   std::vector<rank::RankedList> seed_lists_;  // aligned with tree point ids
   size_t seed_list_length_ = 0;
-  // Points added online since the last Compact(); point id of overflow slot
-  // i is tree_.num_points() + i. Their seed lists live at the same offset
-  // in seed_lists_.
-  std::vector<simplex::TopicVector> overflow_points_;
 };
 
 }  // namespace core

@@ -77,10 +77,10 @@ QueryCache::QueryCache(const Options& options) : options_(options) {
 }
 
 std::string QueryCache::MakeKey(const simplex::TopicDistribution& item,
-                                size_t k,
-                                const QueryOptions& query_options) const {
+                                size_t k, const QueryOptions& query_options,
+                                uint64_t epoch) const {
   std::string key;
-  key.reserve(item.num_topics() * sizeof(uint32_t) + 24);
+  key.reserve(item.num_topics() * sizeof(uint32_t) + 32);
   if (options_.quantization > 0.0) {
     for (double p : item.probs()) {
       const auto cell =
@@ -96,6 +96,7 @@ std::string QueryCache::MakeKey(const simplex::TopicDistribution& item,
   const uint64_t fp = OptionsFingerprint(query_options);
   key.append(reinterpret_cast<const char*>(&k64), sizeof(k64));
   key.append(reinterpret_cast<const char*>(&fp), sizeof(fp));
+  key.append(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
   return key;
 }
 
@@ -106,9 +107,10 @@ QueryCache::Shard& QueryCache::ShardFor(const std::string& key) {
 Result<QueryResult> QueryCache::Query(const InflexIndex& index,
                                       const simplex::TopicDistribution& item,
                                       size_t k,
-                                      const QueryOptions& query_options) {
+                                      const QueryOptions& query_options,
+                                      uint64_t epoch) {
   Timer timer;
-  const std::string key = MakeKey(item, k, query_options);
+  const std::string key = MakeKey(item, k, query_options, epoch);
   Shard& shard = ShardFor(key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -26,8 +26,13 @@ namespace core {
 ///
 /// The cache key covers k and every answer-shaping field of QueryOptions
 /// (strategy, knn_k, max_leaves, search/weighting/aggregation parameters and
-/// the segment mask), so one cache can serve heterogeneous traffic. Call
-/// Clear() whenever the underlying index changes (AddIndexPoint/Compact).
+/// the segment mask), so one cache can serve heterogeneous traffic. The key
+/// additionally carries the caller-supplied index `epoch`: when the serving
+/// layer publishes a new index generation it simply queries under the next
+/// epoch and every stale entry becomes unreachable — lazy invalidation that
+/// never stalls concurrent readers the way an eager Clear() would (stale
+/// entries age out through per-shard LRU eviction). Callers that mutate an
+/// index in place without an epoch scheme should still Clear().
 ///
 /// Concurrency: safe for concurrent Query/Clear/size from any number of
 /// threads. Entries are striped across `num_shards` independent LRU shards
@@ -61,10 +66,14 @@ class QueryCache {
   /// present, otherwise runs index.Query(), caches and returns it.
   /// `QueryResult::total_ms` reflects the actual (cached or computed) cost;
   /// on a hit, `from_cache` is set and the per-stage timings/search stats
-  /// are zeroed (those stages did not run for this answer).
+  /// are zeroed (those stages did not run for this answer). `epoch` is the
+  /// generation of `index` and is folded into the key — pass the epoch
+  /// pinned together with the index so an answer computed against one
+  /// generation can never serve a query routed to another.
   Result<QueryResult> Query(const InflexIndex& index,
                             const simplex::TopicDistribution& item, size_t k,
-                            const QueryOptions& query_options = {});
+                            const QueryOptions& query_options = {},
+                            uint64_t epoch = 0);
 
   /// Drops every entry (call after mutating the index).
   void Clear();
@@ -89,7 +98,7 @@ class QueryCache {
   };
 
   std::string MakeKey(const simplex::TopicDistribution& item, size_t k,
-                      const QueryOptions& query_options) const;
+                      const QueryOptions& query_options, uint64_t epoch) const;
   Shard& ShardFor(const std::string& key);
 
   Options options_;

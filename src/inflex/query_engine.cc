@@ -26,17 +26,34 @@ std::string ServingStats::ToString() const {
   return buf;
 }
 
-QueryEngine::QueryEngine(const InflexIndex* index,
+QueryEngine::QueryEngine(std::shared_ptr<const InflexIndex> index,
                          const QueryEngineOptions& options)
-    : index_(index), options_(options), cache_(options.cache) {
-  INFLEX_CHECK(index_ != nullptr);
+    : options_(options), cache_(options.cache) {
+  INFLEX_CHECK(index != nullptr);
+  generation_.store(
+      std::make_shared<const Generation>(Generation{std::move(index), 0}),
+      std::memory_order_release);
+  latency_reservoir_.reserve(kLatencyReservoirCapacity);
 }
 
+QueryEngine::QueryEngine(const InflexIndex* index,
+                         const QueryEngineOptions& options)
+    : QueryEngine(std::shared_ptr<const InflexIndex>(
+                      std::shared_ptr<const InflexIndex>(), index),
+                  options) {}
+
 Result<QueryResult> QueryEngine::Query(const QueryRequest& request) {
-  if (options_.enable_cache) {
-    return cache_.Query(*index_, request.item, request.k, request.options);
-  }
-  return index_->Query(request.item, request.k, request.options);
+  // Pin the generation: the shared_ptr copy keeps this index (and the
+  // epoch the cache key is derived from) alive and consistent for the whole
+  // request, regardless of concurrent PublishIndex calls.
+  const std::shared_ptr<const Generation> gen = PinGeneration();
+  Result<QueryResult> result =
+      options_.enable_cache
+          ? cache_.Query(*gen->index, request.item, request.k, request.options,
+                         gen->epoch)
+          : gen->index->Query(request.item, request.k, request.options);
+  if (result.ok()) result.ValueOrDie().generation = gen->epoch;
+  return result;
 }
 
 std::vector<Result<QueryResult>> QueryEngine::QueryBatch(
@@ -78,11 +95,15 @@ std::vector<Result<QueryResult>> QueryEngine::QueryBatch(
     batch.p95_ms = stats::Percentile(latencies_ms, 0.95);
     batch.p99_ms = stats::Percentile(latencies_ms, 0.99);
     batch.max_ms = *std::max_element(latencies_ms.begin(), latencies_ms.end());
+    batch.latency_samples = n;
   }
   if (stats != nullptr) *stats = batch;
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
+    // Exact running aggregates first.
+    const double prev_total =
+        cumulative_.mean_ms * static_cast<double>(cumulative_.num_requests);
     cumulative_.num_requests += batch.num_requests;
     cumulative_.num_ok += batch.num_ok;
     cumulative_.num_failed += batch.num_failed;
@@ -93,19 +114,57 @@ std::vector<Result<QueryResult>> QueryEngine::QueryBatch(
                           ? static_cast<double>(cumulative_.num_requests) /
                                 (cumulative_.wall_ms / 1e3)
                           : 0.0;
-    // Percentiles are per-batch quantities; report the latest batch's.
-    cumulative_.mean_ms = batch.mean_ms;
-    cumulative_.p50_ms = batch.p50_ms;
-    cumulative_.p95_ms = batch.p95_ms;
-    cumulative_.p99_ms = batch.p99_ms;
+    if (cumulative_.num_requests > 0) {
+      cumulative_.mean_ms =
+          (prev_total + batch.mean_ms * static_cast<double>(n)) /
+          static_cast<double>(cumulative_.num_requests);
+    }
     cumulative_.max_ms = std::max(cumulative_.max_ms, batch.max_ms);
+    // Fold every latency into the bounded reservoir (Algorithm R): each of
+    // the `latency_seen_` observations ends up in the reservoir with equal
+    // probability, so cumulative percentiles estimate the distribution over
+    // ALL requests served so far, not just the last batch.
+    for (double v : latencies_ms) {
+      ++latency_seen_;
+      if (latency_reservoir_.size() < kLatencyReservoirCapacity) {
+        latency_reservoir_.push_back(v);
+      } else {
+        const uint64_t j = reservoir_rng_.UniformInt(latency_seen_);
+        if (j < kLatencyReservoirCapacity) {
+          latency_reservoir_[static_cast<size_t>(j)] = v;
+        }
+      }
+    }
   }
   return results;
 }
 
+uint64_t QueryEngine::PublishIndex(std::shared_ptr<const InflexIndex> next) {
+  INFLEX_CHECK(next != nullptr);
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const uint64_t epoch = PinGeneration()->epoch + 1;
+  generation_.store(
+      std::make_shared<const Generation>(Generation{std::move(next), epoch}),
+      std::memory_order_release);
+  return epoch;
+}
+
+std::shared_ptr<const InflexIndex> QueryEngine::index_snapshot() const {
+  return PinGeneration()->index;
+}
+
+uint64_t QueryEngine::index_epoch() const { return PinGeneration()->epoch; }
+
 ServingStats QueryEngine::cumulative_stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  return cumulative_;
+  ServingStats out = cumulative_;
+  if (!latency_reservoir_.empty()) {
+    out.p50_ms = stats::Percentile(latency_reservoir_, 0.50);
+    out.p95_ms = stats::Percentile(latency_reservoir_, 0.95);
+    out.p99_ms = stats::Percentile(latency_reservoir_, 0.99);
+    out.latency_samples = latency_reservoir_.size();
+  }
+  return out;
 }
 
 }  // namespace core

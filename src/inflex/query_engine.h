@@ -1,7 +1,9 @@
 #ifndef INFLEX_INFLEX_QUERY_ENGINE_H_
 #define INFLEX_INFLEX_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -9,6 +11,7 @@
 
 #include "inflex/inflex_index.h"
 #include "inflex/query_cache.h"
+#include "util/random.h"
 #include "util/thread_pool.h"
 
 namespace inflex {
@@ -40,6 +43,10 @@ struct ServingStats {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+  /// Latency samples behind the percentile fields: the batch size for
+  /// per-batch stats; for cumulative_stats() the number of reservoir samples
+  /// the percentiles were estimated from (see QueryEngine).
+  size_t latency_samples = 0;
   /// Hits / (hits + misses); 0 when the batch had no cache traffic.
   double hit_rate() const;
   /// One-line dashboard rendering ("1000 req in 12.3 ms | 81300 QPS | ...").
@@ -59,25 +66,43 @@ struct QueryEngineOptions {
 };
 
 /// \brief The concurrent TIM serving layer: owns the sharded QueryCache in
-/// front of an InflexIndex and fans request batches across a ThreadPool.
+/// front of an immutable InflexIndex *generation* and fans request batches
+/// across a ThreadPool.
 ///
 /// This is the paper's "online" half (§4) industrialized: the index answers
 /// one query in ~1 ms, so serving millions of users is a scheduling-and-
 /// caching problem, not an algorithmic one. All public methods are safe to
-/// call concurrently from any number of threads; the index must not be
-/// mutated (AddIndexPoint/Compact) while queries are in flight — mutate it
-/// between batches and call InvalidateCache().
+/// call concurrently from any number of threads.
 ///
-/// Determinism: answers are pure functions of (item, k, options), so batched
-/// parallel serving returns bit-identical results to a serial loop — the
-/// serving_test stress suite asserts exactly that.
+/// Generations (RCU-style): the engine holds the current index generation
+/// behind an atomic std::shared_ptr. Every query pins the generation for its
+/// duration (a shared_ptr copy), so PublishIndex() can swap in a new
+/// immutable index at any moment — in-flight queries keep reading the
+/// generation they started on, and the old index is destroyed only when the
+/// last reader drops its pin. Published generations must never be mutated
+/// afterwards; an IndexMaintainer prepares each new generation on a private
+/// copy before publishing. Each publication bumps the cache epoch, which is
+/// part of every cache key: stale entries become unreachable instantly and
+/// age out via LRU, with no Clear() stall on the serving path.
+///
+/// Determinism: answers are pure functions of (generation, item, k,
+/// options), so batched parallel serving returns bit-identical results to a
+/// serial replay against the same generation — the serving and maintenance
+/// stress suites assert exactly that.
 class QueryEngine {
  public:
-  /// The index must outlive the engine.
+  /// Serves from `index` as generation epoch 0. The engine shares ownership;
+  /// the index must not be mutated after construction.
+  explicit QueryEngine(std::shared_ptr<const InflexIndex> index,
+                       const QueryEngineOptions& options = {});
+
+  /// Non-owning convenience overload: the caller guarantees the index
+  /// outlives the engine and every in-flight query.
   explicit QueryEngine(const InflexIndex* index,
                        const QueryEngineOptions& options = {});
 
-  /// Serves one request through the cache (thread-safe).
+  /// Serves one request through the cache (thread-safe). The result's
+  /// `generation` field records the epoch of the generation that served it.
   Result<QueryResult> Query(const QueryRequest& request);
 
   /// Serves a batch by fanning the requests across the pool; results are
@@ -87,25 +112,63 @@ class QueryEngine {
   std::vector<Result<QueryResult>> QueryBatch(
       std::span<const QueryRequest> requests, ServingStats* stats = nullptr);
 
-  /// Drops every cached answer; call after mutating the index.
+  /// Atomically swaps in the next immutable index generation and bumps the
+  /// cache epoch (lazy invalidation). Returns the new epoch. In-flight
+  /// queries finish against the generation they pinned; new queries see
+  /// `next`. Thread-safe against queries and against other publishers.
+  uint64_t PublishIndex(std::shared_ptr<const InflexIndex> next);
+
+  /// Pins and returns the current generation (never null).
+  std::shared_ptr<const InflexIndex> index_snapshot() const;
+
+  /// Epoch of the current generation (0 until the first PublishIndex).
+  uint64_t index_epoch() const;
+
+  /// Drops every cached answer eagerly. Generation swaps do NOT need this —
+  /// PublishIndex invalidates lazily via the epoch — but it remains useful
+  /// when memory pressure matters more than hit rate.
   void InvalidateCache() { cache_.Clear(); }
 
-  /// Totals over every request served so far. The latency fields hold the
-  /// percentiles of the most recent batch (percentiles do not aggregate);
-  /// wall_ms/qps aggregate across batches.
+  /// Totals over every request served so far. Latency percentiles are
+  /// estimated from a bounded uniform reservoir (Vitter's Algorithm R,
+  /// kLatencyReservoirCapacity samples) over ALL batch-served requests —
+  /// true aggregates, not the most recent batch's; `latency_samples` reports
+  /// the reservoir occupancy. mean/max are exact running aggregates.
   ServingStats cumulative_stats() const;
 
-  const InflexIndex& index() const { return *index_; }
   QueryCache& cache() { return cache_; }
   const QueryEngineOptions& options() const { return options_; }
 
+  /// Upper bound on latency reservoir size backing cumulative percentile
+  /// estimates. 4096 uniform samples put the standard error of a p99
+  /// estimate near 0.16% rank (sqrt(0.99*0.01/4096)) — plenty for a
+  /// dashboard tail readout.
+  static constexpr size_t kLatencyReservoirCapacity = 4096;
+
  private:
-  const InflexIndex* index_;
+  /// One published index generation: the immutable index plus its epoch,
+  /// swapped as a unit so a query can never pair an index with the wrong
+  /// cache epoch.
+  struct Generation {
+    std::shared_ptr<const InflexIndex> index;
+    uint64_t epoch = 0;
+  };
+
+  std::shared_ptr<const Generation> PinGeneration() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   QueryEngineOptions options_;
   QueryCache cache_;
 
+  std::atomic<std::shared_ptr<const Generation>> generation_;
+  std::mutex publish_mu_;  // serializes PublishIndex epoch assignment
+
   mutable std::mutex stats_mu_;
-  ServingStats cumulative_;  // guarded by stats_mu_
+  ServingStats cumulative_;            // guarded by stats_mu_
+  std::vector<double> latency_reservoir_;  // guarded by stats_mu_
+  size_t latency_seen_ = 0;            // guarded by stats_mu_
+  Rng reservoir_rng_{0x1a7e9c5u};      // guarded by stats_mu_
 };
 
 }  // namespace core

@@ -344,6 +344,81 @@ TEST(InflexSearchTest, PruningDoesNotChangeVisitedLeafResults) {
   }
 }
 
+// ----------------------------------------------------------- online insert ---
+
+TEST(InsertTest, RejectsDimensionMismatch) {
+  auto tree_r = BbTree::Build(ClusteredPoints(50, 4, 301), {});
+  ASSERT_TRUE(tree_r.ok());
+  EXPECT_FALSE(tree_r.ValueOrDie().Insert({0.5, 0.5}).ok());
+}
+
+TEST(InsertTest, InsertedPointsFoundByExactKnn) {
+  // ExactKnn must stay exact after inserts: conservative ball enlargement
+  // keeps every Eq. 5 bound sound.
+  auto tree_r = BbTree::Build(ClusteredPoints(200, 5, 311), {});
+  ASSERT_TRUE(tree_r.ok());
+  BbTree& tree = tree_r.ValueOrDie();
+  Rng rng(312);
+  for (int i = 0; i < 25; ++i) {
+    auto id = tree.Insert(simplex::SampleUniformSimplex(5, &rng));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.ValueOrDie(), 200u + static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(tree.num_points(), 225u);
+  EXPECT_EQ(tree.num_inserted(), 25u);
+  for (int t = 0; t < 20; ++t) {
+    const TopicVector q = simplex::SampleUniformSimplex(5, &rng);
+    const auto got = tree.ExactKnn(q, 7);
+    const auto want = tree.LinearScanKnn(q, 7);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].point_id, want[i].point_id) << "query " << t;
+      EXPECT_DOUBLE_EQ(got[i].divergence, want[i].divergence);
+    }
+  }
+}
+
+TEST(InsertTest, InsertedPointServedEpsilonExactByInflexSearch) {
+  // A query identical to a freshly inserted point descends along the same
+  // closest-center path the insert took, so the ε-exact shortcut fires.
+  auto tree_r = BbTree::Build(ClusteredPoints(150, 4, 321), {});
+  ASSERT_TRUE(tree_r.ok());
+  BbTree& tree = tree_r.ValueOrDie();
+  const TopicVector fresh = {0.86, 0.06, 0.05, 0.03};
+  auto id = tree.Insert(fresh);
+  ASSERT_TRUE(id.ok());
+  const auto r = tree.InflexSearch(fresh, {});
+  ASSERT_TRUE(r.epsilon_exact);
+  ASSERT_EQ(r.neighbors.size(), 1u);
+  EXPECT_EQ(r.neighbors[0].point_id, id.ValueOrDie());
+}
+
+TEST(InsertTest, DegradationGrowsAndResetsOnRebuild) {
+  BbTreeOptions bopts;
+  bopts.max_leaf_size = 8;
+  auto tree_r = BbTree::Build(ClusteredPoints(100, 4, 331), bopts);
+  ASSERT_TRUE(tree_r.ok());
+  BbTree& tree = tree_r.ValueOrDie();
+  EXPECT_DOUBLE_EQ(tree.degradation(), 0.0);
+
+  Rng rng(332);
+  double last = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(tree.Insert(simplex::SampleUniformSimplex(4, &rng)).ok());
+    EXPECT_GE(tree.degradation(), last);
+    last = tree.degradation();
+  }
+  EXPECT_GT(last, 0.2);  // ≥ the inserted fraction alone (30/130)
+
+  // A full rebuild over the same points restores a pristine tree.
+  std::vector<TopicVector> all;
+  for (uint32_t i = 0; i < tree.num_points(); ++i) all.push_back(tree.point(i));
+  auto rebuilt = BbTree::Build(std::move(all), bopts);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.ValueOrDie().num_inserted(), 0u);
+  EXPECT_DOUBLE_EQ(rebuilt.ValueOrDie().degradation(), 0.0);
+}
+
 }  // namespace
 }  // namespace bbtree
 }  // namespace inflex

@@ -48,6 +48,15 @@ if [ -n "$SERVE" ]; then
   echo "== serve (cache off)"
   "$SERVE" --data data --index index.bin --queries 64 --unique 32 \
     --batch 32 --threads 2 --k 5 --no-cache | grep -q "hit rate 0.0%"
+  echo "== serve (live maintenance: --deltas)"
+  # Catalog deltas stream in under the replay: >=1 must be admitted, its
+  # seeds recomputed in the background, and the resulting generations
+  # published under load (the binary exits non-zero otherwise).
+  "$SERVE" --data data --index index.bin --queries 256 --unique 32 \
+    --batch 64 --threads 4 --k 5 --deltas 4 > serve_deltas.log
+  grep -q "maintenance: published generation" serve_deltas.log
+  grep -q "maintenance summary:" serve_deltas.log
+  grep -q "0 failed |" serve_deltas.log
 fi
 
 echo "== evaluate"

@@ -1,8 +1,9 @@
 #!/bin/sh
-# Tier-1 concurrency gate: builds the serving stress tests under
-# ThreadSanitizer (-DINFLEX_SANITIZE=thread) in a dedicated build directory
-# and runs them. Any data race in the sharded QueryCache, the QueryEngine
-# batch path, or the ThreadPool re-entrancy logic fails this script.
+# Tier-1 concurrency gate: builds the serving + maintenance stress tests
+# under ThreadSanitizer (-DINFLEX_SANITIZE=thread) in a dedicated build
+# directory and runs them. Any data race in the sharded QueryCache, the
+# QueryEngine batch path, the ThreadPool re-entrancy logic, or the
+# IndexMaintainer generation-swap pipeline fails this script.
 #
 # Usage: tests/run_sanitized_stress.sh [source-dir] [build-dir]
 # (defaults: the repo root containing this script, <source>/build-tsan)
@@ -19,8 +20,9 @@ cmake -B "$BUILD" -S "$SRC" \
   -DINFLEX_BUILD_TOOLS=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 
-echo "== build (serving_test util_test)"
-cmake --build "$BUILD" --target serving_test util_test -j "$(nproc)" > /dev/null
+echo "== build (serving_test maintenance_test util_test)"
+cmake --build "$BUILD" --target serving_test maintenance_test util_test \
+  -j "$(nproc)" > /dev/null
 
 echo "== run serving stress + thread-pool tests under TSan"
 # halt_on_error: any reported race is a hard failure, not a log line.
@@ -28,5 +30,12 @@ TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   "$BUILD/tests/serving_test"
 TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   "$BUILD/tests/util_test" --gtest_filter='ThreadPoolTest.*'
+
+echo "== run live-maintenance stress under TSan"
+# The query storm runs concurrently with background seed recompute and
+# RCU-style generation swaps; the test additionally replays every answer
+# serially against its pinned generation and requires bit-identity.
+TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+  "$BUILD/tests/maintenance_test"
 
 echo "TSan stress: OK (zero reported races)"

@@ -5,11 +5,19 @@
 // INFLEX index looks like: accept a batch of TIM requests, fan them across
 // workers, answer repeats from the cache.
 //
+// With --deltas N the demo additionally exercises the live maintenance
+// plane: while the replay is in flight it submits N catalog deltas to an
+// IndexMaintainer attached to the engine — admitted items get their seed
+// lists recomputed on a background thread and each result is published as a
+// new index generation (RCU swap + cache-epoch bump) under the running
+// query storm, without rejecting or blocking a single request.
+//
 //   inflex_serve --data data/ --index index.bin
 //                [--queries N] [--unique U] [--batch B] [--threads T]
 //                [--k K] [--strategy inflex|exact|approx|approx-sel|approx-ad]
 //                [--cache-capacity C] [--shards S] [--quantization Q]
 //                [--no-cache] [--seed S]
+//                [--deltas D] [--admission-threshold T] [--delta-snapshots S]
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -18,6 +26,7 @@
 
 #include "data/dataset_io.h"
 #include "data/workload.h"
+#include "inflex/index_maintainer.h"
 #include "inflex/query_engine.h"
 #include "util/args.h"
 #include "util/random.h"
@@ -30,6 +39,20 @@ namespace {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Extreme near-corner topic mixtures: maximally far (in KL) from the
+/// data-driven index points, so a delta stream built from them reliably
+/// exercises the admission→precompute→publish pipeline.
+core::CatalogDelta MakeCornerDelta(size_t i, size_t num_topics) {
+  const double mass = i % 2 == 0 ? 0.9997 : 0.999;
+  std::vector<double> probs(num_topics,
+                            (1.0 - mass) / static_cast<double>(num_topics - 1));
+  probs[i % num_topics] = mass;
+  core::CatalogDelta delta;
+  delta.id = "delta-" + std::to_string(i);
+  delta.item = simplex::TopicDistribution::Create(std::move(probs)).ValueOrDie();
+  return delta;
 }
 
 Result<core::QueryStrategy> ParseStrategy(const std::string& name) {
@@ -53,6 +76,9 @@ int Run(ArgParser& args) {
   auto shards = args.GetInt("shards", 16);
   auto quantization = args.GetDouble("quantization", 0.01);
   auto seed = args.GetInt("seed", 7);
+  auto deltas = args.GetInt("deltas", 0);
+  auto admission = args.GetDouble("admission-threshold", 0.05);
+  auto delta_snapshots = args.GetInt("delta-snapshots", 30);
   const std::string strategy_name = args.GetString("strategy", "inflex");
   const bool no_cache = args.HasFlag("no-cache");
   if (auto st = args.Validate(); !st.ok()) return Fail(st);
@@ -60,10 +86,11 @@ int Run(ArgParser& args) {
     return Fail(Status::InvalidArgument("--data and --index are required"));
   }
   for (const auto* r : {&queries, &unique, &batch, &threads, &k, &capacity,
-                        &shards, &seed}) {
+                        &shards, &seed, &deltas, &delta_snapshots}) {
     if (!r->ok()) return Fail(r->status());
   }
   if (!quantization.ok()) return Fail(quantization.status());
+  if (!admission.ok()) return Fail(admission.status());
   auto strategy = ParseStrategy(strategy_name);
   if (!strategy.ok()) return Fail(strategy.status());
 
@@ -102,7 +129,30 @@ int Run(ArgParser& args) {
   eopts.cache.capacity = static_cast<size_t>(capacity.ValueOrDie());
   eopts.cache.num_shards = static_cast<size_t>(shards.ValueOrDie());
   eopts.cache.quantization = quantization.ValueOrDie();
-  core::QueryEngine engine(&index.ValueOrDie(), eopts);
+  auto shared_index =
+      std::make_shared<core::InflexIndex>(std::move(index).ValueOrDie());
+  core::QueryEngine engine(shared_index, eopts);
+
+  // Optional live maintenance under the replay: an IndexMaintainer attached
+  // to the engine, fed one extreme-corner delta per batch.
+  const size_t num_deltas = static_cast<size_t>(deltas.ValueOrDie());
+  std::unique_ptr<core::IndexMaintainer> maintainer;
+  if (num_deltas > 0) {
+    core::IndexMaintainerOptions mopts;
+    mopts.admission_threshold = admission.ValueOrDie();
+    mopts.oracle_snapshots =
+        static_cast<size_t>(delta_snapshots.ValueOrDie());
+    mopts.seed = static_cast<uint64_t>(seed.ValueOrDie()) + 100;
+    mopts.on_publish = [](uint64_t epoch,
+                          std::shared_ptr<const core::InflexIndex> gen) {
+      std::printf("  maintenance: published generation %llu "
+                  "(%zu index points)\n",
+                  static_cast<unsigned long long>(epoch),
+                  gen->num_index_points());
+    };
+    maintainer = std::make_unique<core::IndexMaintainer>(
+        shared_index, &ds.ValueOrDie().graph, &engine, mopts);
+  }
 
   std::printf("serving %zu requests (%zu unique mixtures, k=%lld, %s) in "
               "batches of %lld across %zu threads, cache %s (capacity %lld, "
@@ -117,13 +167,36 @@ int Run(ArgParser& args) {
   Timer total;
   const size_t batch_size = static_cast<size_t>(batch.ValueOrDie());
   size_t batch_no = 0;
+  size_t deltas_sent = 0;
   for (size_t start = 0; start < trace.size(); start += batch_size) {
+    // Interleave catalog deltas with the replay so generation swaps land
+    // while requests are in flight. SubmitDelta never blocks on the
+    // precompute — admission is a microsecond tree probe.
+    if (maintainer != nullptr && deltas_sent < num_deltas) {
+      const auto delta =
+          MakeCornerDelta(deltas_sent++, shared_index->num_topics());
+      auto receipt = maintainer->SubmitDelta(delta);
+      if (!receipt.ok()) return Fail(receipt.status());
+      std::printf("  delta %s: %s (min divergence %.4f)\n", delta.id.c_str(),
+                  core::DeltaOutcomeName(receipt.ValueOrDie().outcome),
+                  receipt.ValueOrDie().min_divergence);
+    }
     const size_t stop = std::min(trace.size(), start + batch_size);
     std::span<const core::QueryRequest> slice(trace.data() + start,
                                               stop - start);
     core::ServingStats stats;
     engine.QueryBatch(slice, &stats);
     std::printf("  batch %zu: %s\n", ++batch_no, stats.ToString().c_str());
+  }
+  // More deltas than batches: flush the rest of the stream.
+  for (; maintainer != nullptr && deltas_sent < num_deltas; ++deltas_sent) {
+    const auto delta =
+        MakeCornerDelta(deltas_sent, shared_index->num_topics());
+    auto receipt = maintainer->SubmitDelta(delta);
+    if (!receipt.ok()) return Fail(receipt.status());
+    std::printf("  delta %s: %s (min divergence %.4f)\n", delta.id.c_str(),
+                core::DeltaOutcomeName(receipt.ValueOrDie().outcome),
+                receipt.ValueOrDie().min_divergence);
   }
   const double wall_s = total.ElapsedSeconds();
 
@@ -134,6 +207,20 @@ int Run(ArgParser& args) {
               static_cast<double>(stats.num_requests) / wall_s,
               100.0 * stats.hit_rate(), stats.num_failed,
               engine.cache().size());
+
+  if (maintainer != nullptr) {
+    maintainer->Drain();
+    const auto mstats = maintainer->stats();
+    std::printf("maintenance summary: %s | engine epoch %llu\n",
+                mstats.ToString().c_str(),
+                static_cast<unsigned long long>(engine.index_epoch()));
+    if (mstats.admitted == 0 || mstats.failed != 0) {
+      std::fprintf(stderr,
+                   "error: delta demo expected >=1 admission and no "
+                   "failures\n");
+      return 1;
+    }
+  }
   return stats.num_failed == 0 ? 0 : 1;
 }
 
