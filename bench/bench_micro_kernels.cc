@@ -1,9 +1,15 @@
-// Google-benchmark microbenchmarks of the hot kernels: KL divergence, ILR,
+// Google-benchmark microbenchmarks of the hot kernels: KL divergence (the
+// reference scalar path vs the factorized vectorized kernel layer), ILR,
 // Eq. 1 instance materialization, cascade simulation, snapshot-oracle
 // marginal gains, bb-tree searches, Kendall-τ, and the aggregation kernels.
+// After the google-benchmark suite, main() runs a self-timed reference-vs-
+// kernel comparison across topic counts and leaf-scan batch sizes and writes
+// it to BENCH_kernels.json (see RunKernelComparison below).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <numeric>
+#include <vector>
 
 #include "bbtree/bbtree.h"
 #include "data/synthetic.h"
@@ -15,8 +21,10 @@
 #include "rank/kendall_tau.h"
 #include "simplex/divergence.h"
 #include "simplex/ilr.h"
+#include "simplex/kl_kernel.h"
 #include "simplex/sampling.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -45,6 +53,71 @@ void BM_KlDivergence(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KlDivergence)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_KlKernelFactorized(benchmark::State& state) {
+  // The factorized evaluation as the tree performs it: log q̂ and −H(p)
+  // amortized away, one dot product per call.
+  Rng rng(1);
+  const size_t dim = state.range(0);
+  const auto p = simplex::SampleUniformSimplex(dim, &rng);
+  const auto q = simplex::SampleUniformSimplex(dim, &rng);
+  const double negent = simplex::NegativeEntropy(p.data(), dim);
+  simplex::KlQueryContext ctx;
+  ctx.Reset(q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.Kl(p.data(), negent));
+  }
+}
+BENCHMARK(BM_KlKernelFactorized)->Arg(10)->Arg(50)->Arg(200);
+
+// One leaf scan: `batch` stored points against one query. The reference
+// variant calls KlDivergence per point (scalar logs every call); the kernel
+// variant is one KlBatch sweep over the contiguous rows.
+void BM_KlLeafScanReference(benchmark::State& state) {
+  Rng rng(1);
+  const size_t dim = state.range(0);
+  const size_t batch = state.range(1);
+  const auto points = simplex::SampleUniformSimplexMany(dim, batch, &rng);
+  const auto q = simplex::SampleUniformSimplex(dim, &rng);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& p : points) acc += simplex::KlDivergence(p, q);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_KlLeafScanReference)
+    ->Args({50, 16})
+    ->Args({50, 64})
+    ->Args({50, 256})
+    ->Args({10, 64})
+    ->Args({200, 64});
+
+void BM_KlLeafScanKernel(benchmark::State& state) {
+  Rng rng(1);
+  const size_t dim = state.range(0);
+  const size_t batch = state.range(1);
+  const auto points = simplex::SampleUniformSimplexMany(dim, batch, &rng);
+  std::vector<double> rows(batch * dim), negent(batch), out(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    std::copy(points[i].begin(), points[i].end(), rows.begin() + i * dim);
+    negent[i] = simplex::NegativeEntropy(points[i].data(), dim);
+  }
+  simplex::KlQueryContext ctx;
+  ctx.Reset(simplex::SampleUniformSimplex(dim, &rng));
+  for (auto _ : state) {
+    simplex::KlBatch(rows.data(), negent.data(), batch, dim, ctx.log_query(),
+                     out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_KlLeafScanKernel)
+    ->Args({50, 16})
+    ->Args({50, 64})
+    ->Args({50, 256})
+    ->Args({10, 64})
+    ->Args({200, 64});
 
 void BM_IlrTransform(benchmark::State& state) {
   Rng rng(2);
@@ -216,6 +289,108 @@ void BM_Aggregation(benchmark::State& state) {
 }
 BENCHMARK(BM_Aggregation)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
+// One measured configuration of the reference-vs-kernel comparison.
+struct KernelRow {
+  size_t dim = 0;
+  size_t batch = 0;
+  double ref_ns_per_eval = 0.0;
+  double kernel_ns_per_eval = 0.0;
+  double speedup() const { return ref_ns_per_eval / kernel_ns_per_eval; }
+};
+
+// Self-timed leaf-scan comparison (independent of google-benchmark so the
+// JSON is reproducible with a plain run): for each (Z, batch) configuration
+// measures ns/eval of the reference scalar KlDivergence loop and of the
+// factorized KlBatch kernel over the same points, repeating each measurement
+// until it accumulates ≥ ~40 ms of wall time.
+KernelRow MeasureKernelRow(size_t dim, size_t batch) {
+  Rng rng(21);
+  const auto points = simplex::SampleUniformSimplexMany(dim, batch, &rng);
+  const auto q = simplex::SampleUniformSimplex(dim, &rng);
+  std::vector<double> rows(batch * dim), negent(batch), out(batch);
+  for (size_t i = 0; i < batch; ++i) {
+    std::copy(points[i].begin(), points[i].end(), rows.begin() + i * dim);
+    negent[i] = simplex::NegativeEntropy(points[i].data(), dim);
+  }
+  simplex::KlQueryContext ctx;
+  ctx.Reset(q);
+
+  auto time_ns_per_eval = [&](auto&& body) {
+    // Warm up, then grow the repeat count until the run is long enough for
+    // the steady_clock resolution to be noise-free.
+    body();
+    size_t reps = 1;
+    double elapsed_s = 0.0;
+    for (;;) {
+      Timer t;
+      for (size_t r = 0; r < reps; ++r) body();
+      elapsed_s = t.ElapsedSeconds();
+      if (elapsed_s >= 0.04) break;
+      reps *= 4;
+    }
+    return elapsed_s * 1e9 /
+           (static_cast<double>(reps) * static_cast<double>(batch));
+  };
+
+  KernelRow row;
+  row.dim = dim;
+  row.batch = batch;
+  double sink = 0.0;
+  row.ref_ns_per_eval = time_ns_per_eval([&] {
+    for (const auto& p : points) sink += simplex::KlDivergence(p, q);
+  });
+  row.kernel_ns_per_eval = time_ns_per_eval([&] {
+    simplex::KlBatch(rows.data(), negent.data(), batch, dim, ctx.log_query(),
+                     out.data());
+    sink += out[0];
+  });
+  benchmark::DoNotOptimize(sink);
+  return row;
+}
+
+void RunKernelComparison() {
+  const struct { size_t dim, batch; } configs[] = {
+      {10, 64}, {50, 16}, {50, 64}, {50, 256}, {200, 64},
+  };
+  std::printf("\nReference KlDivergence vs factorized kernel (leaf scan)\n");
+  std::printf("%6s %6s %14s %14s %9s\n", "Z", "batch", "ref ns/eval",
+              "kernel ns/eval", "speedup");
+  std::vector<KernelRow> rows;
+  for (const auto& c : configs) {
+    rows.push_back(MeasureKernelRow(c.dim, c.batch));
+    const KernelRow& r = rows.back();
+    std::printf("%6zu %6zu %14.2f %14.2f %8.2fx\n", r.dim, r.batch,
+                r.ref_ns_per_eval, r.kernel_ns_per_eval, r.speedup());
+  }
+
+  const char* path = "BENCH_kernels.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"kl_kernel_leaf_scan\",\n");
+  std::fprintf(f, "  \"unit\": \"ns_per_eval\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const KernelRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"z\": %zu, \"batch\": %zu, \"reference\": %.2f, "
+                 "\"kernel\": %.2f, \"speedup\": %.2f}%s\n",
+                 r.dim, r.batch, r.ref_ns_per_eval, r.kernel_ns_per_eval,
+                 r.speedup(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  RunKernelComparison();
+  return 0;
+}

@@ -8,6 +8,7 @@
 // Note: QPS scales with *physical* cores. On a single-core host the threaded
 // rows collapse to ~1x and only the cache rows show gains.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/evaluation.h"
@@ -47,6 +48,58 @@ std::vector<core::QueryRequest> MakeTrace(const Testbed& tb, size_t unique,
   return trace;
 }
 
+/// One emitted row of BENCH_serving.json.
+struct ServingRow {
+  std::string label;
+  bool cached = false;
+  size_t threads = 1;
+  core::ServingStats stats;
+  double kl_evals_per_query = 0.0;
+};
+
+void WriteServingJson(double serial_qps, double serial_kl_per_query,
+                      const std::vector<ServingRow>& rows) {
+  const char* path = "BENCH_serving.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"serving_throughput\",\n");
+  std::fprintf(f, "  \"serial\": {\"qps\": %.0f, \"kl_evaluations_per_query\": %.1f},\n",
+               serial_qps, serial_kl_per_query);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ServingRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"config\": \"%s\", \"cached\": %s, \"threads\": %zu, "
+        "\"qps\": %.0f, \"speedup_vs_serial\": %.2f, \"hit_rate\": %.3f, "
+        "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"max_ms\": %.4f, \"kl_evaluations_per_query\": %.1f}%s\n",
+        r.label.c_str(), r.cached ? "true" : "false", r.threads, r.stats.qps,
+        serial_qps > 0.0 ? r.stats.qps / serial_qps : 0.0, r.stats.hit_rate(),
+        r.stats.p50_ms, r.stats.p95_ms, r.stats.p99_ms, r.stats.max_ms,
+        r.kl_evals_per_query, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+/// Mean KL evaluations per successfully served request (0 for fully cached
+/// batches — cache hits run no search).
+double MeanKlEvaluations(const std::vector<Result<core::QueryResult>>& results) {
+  size_t ok = 0;
+  double total = 0.0;
+  for (const auto& r : results) {
+    if (!r.ok()) continue;
+    ++ok;
+    total += static_cast<double>(r.ValueOrDie().search_stats.kl_evaluations);
+  }
+  return ok > 0 ? total / static_cast<double>(ok) : 0.0;
+}
+
 }  // namespace
 
 int main() {
@@ -70,21 +123,35 @@ int main() {
 
   // Serial baseline: one thread, straight through the index, no cache.
   double serial_qps = 0.0;
+  double serial_kl_per_query = 0.0;
   {
     Timer t;
     size_t failed = 0;
+    size_t kl_total = 0;
     for (const auto& r : trace) {
-      if (!tb.index->Query(r.item, r.k, r.options).ok()) ++failed;
+      auto result = tb.index->Query(r.item, r.k, r.options);
+      if (!result.ok()) {
+        ++failed;
+      } else {
+        kl_total += result.ValueOrDie().search_stats.kl_evaluations;
+      }
     }
     const double wall_s = t.ElapsedSeconds();
     serial_qps = static_cast<double>(trace.size()) / wall_s;
+    serial_kl_per_query = trace.size() > failed
+                              ? static_cast<double>(kl_total) /
+                                    static_cast<double>(trace.size() - failed)
+                              : 0.0;
     std::printf("serial (no cache, 1 thread): %zu queries in %.1f ms -> "
-                "%.0f QPS (%zu failed)\n\n",
-                trace.size(), wall_s * 1e3, serial_qps, failed);
+                "%.0f QPS, %.1f KL evals/query (%zu failed)\n\n",
+                trace.size(), wall_s * 1e3, serial_qps, serial_kl_per_query,
+                failed);
   }
 
-  std::printf("%-28s %10s %8s %9s %9s %9s %9s %9s\n", "configuration", "QPS",
-              "vs serial", "hit rate", "p50 ms", "p95 ms", "p99 ms", "max ms");
+  std::printf("%-28s %10s %8s %9s %9s %9s %9s %9s %9s\n", "configuration",
+              "QPS", "vs serial", "hit rate", "p50 ms", "p95 ms", "p99 ms",
+              "max ms", "KL/query");
+  std::vector<ServingRow> rows;
   const size_t thread_counts[] = {1, 2, 4, 8};
   for (bool cached : {false, true}) {
     for (size_t threads : thread_counts) {
@@ -99,17 +166,26 @@ int main() {
       // measured pass — steady-state serving is what the row reports.
       engine.QueryBatch(trace);
       core::ServingStats stats;
-      engine.QueryBatch(trace, &stats);
+      const auto results = engine.QueryBatch(trace, &stats);
       char label[64];
       std::snprintf(label, sizeof(label), "%s, %zu thread%s",
                     cached ? "cached" : "uncached", threads,
                     threads == 1 ? "" : "s");
-      std::printf("%-28s %10.0f %7.2fx %8.1f%% %9.3f %9.3f %9.3f %9.3f\n",
-                  label, stats.qps, stats.qps / serial_qps,
-                  100.0 * stats.hit_rate(), stats.p50_ms, stats.p95_ms,
-                  stats.p99_ms, stats.max_ms);
+      ServingRow row;
+      row.label = label;
+      row.cached = cached;
+      row.threads = threads;
+      row.stats = stats;
+      row.kl_evals_per_query = MeanKlEvaluations(results);
+      rows.push_back(row);
+      std::printf(
+          "%-28s %10.0f %7.2fx %8.1f%% %9.3f %9.3f %9.3f %9.3f %9.1f\n", label,
+          stats.qps, stats.qps / serial_qps, 100.0 * stats.hit_rate(),
+          stats.p50_ms, stats.p95_ms, stats.p99_ms, stats.max_ms,
+          row.kl_evals_per_query);
     }
   }
+  WriteServingJson(serial_qps, serial_kl_per_query, rows);
 
   std::printf(
       "\nShape to expect: uncached QPS grows with threads up to the physical "

@@ -38,23 +38,24 @@ class BbTreeBuilder {
  public:
   BbTreeBuilder(std::vector<simplex::TopicVector> points,
                 const BbTreeOptions& options)
-      : options_(options), rng_(options.seed) {
-    tree_.points_ = std::move(points);
+      : options_(options), rng_(options.seed), input_(std::move(points)) {
     tree_.options_ = options;
+    tree_.dim_ = input_.front().size();
   }
 
   Result<BbTree> Build() {
-    std::vector<uint32_t> all_ids(tree_.points_.size());
-    for (uint32_t i = 0; i < tree_.points_.size(); ++i) all_ids[i] = i;
+    std::vector<uint32_t> all_ids(input_.size());
+    for (uint32_t i = 0; i < input_.size(); ++i) all_ids[i] = i;
     tree_.nodes_.emplace_back();
     INFLEX_RETURN_NOT_OK(BuildNode(0, std::move(all_ids), 1));
+    tree_.FinalizeKernelData(input_);
     return std::move(tree_);
   }
 
  private:
   Status BuildNode(uint32_t node_id, std::vector<uint32_t> ids, size_t level) {
     tree_.depth_ = std::max(tree_.depth_, level);
-    tree_.nodes_[node_id].ball = CoveringBall(tree_.points_, ids);
+    tree_.nodes_[node_id].ball = CoveringBall(input_, ids);
     if (ids.size() <= options_.max_leaf_size) {
       return MakeLeaf(node_id, std::move(ids));
     }
@@ -65,7 +66,7 @@ class BbTreeBuilder {
     // K-means++ split when G-means sees a single Gaussian cluster.
     std::vector<simplex::TopicVector> members;
     members.reserve(ids.size());
-    for (uint32_t id : ids) members.push_back(tree_.points_[id]);
+    for (uint32_t id : ids) members.push_back(input_[id]);
 
     cluster::GMeansOptions gopts;
     gopts.ad_alpha = options_.gmeans_alpha;
@@ -114,8 +115,46 @@ class BbTreeBuilder {
 
   BbTreeOptions options_;
   Rng rng_;
+  std::vector<simplex::TopicVector> input_;
   BbTree tree_;
 };
+
+void BbTree::FinalizeKernelData(
+    const std::vector<simplex::TopicVector>& input) {
+  const size_t n = input.size();
+  point_data_.assign(n * dim_, 0.0);
+  point_negent_.assign(n, 0.0);
+  row_of_id_.assign(n, 0);
+  id_of_row_.assign(n, 0);
+  // Leaf-contiguous row layout: walking a leaf's points sweeps sequential
+  // rows of the flat buffer.
+  uint32_t next_row = 0;
+  for (const Node& node : nodes_) {
+    if (!node.is_leaf()) continue;
+    for (uint32_t id : node.point_ids) {
+      const uint32_t row = next_row++;
+      std::copy(input[id].begin(), input[id].end(),
+                point_data_.begin() + static_cast<size_t>(row) * dim_);
+      point_negent_[row] = simplex::NegativeEntropy(input[id].data(), dim_);
+      row_of_id_[id] = row;
+      id_of_row_[row] = id;
+    }
+  }
+  INFLEX_CHECK_EQ(static_cast<size_t>(next_row), n);
+  // Child-center matrices for the batched descent evaluation.
+  for (Node& node : nodes_) {
+    if (node.is_leaf()) continue;
+    const size_t m = node.children.size();
+    node.child_centers.resize(m * dim_);
+    node.child_center_negent.resize(m);
+    for (size_t c = 0; c < m; ++c) {
+      const BregmanBall& ball = nodes_[node.children[c]].ball;
+      std::copy(ball.center().begin(), ball.center().end(),
+                node.child_centers.begin() + c * dim_);
+      node.child_center_negent[c] = ball.center_neg_entropy();
+    }
+  }
+}
 
 Result<BbTree> BbTree::Build(std::vector<simplex::TopicVector> points,
                              const BbTreeOptions& options) {
@@ -138,11 +177,24 @@ Result<BbTree> BbTree::Build(std::vector<simplex::TopicVector> points,
   return builder.Build();
 }
 
+simplex::TopicVector BbTree::point(uint32_t id) const {
+  const auto view = point_span(id);
+  return simplex::TopicVector(view.begin(), view.end());
+}
+
 Result<uint32_t> BbTree::Insert(simplex::TopicVector point) {
   INFLEX_CHECK(!nodes_.empty());
-  if (point.size() != dim()) {
+  if (point.size() != dim_) {
     return Status::InvalidArgument("inserted point dimension mismatch");
   }
+
+  // One context for the whole descent: log(max(point, eps)) and −H(point)
+  // serve both directions of the kernel (ball checks evaluate
+  // D_KL(point ‖ center) against the ball's cached log-center; child
+  // selection evaluates D_KL(center ‖ point) over the node's child matrix).
+  simplex::KlQueryContext kq;
+  kq.Reset(point);
+  std::vector<double> child_divs;
 
   // Descend by the same closest-center rule the searches use, enlarging
   // every ball on the path so it keeps covering the new point (the ball is
@@ -152,26 +204,28 @@ Result<uint32_t> BbTree::Insert(simplex::TopicVector point) {
   while (true) {
     Node& node = nodes_[current];
     const double to_center =
-        simplex::KlDivergence(point, node.ball.center());
+        kq.KlOfQueryAgainst(node.ball.log_center().data());
     if (to_center > node.ball.radius()) {
-      node.ball = BregmanBall(node.ball.center(), to_center);
+      node.ball.EnlargeRadius(to_center);
     }
     if (node.is_leaf()) break;
-    double best_div = std::numeric_limits<double>::infinity();
-    uint32_t best_child = node.children.front();
-    for (uint32_t child : node.children) {
-      const double d =
-          simplex::KlDivergence(nodes_[child].ball.center(), point);
-      if (d < best_div) {
-        best_div = d;
-        best_child = child;
-      }
+    const size_t m = node.children.size();
+    child_divs.resize(m);
+    simplex::KlBatch(node.child_centers.data(),
+                     node.child_center_negent.data(), m, dim_, kq.log_query(),
+                     child_divs.data());
+    size_t best = 0;
+    for (size_t c = 1; c < m; ++c) {
+      if (child_divs[c] < child_divs[best]) best = c;
     }
-    current = best_child;
+    current = node.children[best];
   }
 
-  const auto id = static_cast<uint32_t>(points_.size());
-  points_.push_back(std::move(point));
+  const auto id = static_cast<uint32_t>(num_points());
+  point_data_.insert(point_data_.end(), point.begin(), point.end());
+  point_negent_.push_back(simplex::NegativeEntropy(point.data(), dim_));
+  row_of_id_.push_back(id);  // appended rows coincide with appended ids
+  id_of_row_.push_back(id);
   nodes_[current].point_ids.push_back(id);
   largest_leaf_ = std::max(largest_leaf_, nodes_[current].point_ids.size());
   ++num_inserted_;
@@ -179,9 +233,9 @@ Result<uint32_t> BbTree::Insert(simplex::TopicVector point) {
 }
 
 double BbTree::degradation() const {
-  if (points_.empty()) return 0.0;
-  const double inserted_fraction =
-      static_cast<double>(num_inserted_) / static_cast<double>(points_.size());
+  if (num_points() == 0) return 0.0;
+  const double inserted_fraction = static_cast<double>(num_inserted_) /
+                                   static_cast<double>(num_points());
   const size_t cap = std::max<size_t>(options_.max_leaf_size, 1);
   const double leaf_overflow =
       largest_leaf_ > cap

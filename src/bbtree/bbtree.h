@@ -2,9 +2,12 @@
 #define INFLEX_BBTREE_BBTREE_H_
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "bbtree/bregman_ball.h"
+#include "simplex/kl_kernel.h"
 #include "simplex/topic_distribution.h"
 #include "util/status.h"
 
@@ -33,16 +36,6 @@ struct Neighbor {
     if (divergence != other.divergence) return divergence < other.divergence;
     return point_id < other.point_id;
   }
-};
-
-/// \brief Instrumentation shared by all search procedures; the paper reports
-/// KL-evaluation counts and leaves visited for Figure 5 and the early-stop
-/// analysis.
-struct SearchStats {
-  size_t kl_evaluations = 0;
-  size_t leaves_visited = 0;
-  size_t nodes_visited = 0;
-  size_t subtrees_pruned = 0;
 };
 
 /// \brief Options for the INFLEX similarity search (Algorithm 1).
@@ -76,12 +69,47 @@ struct InflexSearchResult {
   SearchStats stats;
 };
 
+/// \brief Reusable per-query scratch for the tree searches: the KL query
+/// context (clamped log(q), −H(q)), the bisection buffers, and every
+/// per-level/per-leaf vector the search loops need. Searches given a nullptr
+/// context fall back to an internal thread_local instance, so steady-state
+/// tree search allocates nothing either way; passing an explicit context
+/// merely makes the reuse visible at the call site.
+class SearchContext {
+ public:
+  SearchContext() = default;
+
+ private:
+  friend class BbTree;
+  simplex::KlQueryContext kl_;
+  BisectionScratch bisect_;
+  /// Bypassed siblings of one descent, hoisted out of the per-level loop.
+  std::vector<std::pair<double, uint32_t>> siblings_;
+  /// Per-level child divergences (was `evaluated`, reallocated per level).
+  std::vector<double> child_divs_;
+  /// Leaf-scan batch output, aligned with the leaf's point ids.
+  std::vector<double> leaf_divs_;
+  // `similar_enough` scratch (leaf mean, projection direction, AD sample).
+  std::vector<double> mean_;
+  std::vector<double> direction_;
+  std::vector<double> sample_;
+};
+
 /// \brief Bregman ball tree over a set of topic distributions, built
 /// top-down with Bregman K-means++ splits whose branching factor is learned
 /// by G-means (Nielsen et al. 2009), following §3.2. After Build() the tree
 /// additionally supports online point insertion (Insert) for live index
 /// maintenance; inserted points degrade the partition quality, which
 /// degradation() quantifies so a maintainer can decide when to rebuild.
+///
+/// Storage (kernel layer, DESIGN.md §10): points live in one flat row-major
+/// buffer ordered so that each built leaf occupies a contiguous block of
+/// rows, with per-row precomputed negative entropies and an id↔row
+/// indirection (ids are stable positions in the input; rows are the physical
+/// layout). Every internal node mirrors its children's ball centers in a
+/// contiguous child matrix. All searches evaluate D_KL through the
+/// factorized kernel (simplex/kl_kernel.h): one clamped log transform per
+/// query, one dot product per evaluation.
 class BbTree {
  public:
   /// Creates an empty tree; usable only as a move-assignment target.
@@ -99,8 +127,9 @@ class BbTree {
   /// contain the point. All search bounds stay sound — ExactKnn remains
   /// exact — but leaves grow beyond max_leaf_size and ball radii beyond
   /// their built-time tightness, which is what degradation() tracks.
-  /// Returns the new point id (= num_points() before the call). Fails on a
-  /// dimension mismatch.
+  /// The point's row is appended to the flat buffer (inserted points are not
+  /// leaf-contiguous until the next Build/Compact). Returns the new point id
+  /// (= num_points() before the call). Fails on a dimension mismatch.
   Result<uint32_t> Insert(simplex::TopicVector point);
 
   /// Number of points added by Insert() since Build().
@@ -113,37 +142,54 @@ class BbTree {
   /// crosses its threshold.
   double degradation() const;
 
-  size_t num_points() const { return points_.size(); }
+  size_t num_points() const { return row_of_id_.size(); }
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const { return num_leaves_; }
   size_t depth() const { return depth_; }
-  size_t dim() const { return points_.empty() ? 0 : points_.front().size(); }
+  size_t dim() const { return dim_; }
 
-  /// The indexed point with the given id (ids are positions in the input).
-  const simplex::TopicVector& point(uint32_t id) const { return points_[id]; }
+  /// A copy of the indexed point with the given id (ids are positions in the
+  /// input). The backing storage is the flat SoA buffer; use point_span()
+  /// for copy-free access.
+  simplex::TopicVector point(uint32_t id) const;
+
+  /// Copy-free view of the indexed point's row in the SoA buffer.
+  std::span<const double> point_span(uint32_t id) const {
+    const size_t row = row_of_id_[id];
+    return {point_data_.data() + row * dim_, dim_};
+  }
+
+  /// Precomputed Σ p_z·log p_z (= −H(p)) of the indexed point.
+  double point_neg_entropy(uint32_t id) const {
+    return point_negent_[row_of_id_[id]];
+  }
 
   /// Exact K nearest neighbors under D_KL(point ‖ query), by best-first
   /// branch-and-bound with the Eq. 5 bound (used by the paper's `exactKNN`
   /// baseline; also the ground truth for recall experiments).
   std::vector<Neighbor> ExactKnn(const simplex::TopicVector& query, size_t k,
-                                 SearchStats* stats = nullptr) const;
+                                 SearchStats* stats = nullptr,
+                                 SearchContext* ctx = nullptr) const;
 
   /// Approximate K-NN bounded by a maximum number of visited leaves
   /// (the paper's `approxKNN` baseline; with max_leaves = num_leaves() it
   /// degenerates to exact search order without the K-bound guarantee).
   std::vector<Neighbor> LeafBoundedKnn(const simplex::TopicVector& query,
                                        size_t k, size_t max_leaves,
-                                       SearchStats* stats = nullptr) const;
+                                       SearchStats* stats = nullptr,
+                                       SearchContext* ctx = nullptr) const;
 
   /// Algorithm 1: the unbounded INFLEX similarity search with ε-exact
   /// shortcut, Anderson-Darling early stop and Bregman-projection pruning.
   InflexSearchResult InflexSearch(const simplex::TopicVector& query,
-                                  const InflexSearchOptions& options = {}) const;
+                                  const InflexSearchOptions& options = {},
+                                  SearchContext* ctx = nullptr) const;
 
   /// Linear scan over all points (reference; O(Z·h) as the paper notes).
+  /// Sweeps the flat buffer in row order.
   std::vector<Neighbor> LinearScanKnn(const simplex::TopicVector& query,
-                                      size_t k,
-                                      SearchStats* stats = nullptr) const;
+                                      size_t k, SearchStats* stats = nullptr,
+                                      SearchContext* ctx = nullptr) const;
 
  private:
   friend class BbTreeBuilder;
@@ -154,20 +200,52 @@ class BbTree {
     std::vector<uint32_t> children;
     /// Point ids stored here (leaves only).
     std::vector<uint32_t> point_ids;
+    /// SoA mirror of the children's ball centers (children.size() × dim,
+    /// row-major) with their negative entropies: the per-level descent
+    /// evaluation is one contiguous batch-kernel sweep. Filled by
+    /// FinalizeKernelData; centers never change afterwards (Insert only
+    /// enlarges radii), so no maintenance is needed.
+    std::vector<double> child_centers;
+    std::vector<double> child_center_negent;
     bool is_leaf() const { return children.empty(); }
   };
 
   const Node& root() const { return nodes_[0]; }
 
+  /// Fills the SoA point buffer (leaf-contiguous rows + id↔row maps +
+  /// per-row negative entropies) and every node's child-center matrix.
+  /// Called once at the end of Build.
+  void FinalizeKernelData(const std::vector<simplex::TopicVector>& input);
+
   /// Descends greedily from `node_id` to a leaf, choosing at every level the
   /// child whose center is closest to the query (arg min of D_KL(μ_c ‖ q),
-  /// as in Algorithm 1) and appending the bypassed siblings to
-  /// `siblings_out`; returns the leaf id. Shared by all tree searches.
-  uint32_t DescendToLeaf(
-      uint32_t node_id, const simplex::TopicVector& query, SearchStats* stats,
-      std::vector<std::pair<double, uint32_t>>* siblings_out) const;
+  /// as in Algorithm 1, evaluated as one batch over the node's child matrix)
+  /// and appending the bypassed siblings to ctx.siblings_; returns the leaf
+  /// id. Shared by all tree searches.
+  uint32_t DescendToLeaf(uint32_t node_id, SearchContext& ctx,
+                         SearchStats* stats) const;
 
-  std::vector<simplex::TopicVector> points_;
+  /// Evaluates D_KL(p ‖ q) for every point of `leaf` against the context's
+  /// query into ctx.leaf_divs_ (aligned with leaf.point_ids).
+  void ScanLeaf(const Node& leaf, SearchContext& ctx,
+                SearchStats* stats) const;
+
+  /// The `similar_enough` AD test of Algorithm 1 over a leaf population.
+  bool SimilarEnough(const std::vector<uint32_t>& leaf_ids, SearchContext& ctx,
+                     double ad_alpha) const;
+
+  const double* row_ptr(uint32_t row) const {
+    return point_data_.data() + static_cast<size_t>(row) * dim_;
+  }
+
+  // Flat SoA point storage: rows are leaf-contiguous after Build (inserted
+  // points append), ids are stable input positions.
+  size_t dim_ = 0;
+  std::vector<double> point_data_;      // num_points × dim_, row-major
+  std::vector<double> point_negent_;    // per row: Σ p_z·log p_z
+  std::vector<uint32_t> row_of_id_;
+  std::vector<uint32_t> id_of_row_;
+
   std::vector<Node> nodes_;  // nodes_[0] is the root
   size_t num_leaves_ = 0;
   size_t depth_ = 0;

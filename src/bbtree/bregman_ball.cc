@@ -6,119 +6,177 @@
 
 #include "simplex/divergence.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace inflex {
 namespace bbtree {
 
 namespace {
 
-constexpr double kGeodesicEps = 1e-12;
 constexpr int kMaxBisectionIters = 60;
 constexpr double kLambdaTolerance = 1e-10;
 
-// Point on the dual geodesic between q (λ=0) and μ (λ=1): the normalized
-// componentwise geometric mixture x_λ ∝ q^{1−λ} μ^λ.
-void GeodesicPoint(const simplex::TopicVector& q,
-                   const simplex::TopicVector& mu, double lambda,
-                   simplex::TopicVector* out) {
-  const size_t dim = q.size();
-  out->resize(dim);
+// Fills scratch->x with the normalized geodesic point between q (λ=0) and μ
+// (λ=1) — the componentwise geometric mixture x_λ ∝ q̂^{1−λ} μ̂^λ — and
+// returns Σ_z x_z·log x_z (its negative entropy). The entropy falls out of
+// the log-mixture coordinates u_z = (1−λ)·log q̂_z + λ·log μ̂_z without
+// further log calls: log x_z = u_z − log S, where S normalizes exp(u).
+double GeodesicPoint(const double* log_q, const double* log_mu, size_t n,
+                     double lambda, BisectionScratch* scratch) {
+  scratch->x.resize(n);
+  scratch->u.resize(n);
   double sum = 0.0;
-  for (size_t d = 0; d < dim; ++d) {
-    const double lq = std::log(std::max(q[d], kGeodesicEps));
-    const double lm = std::log(std::max(mu[d], kGeodesicEps));
-    (*out)[d] = std::exp((1.0 - lambda) * lq + lambda * lm);
-    sum += (*out)[d];
+  for (size_t z = 0; z < n; ++z) {
+    const double u = (1.0 - lambda) * log_q[z] + lambda * log_mu[z];
+    scratch->u[z] = u;
+    const double e = std::exp(u);
+    scratch->x[z] = e;
+    sum += e;
   }
-  for (double& v : *out) v /= sum;
+  const double inv = 1.0 / sum;
+  for (size_t z = 0; z < n; ++z) scratch->x[z] *= inv;
+  return simplex::DotProduct(scratch->x.data(), scratch->u.data(), n) -
+         std::log(sum);
 }
 
 }  // namespace
+
+BregmanBall::BregmanBall(simplex::TopicVector center, double radius)
+    : center_(std::move(center)), radius_(radius) {
+  log_center_.resize(center_.size());
+  simplex::ClampedLog(center_.data(), center_.size(), simplex::kKlSmoothingEps,
+                      log_center_.data());
+  neg_entropy_ = simplex::NegativeEntropy(center_.data(), center_.size());
+}
+
+void BregmanBall::EnlargeRadius(double radius) {
+  radius_ = std::max(radius_, radius);
+}
 
 bool BregmanBall::Contains(const simplex::TopicVector& x, double slack) const {
   return simplex::KlDivergence(x, center_) <= radius_ + slack;
 }
 
-double BregmanBall::MinDivergenceFrom(const simplex::TopicVector& q,
-                                      size_t* kl_evaluations) const {
-  INFLEX_CHECK_EQ(q.size(), center_.size());
+double BregmanBall::MinDivergenceFrom(const simplex::KlQueryContext& query,
+                                      BisectionScratch* scratch,
+                                      SearchStats* stats) const {
+  INFLEX_CHECK_EQ(query.dim(), center_.size());
+  Timer timer;
   size_t evals = 0;
-  const double div_q_center = simplex::KlDivergence(q, center_);
+  const double* log_q = query.log_query();
+  const double div_q_center = query.KlOfQueryAgainst(log_center_.data());
   ++evals;
-  if (div_q_center <= radius_) {
-    // q itself is inside the ball: the minimum is 0.
-    if (kl_evaluations != nullptr) *kl_evaluations += evals;
-    return 0.0;
-  }
-
-  // Bisect λ for the boundary crossing: D_KL(x_λ ‖ μ) decreases from
-  // D_KL(q ‖ μ) > R at λ=0 to 0 at λ=1. Keep x_{λ_out} outside and
-  // x_{λ_in} inside the ball; the projection lies between them and
-  // D_KL(x_λ ‖ q) is increasing in λ, so x_{λ_out} gives a lower bound.
-  double lambda_out = 0.0, lambda_in = 1.0;
-  simplex::TopicVector x;
-  for (int it = 0;
-       it < kMaxBisectionIters && lambda_in - lambda_out > kLambdaTolerance;
-       ++it) {
-    const double mid = 0.5 * (lambda_out + lambda_in);
-    GeodesicPoint(q, center_, mid, &x);
-    const double d_to_center = simplex::KlDivergence(x, center_);
+  double bound = 0.0;
+  if (div_q_center > radius_) {
+    // Bisect λ for the boundary crossing: D_KL(x_λ ‖ μ) decreases from
+    // D_KL(q ‖ μ) > R at λ=0 to 0 at λ=1. Keep x_{λ_out} outside and
+    // x_{λ_in} inside the ball; the projection lies between them and
+    // D_KL(x_λ ‖ q) is increasing in λ, so x_{λ_out} gives a lower bound.
+    const size_t n = center_.size();
+    double lambda_out = 0.0, lambda_in = 1.0;
+    for (int it = 0;
+         it < kMaxBisectionIters && lambda_in - lambda_out > kLambdaTolerance;
+         ++it) {
+      const double mid = 0.5 * (lambda_out + lambda_in);
+      const double neg_entropy_x =
+          GeodesicPoint(log_q, log_center_.data(), n, mid, scratch);
+      const double d_to_center = std::max(
+          neg_entropy_x -
+              simplex::DotProduct(scratch->x.data(), log_center_.data(), n),
+          0.0);
+      ++evals;
+      if (d_to_center > radius_) {
+        lambda_out = mid;
+      } else {
+        lambda_in = mid;
+      }
+    }
+    const double neg_entropy_x =
+        GeodesicPoint(log_q, log_center_.data(), n, lambda_out, scratch);
+    bound = std::max(
+        neg_entropy_x - simplex::DotProduct(scratch->x.data(), log_q, n), 0.0);
     ++evals;
-    if (d_to_center > radius_) {
-      lambda_out = mid;
-    } else {
-      lambda_in = mid;
+  }
+  if (stats != nullptr) {
+    stats->kl_evaluations += evals;
+    stats->kl_ns += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  }
+  return bound;
+}
+
+bool BregmanBall::CanPrune(const simplex::KlQueryContext& query, double delta,
+                           BisectionScratch* scratch,
+                           SearchStats* stats) const {
+  INFLEX_CHECK_EQ(query.dim(), center_.size());
+  if (delta == std::numeric_limits<double>::infinity()) return false;
+  Timer timer;
+  size_t evals = 0;
+  const double* log_q = query.log_query();
+  const double div_q_center = query.KlOfQueryAgainst(log_center_.data());
+  ++evals;
+  bool prune = false;
+  if (div_q_center > radius_) {
+    const size_t n = center_.size();
+    double lambda_out = 0.0, lambda_in = 1.0;
+    for (int it = 0; it < kMaxBisectionIters; ++it) {
+      const double mid = 0.5 * (lambda_out + lambda_in);
+      const double neg_entropy_x =
+          GeodesicPoint(log_q, log_center_.data(), n, mid, scratch);
+      const double d_to_center = std::max(
+          neg_entropy_x -
+              simplex::DotProduct(scratch->x.data(), log_center_.data(), n),
+          0.0);
+      const double d_to_query = std::max(
+          neg_entropy_x - simplex::DotProduct(scratch->x.data(), log_q, n),
+          0.0);
+      evals += 2;
+      if (d_to_center > radius_) {
+        lambda_out = mid;
+        // x is infeasible but closer to q than the projection: lower bound.
+        if (d_to_query >= delta) {
+          prune = true;
+          break;
+        }
+      } else {
+        lambda_in = mid;
+        // x is feasible: upper bound on the minimum.
+        if (d_to_query < delta) {
+          prune = false;
+          break;
+        }
+      }
+      if (lambda_in - lambda_out <= kLambdaTolerance) {
+        prune = d_to_query >= delta;
+        break;
+      }
     }
   }
-  GeodesicPoint(q, center_, lambda_out, &x);
-  const double bound = simplex::KlDivergence(x, q);
-  ++evals;
-  if (kl_evaluations != nullptr) *kl_evaluations += evals;
+  if (stats != nullptr) {
+    stats->kl_evaluations += evals;
+    stats->kl_ns += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  }
+  return prune;
+}
+
+double BregmanBall::MinDivergenceFrom(const simplex::TopicVector& q,
+                                      size_t* kl_evaluations) const {
+  simplex::KlQueryContext ctx;
+  ctx.Reset(q);
+  BisectionScratch scratch;
+  SearchStats stats;
+  const double bound = MinDivergenceFrom(ctx, &scratch, &stats);
+  if (kl_evaluations != nullptr) *kl_evaluations += stats.kl_evaluations;
   return bound;
 }
 
 bool BregmanBall::CanPrune(const simplex::TopicVector& q, double delta,
                            size_t* kl_evaluations) const {
-  INFLEX_CHECK_EQ(q.size(), center_.size());
-  if (delta == std::numeric_limits<double>::infinity()) return false;
-  size_t evals = 0;
-  const double div_q_center = simplex::KlDivergence(q, center_);
-  ++evals;
-  if (div_q_center <= radius_) {
-    if (kl_evaluations != nullptr) *kl_evaluations += evals;
-    return false;  // min is 0 < δ for any positive δ
-  }
-
-  double lambda_out = 0.0, lambda_in = 1.0;
-  simplex::TopicVector x;
-  bool prune = false;
-  for (int it = 0; it < kMaxBisectionIters; ++it) {
-    const double mid = 0.5 * (lambda_out + lambda_in);
-    GeodesicPoint(q, center_, mid, &x);
-    const double d_to_center = simplex::KlDivergence(x, center_);
-    const double d_to_query = simplex::KlDivergence(x, q);
-    evals += 2;
-    if (d_to_center > radius_) {
-      lambda_out = mid;
-      // x is infeasible but closer to q than the projection: lower bound.
-      if (d_to_query >= delta) {
-        prune = true;
-        break;
-      }
-    } else {
-      lambda_in = mid;
-      // x is feasible: upper bound on the minimum.
-      if (d_to_query < delta) {
-        prune = false;
-        break;
-      }
-    }
-    if (lambda_in - lambda_out <= kLambdaTolerance) {
-      prune = d_to_query >= delta;
-      break;
-    }
-  }
-  if (kl_evaluations != nullptr) *kl_evaluations += evals;
+  simplex::KlQueryContext ctx;
+  ctx.Reset(q);
+  BisectionScratch scratch;
+  SearchStats stats;
+  const bool prune = CanPrune(ctx, delta, &scratch, &stats);
+  if (kl_evaluations != nullptr) *kl_evaluations += stats.kl_evaluations;
   return prune;
 }
 

@@ -5,9 +5,10 @@
 #include <utility>
 
 #include "bbtree/bbtree.h"
-#include "simplex/divergence.h"
+#include "simplex/kl_kernel.h"
 #include "stats/anderson_darling.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace inflex {
 namespace bbtree {
@@ -27,86 +28,113 @@ struct KeyedNodeGreater {
 using MinHeap =
     std::priority_queue<KeyedNode, std::vector<KeyedNode>, KeyedNodeGreater>;
 
-// The `similar_enough` test of Algorithm 1: project the leaf population and
-// the query onto the direction from the leaf's mean to the query and
-// Anderson-Darling-test the joint sample for normality. Accepting the null
-// ("the query blends into the leaf population") stops the search.
-bool SimilarEnough(const std::vector<simplex::TopicVector>& points,
-                   const std::vector<uint32_t>& leaf_ids,
-                   const simplex::TopicVector& query, double ad_alpha) {
-  if (leaf_ids.size() + 1 < 5) return false;  // too small to test: continue
-  const size_t dim = query.size();
-  simplex::TopicVector mean(dim, 0.0);
-  for (uint32_t id : leaf_ids) {
-    for (size_t d = 0; d < dim; ++d) mean[d] += points[id][d];
-  }
-  for (double& v : mean) v /= static_cast<double>(leaf_ids.size());
+// Resolves the caller's context: a nullptr falls back to a thread_local
+// instance, so steady-state search is allocation-free either way.
+SearchContext& Scratch(SearchContext* ctx) {
+  if (ctx != nullptr) return *ctx;
+  thread_local SearchContext tls;
+  return tls;
+}
 
-  std::vector<double> direction(dim);
-  double norm_sq = 0.0;
-  for (size_t d = 0; d < dim; ++d) {
-    direction[d] = query[d] - mean[d];
-    norm_sq += direction[d] * direction[d];
-  }
-  if (norm_sq <= 1e-24) return true;  // query coincides with the population
-  const double inv_norm = 1.0 / std::sqrt(norm_sq);
-
-  std::vector<double> sample;
-  sample.reserve(leaf_ids.size() + 1);
-  auto project = [&](const simplex::TopicVector& x) {
-    double dot = 0.0;
-    for (size_t d = 0; d < dim; ++d) dot += x[d] * direction[d];
-    return dot * inv_norm;
-  };
-  for (uint32_t id : leaf_ids) sample.push_back(project(points[id]));
-  sample.push_back(project(query));
-
-  auto ad = stats::AndersonDarlingNormality(sample);
-  if (!ad.ok()) return true;  // degenerate (zero variance): trivially similar
-  return ad.ValueOrDie().IsNormal(ad_alpha);
+uint64_t ElapsedNs(const Timer& t) {
+  return static_cast<uint64_t>(t.ElapsedSeconds() * 1e9);
 }
 
 }  // namespace
 
-uint32_t BbTree::DescendToLeaf(
-    uint32_t node_id, const simplex::TopicVector& query, SearchStats* stats,
-    std::vector<std::pair<double, uint32_t>>* siblings_out) const {
+// The `similar_enough` test of Algorithm 1: project the leaf population and
+// the query onto the direction from the leaf's mean to the query and
+// Anderson-Darling-test the joint sample for normality. Accepting the null
+// ("the query blends into the leaf population") stops the search.
+bool BbTree::SimilarEnough(const std::vector<uint32_t>& leaf_ids,
+                           SearchContext& ctx, double ad_alpha) const {
+  if (leaf_ids.size() + 1 < 5) return false;  // too small to test: continue
+  const size_t dim = dim_;
+  const double* query = ctx.kl_.query();
+  ctx.mean_.assign(dim, 0.0);
+  for (uint32_t id : leaf_ids) {
+    const double* p = row_ptr(row_of_id_[id]);
+    for (size_t d = 0; d < dim; ++d) ctx.mean_[d] += p[d];
+  }
+  for (double& v : ctx.mean_) v /= static_cast<double>(leaf_ids.size());
+
+  ctx.direction_.resize(dim);
+  double norm_sq = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    ctx.direction_[d] = query[d] - ctx.mean_[d];
+    norm_sq += ctx.direction_[d] * ctx.direction_[d];
+  }
+  if (norm_sq <= 1e-24) return true;  // query coincides with the population
+  const double inv_norm = 1.0 / std::sqrt(norm_sq);
+
+  ctx.sample_.clear();
+  for (uint32_t id : leaf_ids) {
+    ctx.sample_.push_back(
+        simplex::DotProduct(row_ptr(row_of_id_[id]), ctx.direction_.data(),
+                            dim) *
+        inv_norm);
+  }
+  ctx.sample_.push_back(
+      simplex::DotProduct(query, ctx.direction_.data(), dim) * inv_norm);
+
+  auto ad = stats::AndersonDarlingNormality(ctx.sample_);
+  if (!ad.ok()) return true;  // degenerate (zero variance): trivially similar
+  return ad.ValueOrDie().IsNormal(ad_alpha);
+}
+
+uint32_t BbTree::DescendToLeaf(uint32_t node_id, SearchContext& ctx,
+                               SearchStats* stats) const {
   uint32_t current = node_id;
   while (!nodes_[current].is_leaf()) {
     ++stats->nodes_visited;
-    double best_div = kInf;
-    uint32_t best_child = nodes_[current].children.front();
-    std::vector<std::pair<double, uint32_t>> evaluated;
-    evaluated.reserve(nodes_[current].children.size());
-    for (uint32_t child : nodes_[current].children) {
-      const double d =
-          simplex::KlDivergence(nodes_[child].ball.center(), query);
-      ++stats->kl_evaluations;
-      evaluated.emplace_back(d, child);
-      if (d < best_div) {
-        best_div = d;
-        best_child = child;
+    const Node& node = nodes_[current];
+    const size_t m = node.children.size();
+    ctx.child_divs_.resize(m);
+    Timer timer;
+    simplex::KlBatch(node.child_centers.data(),
+                     node.child_center_negent.data(), m, dim_,
+                     ctx.kl_.log_query(), ctx.child_divs_.data());
+    stats->kl_ns += ElapsedNs(timer);
+    stats->kl_evaluations += m;
+    size_t best = 0;
+    for (size_t c = 1; c < m; ++c) {
+      if (ctx.child_divs_[c] < ctx.child_divs_[best]) best = c;
+    }
+    for (size_t c = 0; c < m; ++c) {
+      if (c != best) {
+        ctx.siblings_.emplace_back(ctx.child_divs_[c], node.children[c]);
       }
     }
-    for (const auto& [d, child] : evaluated) {
-      if (child != best_child) siblings_out->emplace_back(d, child);
-    }
-    current = best_child;
+    current = node.children[best];
   }
   ++stats->nodes_visited;
   return current;
 }
 
-InflexSearchResult BbTree::InflexSearch(
-    const simplex::TopicVector& query,
-    const InflexSearchOptions& options) const {
+void BbTree::ScanLeaf(const Node& leaf, SearchContext& ctx,
+                      SearchStats* stats) const {
+  const size_t m = leaf.point_ids.size();
+  ctx.leaf_divs_.resize(m);
+  Timer timer;
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t row = row_of_id_[leaf.point_ids[i]];
+    ctx.leaf_divs_[i] = ctx.kl_.Kl(row_ptr(row), point_negent_[row]);
+  }
+  stats->kl_ns += ElapsedNs(timer);
+  stats->kl_evaluations += m;
+}
+
+InflexSearchResult BbTree::InflexSearch(const simplex::TopicVector& query,
+                                        const InflexSearchOptions& options,
+                                        SearchContext* ctx_in) const {
   INFLEX_CHECK_EQ(query.size(), dim());
+  SearchContext& ctx = Scratch(ctx_in);
+  ctx.kl_.Reset(query);
   InflexSearchResult result;
   SearchStats& stats = result.stats;
 
   MinHeap pending;
   pending.push({0.0, 0});  // root
-  std::vector<std::pair<double, uint32_t>> siblings;
   double delta = kInf;  // max divergence in the current solution set
 
   while (!pending.empty() && stats.leaves_visited < options.max_leaves) {
@@ -114,31 +142,32 @@ InflexSearchResult BbTree::InflexSearch(
     pending.pop();
     (void)key;
     if (options.use_pruning && !result.neighbors.empty() &&
-        nodes_[node_id].ball.CanPrune(query, delta, &stats.kl_evaluations)) {
+        nodes_[node_id].ball.CanPrune(ctx.kl_, delta, &ctx.bisect_, &stats)) {
       ++stats.subtrees_pruned;
       continue;
     }
-    siblings.clear();
-    const uint32_t leaf = DescendToLeaf(node_id, query, &stats, &siblings);
-    for (const auto& s : siblings) pending.push(s);
+    ctx.siblings_.clear();
+    const uint32_t leaf = DescendToLeaf(node_id, ctx, &stats);
+    for (const auto& s : ctx.siblings_) pending.push(s);
 
     ++stats.leaves_visited;
-    const auto& leaf_ids = nodes_[leaf].point_ids;
-    for (uint32_t pid : leaf_ids) {
-      const double d = simplex::KlDivergence(points_[pid], query);
-      ++stats.kl_evaluations;
+    const Node& leaf_node = nodes_[leaf];
+    const auto& leaf_ids = leaf_node.point_ids;
+    ScanLeaf(leaf_node, ctx, &stats);
+    for (size_t i = 0; i < leaf_ids.size(); ++i) {
+      const double d = ctx.leaf_divs_[i];
       if (d <= options.epsilon_exact) {
         // ε-exact match: the index already contains (essentially) this very
         // item; return its seed list alone.
-        result.neighbors.assign(1, Neighbor{pid, d});
+        result.neighbors.assign(1, Neighbor{leaf_ids[i], d});
         result.epsilon_exact = true;
         return result;
       }
-      result.neighbors.push_back(Neighbor{pid, d});
+      result.neighbors.push_back(Neighbor{leaf_ids[i], d});
       delta = std::max(delta == kInf ? d : delta, d);
     }
     if (options.use_ad_early_stop &&
-        SimilarEnough(points_, leaf_ids, query, options.ad_alpha)) {
+        SimilarEnough(leaf_ids, ctx, options.ad_alpha)) {
       break;
     }
   }
@@ -148,22 +177,25 @@ InflexSearchResult BbTree::InflexSearch(
 
 std::vector<Neighbor> BbTree::LeafBoundedKnn(const simplex::TopicVector& query,
                                              size_t k, size_t max_leaves,
-                                             SearchStats* stats) const {
+                                             SearchStats* stats,
+                                             SearchContext* ctx) const {
   InflexSearchOptions options;
-  options.epsilon_exact = -1.0;      // never short-circuit
+  options.epsilon_exact = -1.0;       // never short-circuit
   options.use_ad_early_stop = false;  // leaf budget is the only stop
   options.max_leaves = max_leaves;
-  InflexSearchResult r = InflexSearch(query, options);
+  InflexSearchResult r = InflexSearch(query, options, ctx);
   if (stats != nullptr) *stats = r.stats;
   if (r.neighbors.size() > k) r.neighbors.resize(k);
   return std::move(r.neighbors);
 }
 
 std::vector<Neighbor> BbTree::ExactKnn(const simplex::TopicVector& query,
-                                       size_t k,
-                                       SearchStats* stats) const {
+                                       size_t k, SearchStats* stats,
+                                       SearchContext* ctx_in) const {
   INFLEX_CHECK_EQ(query.size(), dim());
   INFLEX_CHECK_GT(k, 0u);
+  SearchContext& ctx = Scratch(ctx_in);
+  ctx.kl_.Reset(query);
   SearchStats local;
   SearchStats& st = stats != nullptr ? *stats : local;
 
@@ -185,9 +217,10 @@ std::vector<Neighbor> BbTree::ExactKnn(const simplex::TopicVector& query,
     ++st.nodes_visited;
     if (node.is_leaf()) {
       ++st.leaves_visited;
-      for (uint32_t pid : node.point_ids) {
-        const double d = simplex::KlDivergence(points_[pid], query);
-        ++st.kl_evaluations;
+      ScanLeaf(node, ctx, &st);
+      for (size_t i = 0; i < node.point_ids.size(); ++i) {
+        const uint32_t pid = node.point_ids[i];
+        const double d = ctx.leaf_divs_[i];
         if (best.size() < k) {
           best.push(Neighbor{pid, d});
         } else if (d < best.top().divergence) {
@@ -197,9 +230,10 @@ std::vector<Neighbor> BbTree::ExactKnn(const simplex::TopicVector& query,
       }
     } else {
       for (uint32_t child : node.children) {
-        const double lb =
-            nodes_[child].ball.MinDivergenceFrom(query, &st.kl_evaluations);
-        const double cur_delta = best.size() == k ? best.top().divergence : kInf;
+        const double lb = nodes_[child].ball.MinDivergenceFrom(
+            ctx.kl_, &ctx.bisect_, &st);
+        const double cur_delta =
+            best.size() == k ? best.top().divergence : kInf;
         if (lb < cur_delta) {
           pending.push({lb, child});
         } else {
@@ -218,14 +252,23 @@ std::vector<Neighbor> BbTree::ExactKnn(const simplex::TopicVector& query,
 }
 
 std::vector<Neighbor> BbTree::LinearScanKnn(const simplex::TopicVector& query,
-                                            size_t k,
-                                            SearchStats* stats) const {
+                                            size_t k, SearchStats* stats,
+                                            SearchContext* ctx_in) const {
   INFLEX_CHECK_EQ(query.size(), dim());
-  std::vector<Neighbor> all(points_.size());
-  for (uint32_t i = 0; i < points_.size(); ++i) {
-    all[i] = Neighbor{i, simplex::KlDivergence(points_[i], query)};
+  SearchContext& ctx = Scratch(ctx_in);
+  ctx.kl_.Reset(query);
+  const size_t n = num_points();
+  std::vector<Neighbor> all(n);
+  Timer timer;
+  // Sweep the flat buffer in physical row order (sequential memory).
+  for (uint32_t row = 0; row < n; ++row) {
+    all[row] =
+        Neighbor{id_of_row_[row], ctx.kl_.Kl(row_ptr(row), point_negent_[row])};
   }
-  if (stats != nullptr) stats->kl_evaluations += points_.size();
+  if (stats != nullptr) {
+    stats->kl_evaluations += n;
+    stats->kl_ns += ElapsedNs(timer);
+  }
   const size_t kk = std::min(k, all.size());
   std::partial_sort(all.begin(), all.begin() + kk, all.end());
   all.resize(kk);

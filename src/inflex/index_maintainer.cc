@@ -100,17 +100,20 @@ Result<DeltaReceipt> IndexMaintainer::SubmitDelta(const CatalogDelta& delta) {
     receipt.ticket = ++next_ticket_;
   }
   // Capture by value: the delta outlives the caller's buffer, the `this`
-  // lifetime is covered by ~IndexMaintainer draining the pool.
+  // lifetime is covered by ~IndexMaintainer draining the pool. The timer
+  // starts here so the reported admission→publish latency includes the
+  // queueing delay on the maintenance pool, not just the precompute.
   CatalogDelta copy = delta;
   const uint64_t ticket = receipt.ticket;
-  pool_->Submit([this, copy = std::move(copy), ticket]() mutable {
-    ProcessAdmitted(copy, ticket);
+  Timer admitted_at;
+  pool_->Submit([this, copy = std::move(copy), ticket, admitted_at]() mutable {
+    ProcessAdmitted(copy, ticket, admitted_at);
   });
   return receipt;
 }
 
 void IndexMaintainer::ProcessAdmitted(const CatalogDelta& delta,
-                                      uint64_t ticket) {
+                                      uint64_t ticket, Timer admitted_at) {
   // Stage 2: the expensive CELF++ precompute, against the graph only — no
   // lock held, no generation pinned; serving proceeds untouched.
   size_t ell = options_.seed_list_length;
@@ -168,6 +171,7 @@ void IndexMaintainer::ProcessAdmitted(const CatalogDelta& delta,
         uint64_t epoch = 0;
         if (engine_ != nullptr) {
           epoch = engine_->PublishIndex(published);
+          engine_->RecordPublishLatency(admitted_at.ElapsedMillis());
         }
         {
           std::lock_guard<std::mutex> lock(state_mu_);

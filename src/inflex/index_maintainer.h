@@ -11,6 +11,7 @@
 #include "inflex/inflex_index.h"
 #include "inflex/query_engine.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace inflex {
 namespace core {
@@ -165,7 +166,11 @@ class IndexMaintainer {
 
  private:
   /// Background stage: seed precompute + serialized publication.
-  void ProcessAdmitted(const CatalogDelta& delta, uint64_t ticket);
+  /// `admitted_at` started ticking at admission; its elapsed time at
+  /// publication is the delta's admission→publish latency, reported to the
+  /// engine's ServingStats.
+  void ProcessAdmitted(const CatalogDelta& delta, uint64_t ticket,
+                       Timer admitted_at);
 
   /// min_i D_KL(γ_i ‖ γ_item) via a 1-NN tree probe of `index`.
   static double MinDivergence(const InflexIndex& index,

@@ -145,29 +145,33 @@ Result<InflexIndex> InflexIndex::FromParts(
 
 bbtree::InflexSearchResult InflexIndex::RunSearch(
     const simplex::TopicVector& q, const QueryOptions& options) const {
+  // One search context per serving thread: the per-query log transform and
+  // all tree-search scratch reuse its buffers, so steady-state queries do
+  // not allocate in the search stage.
+  thread_local bbtree::SearchContext ctx;
   switch (options.strategy) {
     case QueryStrategy::kInflex: {
       bbtree::InflexSearchOptions sopts = options.search;
       sopts.max_leaves = options.max_leaves;
-      return tree_.InflexSearch(q, sopts);
+      return tree_.InflexSearch(q, sopts, &ctx);
     }
     case QueryStrategy::kExactKnn: {
       bbtree::InflexSearchResult r;
-      r.neighbors = tree_.ExactKnn(q, options.knn_k, &r.stats);
+      r.neighbors = tree_.ExactKnn(q, options.knn_k, &r.stats, &ctx);
       return r;
     }
     case QueryStrategy::kApproxKnn:
     case QueryStrategy::kApproxKnnSel: {
       bbtree::InflexSearchResult r;
-      r.neighbors =
-          tree_.LeafBoundedKnn(q, options.knn_k, options.max_leaves, &r.stats);
+      r.neighbors = tree_.LeafBoundedKnn(q, options.knn_k, options.max_leaves,
+                                         &r.stats, &ctx);
       return r;
     }
     case QueryStrategy::kApproxAd: {
       bbtree::InflexSearchOptions sopts = options.search;
       sopts.max_leaves = options.max_leaves;
       sopts.use_ad_early_stop = true;
-      return tree_.InflexSearch(q, sopts);
+      return tree_.InflexSearch(q, sopts, &ctx);
     }
   }
   INFLEX_CHECK(false);

@@ -132,7 +132,9 @@ class InflexIndex {
   const rank::RankedList& seed_list(uint32_t point_id) const {
     return seed_lists_[point_id];
   }
-  const simplex::TopicVector& index_point(uint32_t point_id) const {
+  /// A copy of the index point (the tree stores points in a flat SoA buffer,
+  /// so there is no long-lived TopicVector to reference).
+  simplex::TopicVector index_point(uint32_t point_id) const {
     return tree_.point(point_id);
   }
 

@@ -16,13 +16,25 @@ double ServingStats::hit_rate() const {
                           static_cast<double>(total);
 }
 
+double ServingStats::epoch_hit_rate() const {
+  const uint64_t total = epoch_cache_hits + epoch_cache_misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(epoch_cache_hits) /
+                          static_cast<double>(total);
+}
+
 std::string ServingStats::ToString() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "%zu req in %.2f ms | %.0f QPS | hit rate %.1f%% | "
-                "p50 %.3f ms p95 %.3f ms p99 %.3f ms max %.3f ms | %zu failed",
+                "p50 %.3f ms p95 %.3f ms p99 %.3f ms max %.3f ms | %zu failed"
+                " | %llu swaps, epoch hit rate %.1f%%, "
+                "admit->publish mean %.1f ms max %.1f ms",
                 num_requests, wall_ms, qps, 100.0 * hit_rate(), p50_ms, p95_ms,
-                p99_ms, max_ms, num_failed);
+                p99_ms, max_ms, num_failed,
+                static_cast<unsigned long long>(generation_swaps),
+                100.0 * epoch_hit_rate(), admit_to_publish_mean_ms,
+                admit_to_publish_max_ms);
   return buf;
 }
 
@@ -146,7 +158,19 @@ uint64_t QueryEngine::PublishIndex(std::shared_ptr<const InflexIndex> next) {
   generation_.store(
       std::make_shared<const Generation>(Generation{std::move(next), epoch}),
       std::memory_order_release);
+  generation_swaps_.fetch_add(1, std::memory_order_relaxed);
+  // Re-baseline the epoch-scoped cache counters: the bumped epoch starts the
+  // new generation's warm-up from a cold (all-miss) cache.
+  epoch_hits_base_.store(cache_.hits(), std::memory_order_relaxed);
+  epoch_misses_base_.store(cache_.misses(), std::memory_order_relaxed);
   return epoch;
+}
+
+void QueryEngine::RecordPublishLatency(double ms) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++publishes_timed_;
+  publish_latency_total_ms_ += ms;
+  publish_latency_max_ms_ = std::max(publish_latency_max_ms_, ms);
 }
 
 std::shared_ptr<const InflexIndex> QueryEngine::index_snapshot() const {
@@ -164,6 +188,21 @@ ServingStats QueryEngine::cumulative_stats() const {
     out.p99_ms = stats::Percentile(latency_reservoir_, 0.99);
     out.latency_samples = latency_reservoir_.size();
   }
+  out.generation_swaps = generation_swaps_.load(std::memory_order_relaxed);
+  // Epoch-scoped counters can momentarily read hits/misses from a query
+  // racing a publish; the readout is a dashboard estimate, not a ledger.
+  const uint64_t hits = cache_.hits();
+  const uint64_t misses = cache_.misses();
+  const uint64_t hb = epoch_hits_base_.load(std::memory_order_relaxed);
+  const uint64_t mb = epoch_misses_base_.load(std::memory_order_relaxed);
+  out.epoch_cache_hits = hits >= hb ? hits - hb : 0;
+  out.epoch_cache_misses = misses >= mb ? misses - mb : 0;
+  out.publishes_timed = publishes_timed_;
+  out.admit_to_publish_mean_ms =
+      publishes_timed_ > 0
+          ? publish_latency_total_ms_ / static_cast<double>(publishes_timed_)
+          : 0.0;
+  out.admit_to_publish_max_ms = publish_latency_max_ms_;
   return out;
 }
 

@@ -47,8 +47,22 @@ struct ServingStats {
   /// per-batch stats; for cumulative_stats() the number of reservoir samples
   /// the percentiles were estimated from (see QueryEngine).
   size_t latency_samples = 0;
+  /// Maintenance visibility (filled by cumulative_stats(); zero for
+  /// per-batch stats): how many index generations have been published, the
+  /// cache traffic since the LAST publish (each publish bumps the cache
+  /// epoch, so this is the warm-up curve of the current generation), and the
+  /// admission→publish latency of the maintenance pipeline (delta submitted
+  /// to IndexMaintainer until its generation went live).
+  uint64_t generation_swaps = 0;
+  uint64_t epoch_cache_hits = 0;
+  uint64_t epoch_cache_misses = 0;
+  uint64_t publishes_timed = 0;
+  double admit_to_publish_mean_ms = 0.0;
+  double admit_to_publish_max_ms = 0.0;
   /// Hits / (hits + misses); 0 when the batch had no cache traffic.
   double hit_rate() const;
+  /// Hit rate within the current cache epoch (since the last publish).
+  double epoch_hit_rate() const;
   /// One-line dashboard rendering ("1000 req in 12.3 ms | 81300 QPS | ...").
   std::string ToString() const;
 };
@@ -118,6 +132,11 @@ class QueryEngine {
   /// `next`. Thread-safe against queries and against other publishers.
   uint64_t PublishIndex(std::shared_ptr<const InflexIndex> next);
 
+  /// Folds one admission→publish latency observation into the cumulative
+  /// maintenance stats (called by IndexMaintainer when a generation it
+  /// prepared goes live; the clock starts at delta admission). Thread-safe.
+  void RecordPublishLatency(double ms);
+
   /// Pins and returns the current generation (never null).
   std::shared_ptr<const InflexIndex> index_snapshot() const;
 
@@ -164,11 +183,21 @@ class QueryEngine {
   std::atomic<std::shared_ptr<const Generation>> generation_;
   std::mutex publish_mu_;  // serializes PublishIndex epoch assignment
 
+  // Cache-counter baselines captured at the last publish: epoch-scoped hit
+  // rate is (cache totals − baseline).
+  std::atomic<uint64_t> generation_swaps_{0};
+  std::atomic<uint64_t> epoch_hits_base_{0};
+  std::atomic<uint64_t> epoch_misses_base_{0};
+
   mutable std::mutex stats_mu_;
   ServingStats cumulative_;            // guarded by stats_mu_
   std::vector<double> latency_reservoir_;  // guarded by stats_mu_
   size_t latency_seen_ = 0;            // guarded by stats_mu_
   Rng reservoir_rng_{0x1a7e9c5u};      // guarded by stats_mu_
+  // Admission→publish latency aggregates (guarded by stats_mu_).
+  uint64_t publishes_timed_ = 0;
+  double publish_latency_total_ms_ = 0.0;
+  double publish_latency_max_ms_ = 0.0;
 };
 
 }  // namespace core

@@ -1,0 +1,54 @@
+#include "simplex/kl_kernel.h"
+
+#include <cmath>
+
+namespace inflex {
+namespace simplex {
+
+double NegativeEntropy(const double* p, size_t n) {
+  double s = 0.0;
+  for (size_t z = 0; z < n; ++z) {
+    if (p[z] > 0.0) s += p[z] * std::log(p[z]);
+  }
+  return s;
+}
+
+void ClampedLog(const double* v, size_t n, double eps, double* out) {
+  for (size_t z = 0; z < n; ++z) {
+    out[z] = std::log(std::max(v[z], eps));
+  }
+}
+
+double DotProduct(const double* a, const double* b, size_t n) {
+  // Four independent partial sums: the summation order is fixed by the
+  // source (bit-identical results at every call site, no -ffast-math
+  // needed), yet the chains are independent enough to pipeline/vectorize.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t z = 0;
+  for (; z + 4 <= n; z += 4) {
+    s0 += a[z] * b[z];
+    s1 += a[z + 1] * b[z + 1];
+    s2 += a[z + 2] * b[z + 2];
+    s3 += a[z + 3] * b[z + 3];
+  }
+  for (; z < n; ++z) s0 += a[z] * b[z];
+  return (s0 + s1) + (s2 + s3);
+}
+
+void KlBatch(const double* rows, const double* neg_entropies, size_t m,
+             size_t n, const double* log_q, double* out) {
+  for (size_t i = 0; i < m; ++i) {
+    out[i] = KlFactorized(neg_entropies[i], rows + i * n, log_q, n);
+  }
+}
+
+void KlQueryContext::Reset(const double* query, size_t n, double eps) {
+  dim_ = n;
+  q_.assign(query, query + n);
+  log_q_.resize(n);
+  ClampedLog(query, n, eps, log_q_.data());
+  neg_entropy_q_ = NegativeEntropy(query, n);
+}
+
+}  // namespace simplex
+}  // namespace inflex

@@ -300,6 +300,53 @@ TEST_F(MaintenanceTest, PublicationInvalidatesCachedAnswersViaEpoch) {
   EXPECT_EQ(warm.ValueOrDie().seeds, after.ValueOrDie().seeds);
 }
 
+// ------------------------------------------- maintenance metrics in serving ---
+
+// cumulative_stats() surfaces the maintenance plane next to QPS: generation
+// swaps, the cache's warm-up within the current epoch, and the
+// admission→publish latency of the pipeline.
+TEST_F(MaintenanceTest, ServingStatsSurfaceMaintenanceMetrics) {
+  auto initial = InitialGeneration();
+  core::QueryEngine engine(initial);
+  core::IndexMaintainer m(initial, &dataset_->graph, &engine, FastOptions());
+
+  const auto requests = MakeWorkload(20, 91);
+  engine.QueryBatch(requests);
+  engine.QueryBatch(requests);  // second pass: all hits under epoch 0
+
+  auto stats = engine.cumulative_stats();
+  EXPECT_EQ(stats.generation_swaps, 0u);
+  EXPECT_EQ(stats.publishes_timed, 0u);
+  EXPECT_EQ(stats.admit_to_publish_mean_ms, 0.0);
+  EXPECT_GT(stats.epoch_cache_hits, 0u)
+      << "without any publish the epoch counters track the whole history";
+
+  ASSERT_TRUE(m.SubmitDelta(CornerDelta(2)).ok());
+  m.Drain();
+  ASSERT_EQ(engine.index_epoch(), 1u);
+
+  stats = engine.cumulative_stats();
+  EXPECT_EQ(stats.generation_swaps, 1u);
+  EXPECT_EQ(stats.publishes_timed, 1u);
+  EXPECT_GT(stats.admit_to_publish_mean_ms, 0.0);
+  EXPECT_GE(stats.admit_to_publish_max_ms, stats.admit_to_publish_mean_ms);
+  EXPECT_EQ(stats.epoch_cache_hits, 0u)
+      << "a publish re-baselines the epoch counters (cold cache)";
+  EXPECT_EQ(stats.epoch_hit_rate(), 0.0);
+
+  // Re-serving the workload under epoch 1: all misses first (stale entries
+  // unreachable), then hits — the epoch hit rate tracks the warm-up.
+  engine.QueryBatch(requests);
+  stats = engine.cumulative_stats();
+  EXPECT_GT(stats.epoch_cache_misses, 0u);
+  engine.QueryBatch(requests);
+  stats = engine.cumulative_stats();
+  EXPECT_GT(stats.epoch_cache_hits, 0u);
+  EXPECT_GT(stats.epoch_hit_rate(), 0.0);
+  EXPECT_LE(stats.epoch_hit_rate(), 1.0);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
 // ------------------------------------------------------- tree rebuild gating ---
 
 TEST_F(MaintenanceTest, LowDegradationBudgetTriggersFullRebuild) {

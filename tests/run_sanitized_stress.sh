@@ -4,13 +4,18 @@
 # directory and runs them. Any data race in the sharded QueryCache, the
 # QueryEngine batch path, the ThreadPool re-entrancy logic, or the
 # IndexMaintainer generation-swap pipeline fails this script.
+# A second phase builds kernel_test under ASan+UBSan (-DINFLEX_SANITIZE=
+# address): the KL kernel layer works on raw pointers into flat SoA buffers
+# that Insert() reallocates, exactly the kind of code ASan exists for.
 #
-# Usage: tests/run_sanitized_stress.sh [source-dir] [build-dir]
-# (defaults: the repo root containing this script, <source>/build-tsan)
+# Usage: tests/run_sanitized_stress.sh [source-dir] [build-dir] [asan-dir]
+# (defaults: the repo root containing this script, <source>/build-tsan,
+# <source>/build-asan)
 set -eu
 
 SRC="${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
 BUILD="${2:-$SRC/build-tsan}"
+BUILD_ASAN="${3:-$SRC/build-asan}"
 
 echo "== configure ($BUILD, INFLEX_SANITIZE=thread)"
 cmake -B "$BUILD" -S "$SRC" \
@@ -39,3 +44,20 @@ TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
   "$BUILD/tests/maintenance_test"
 
 echo "TSan stress: OK (zero reported races)"
+
+echo "== configure ($BUILD_ASAN, INFLEX_SANITIZE=address)"
+cmake -B "$BUILD_ASAN" -S "$SRC" \
+  -DINFLEX_SANITIZE=address \
+  -DINFLEX_BUILD_BENCHMARKS=OFF \
+  -DINFLEX_BUILD_EXAMPLES=OFF \
+  -DINFLEX_BUILD_TOOLS=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+
+echo "== build (kernel_test)"
+cmake --build "$BUILD_ASAN" --target kernel_test -j "$(nproc)" > /dev/null
+
+echo "== run KL kernel + SoA search tests under ASan+UBSan"
+ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
+  "$BUILD_ASAN/tests/kernel_test"
+
+echo "ASan kernel tests: OK"

@@ -259,6 +259,11 @@ TEST_F(ServingTest, QueryBatchCollectsServingStats) {
   EXPECT_GE(stats.hit_rate(), 0.0);
   EXPECT_LE(stats.hit_rate(), 1.0);
   EXPECT_FALSE(stats.ToString().empty());
+  // Maintenance visibility is a cumulative_stats() readout; per-batch stats
+  // leave those fields at their zero defaults.
+  EXPECT_EQ(stats.generation_swaps, 0u);
+  EXPECT_EQ(stats.publishes_timed, 0u);
+  EXPECT_EQ(stats.epoch_hit_rate(), 0.0);
 
   const auto cumulative = engine.cumulative_stats();
   EXPECT_EQ(cumulative.num_requests, 30u);
