@@ -142,9 +142,11 @@ void BbTree::FinalizeKernelData(
   }
   INFLEX_CHECK_EQ(static_cast<size_t>(next_row), n);
   // Child-center matrices for the batched descent evaluation.
+  max_children_ = 0;
   for (Node& node : nodes_) {
     if (node.is_leaf()) continue;
     const size_t m = node.children.size();
+    max_children_ = std::max(max_children_, m);
     node.child_centers.resize(m * dim_);
     node.child_center_negent.resize(m);
     for (size_t c = 0; c < m; ++c) {
@@ -154,6 +156,10 @@ void BbTree::FinalizeKernelData(
       node.child_center_negent[c] = ball.center_neg_entropy();
     }
   }
+  // The built shape is the degradation baseline: a degenerate split can
+  // legitimately leave a leaf beyond max_leaf_size, and that must read as
+  // degradation 0 until online churn makes it worse.
+  built_largest_leaf_ = largest_leaf_;
 }
 
 Result<BbTree> BbTree::Build(std::vector<simplex::TopicVector> points,
@@ -232,16 +238,91 @@ Result<uint32_t> BbTree::Insert(simplex::TopicVector point) {
   return id;
 }
 
+Status BbTree::RemovePoints(std::span<const uint32_t> ids) {
+  INFLEX_CHECK(!nodes_.empty());
+  if (ids.empty()) return Status::OK();
+  const size_t n = num_points();
+  std::vector<uint8_t> removed(n, 0);
+  size_t r = 0;
+  for (uint32_t id : ids) {
+    if (id >= n) {
+      return Status::InvalidArgument("removed point id out of range");
+    }
+    if (!removed[id]) {
+      removed[id] = 1;
+      ++r;
+    }
+  }
+  if (r == n) {
+    return Status::InvalidArgument("cannot remove every point of a bb-tree");
+  }
+
+  // Dense renumbering of the survivors, preserving id order.
+  constexpr uint32_t kGone = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> new_id(n, kGone);
+  uint32_t next_id = 0;
+  for (uint32_t id = 0; id < n; ++id) {
+    if (!removed[id]) new_id[id] = next_id++;
+  }
+
+  // Physically compact the SoA rows in row order: surviving leaf runs stay
+  // contiguous, so leaf scans remain sequential sweeps.
+  const size_t survivors = n - r;
+  std::vector<double> data(survivors * dim_);
+  std::vector<double> negent(survivors);
+  std::vector<uint32_t> row_of(survivors);
+  std::vector<uint32_t> id_of(survivors);
+  uint32_t next_row = 0;
+  for (uint32_t row = 0; row < n; ++row) {
+    const uint32_t old_id = id_of_row_[row];
+    if (removed[old_id]) continue;
+    std::copy_n(point_data_.data() + static_cast<size_t>(row) * dim_, dim_,
+                data.data() + static_cast<size_t>(next_row) * dim_);
+    negent[next_row] = point_negent_[row];
+    id_of[next_row] = new_id[old_id];
+    row_of[new_id[old_id]] = next_row;
+    ++next_row;
+  }
+  INFLEX_CHECK_EQ(static_cast<size_t>(next_row), survivors);
+  point_data_ = std::move(data);
+  point_negent_ = std::move(negent);
+  row_of_id_ = std::move(row_of);
+  id_of_row_ = std::move(id_of);
+
+  // Drop the ids from their leaves and renumber the survivors in place.
+  // Leaves may become empty — searches tolerate that (an empty scan) until
+  // the next Compact rebuilds the partition. Balls keep their radii: a ball
+  // that is too large is conservative, never unsound.
+  largest_leaf_ = 0;
+  for (Node& node : nodes_) {
+    if (!node.is_leaf()) continue;
+    size_t w = 0;
+    for (uint32_t pid : node.point_ids) {
+      if (!removed[pid]) node.point_ids[w++] = new_id[pid];
+    }
+    node.point_ids.resize(w);
+    largest_leaf_ = std::max(largest_leaf_, w);
+  }
+  num_removed_ += r;
+  return Status::OK();
+}
+
 double BbTree::degradation() const {
   if (num_points() == 0) return 0.0;
-  const double inserted_fraction = static_cast<double>(num_inserted_) /
-                                   static_cast<double>(num_points());
-  const size_t cap = std::max<size_t>(options_.max_leaf_size, 1);
+  // Churn fraction: points that arrived or left since the last build,
+  // relative to the built+inserted population the tree has seen.
+  const double churn =
+      static_cast<double>(num_inserted_ + num_removed_) /
+      static_cast<double>(num_points() + num_removed_);
+  // Overflow of the worst leaf beyond its built-time baseline (so a freshly
+  // built tree — even one with a degenerate oversized leaf — reads 0).
+  const size_t cap =
+      std::max({options_.max_leaf_size, built_largest_leaf_, size_t{1}});
   const double leaf_overflow =
       largest_leaf_ > cap
           ? static_cast<double>(largest_leaf_ - cap) / static_cast<double>(cap)
           : 0.0;
-  return inserted_fraction + leaf_overflow;
+  return churn + leaf_overflow;
 }
 
 }  // namespace bbtree

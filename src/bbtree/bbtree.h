@@ -75,12 +75,35 @@ struct InflexSearchResult {
 /// context fall back to an internal thread_local instance, so steady-state
 /// tree search allocates nothing either way; passing an explicit context
 /// merely makes the reuse visible at the call site.
+///
+/// A context is not bound to one tree: every search entry point re-validates
+/// the scratch against the tree it is about to search (BindTo), so one
+/// long-lived context — in particular the thread_local fallback on a serving
+/// thread — can serve trees of different dimension and point count back to
+/// back, and a single worst-case query cannot pin its high-water scratch
+/// forever (capacity far beyond the bound tree's needs is released).
 class SearchContext {
  public:
   SearchContext() = default;
 
+  /// Total retained scratch capacity in doubles (ops/testing visibility;
+  /// sibling-pair entries count as one double each).
+  size_t retained_capacity() const {
+    return kl_.retained_capacity() + bisect_.x.capacity() +
+           bisect_.u.capacity() + siblings_.capacity() +
+           child_divs_.capacity() + leaf_divs_.capacity() + mean_.capacity() +
+           direction_.capacity() + sample_.capacity();
+  }
+
  private:
   friend class BbTree;
+
+  /// Re-validates the scratch against a tree with the given dimension, worst
+  /// leaf occupancy and branching factor: buffers whose retained capacity is
+  /// far beyond what that tree can demand are released (4× hysteresis above
+  /// a small floor, so steady-state reuse on one tree never reallocates).
+  void BindTo(size_t dim, size_t max_leaf, size_t max_children);
+
   simplex::KlQueryContext kl_;
   BisectionScratch bisect_;
   /// Bypassed siblings of one descent, hoisted out of the per-level loop.
@@ -135,11 +158,26 @@ class BbTree {
   /// Number of points added by Insert() since Build().
   size_t num_inserted() const { return num_inserted_; }
 
+  /// Number of points dropped by RemovePoints() since Build().
+  size_t num_removed() const { return num_removed_; }
+
+  /// Removes the given points online (duplicates tolerated; ids must be in
+  /// range and at least one point must survive). Surviving points are
+  /// renumbered to dense ids preserving their relative order, the flat SoA
+  /// rows are physically compacted in row order (surviving leaf runs stay
+  /// contiguous), and the ids are dropped from their leaves. Balls are NOT
+  /// shrunk — a conservative (too large) ball only weakens pruning, every
+  /// bound stays sound and ExactKnn stays exact — which is what degradation()
+  /// tracks until the next Build/Compact rebuild restores tightness.
+  Status RemovePoints(std::span<const uint32_t> ids);
+
   /// Quality loss of the incrementally maintained tree, 0 for a freshly
-  /// built one: the fraction of points that arrived via Insert() plus the
-  /// worst leaf's relative occupancy overflow beyond the configured
-  /// max_leaf_size. A maintainer triggers a full §3.2 rebuild once this
-  /// crosses its threshold.
+  /// built one: the fraction of points that arrived via Insert() or left via
+  /// RemovePoints() since the last build, plus the worst leaf's relative
+  /// occupancy overflow beyond its built-time size. A maintainer triggers a
+  /// full §3.2 rebuild once this crosses its threshold. Guaranteed to be 0
+  /// immediately after Build() — even when a degenerate split left an
+  /// oversized leaf, the built shape is the baseline, not an overflow.
   double degradation() const;
 
   size_t num_points() const { return row_of_id_.size(); }
@@ -217,6 +255,12 @@ class BbTree {
   /// Called once at the end of Build.
   void FinalizeKernelData(const std::vector<simplex::TopicVector>& input);
 
+  /// Re-validates a (possibly long-lived thread_local) context against this
+  /// tree before a search runs: see SearchContext::BindTo.
+  void BindScratch(SearchContext& ctx) const {
+    ctx.BindTo(dim_, largest_leaf_, max_children_);
+  }
+
   /// Descends greedily from `node_id` to a leaf, choosing at every level the
   /// child whose center is closest to the query (arg min of D_KL(μ_c ‖ q),
   /// as in Algorithm 1, evaluated as one batch over the node's child matrix)
@@ -249,10 +293,13 @@ class BbTree {
   std::vector<Node> nodes_;  // nodes_[0] is the root
   size_t num_leaves_ = 0;
   size_t depth_ = 0;
-  // Online-insert bookkeeping (see Insert/degradation).
+  size_t max_children_ = 0;  // widest node's branching (scratch sizing)
+  // Online insert/removal bookkeeping (see Insert/RemovePoints/degradation).
   BbTreeOptions options_;
   size_t num_inserted_ = 0;
+  size_t num_removed_ = 0;
   size_t largest_leaf_ = 0;
+  size_t built_largest_leaf_ = 0;  // baseline for the overflow term
 };
 
 }  // namespace bbtree

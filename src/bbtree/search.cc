@@ -29,11 +29,28 @@ using MinHeap =
     std::priority_queue<KeyedNode, std::vector<KeyedNode>, KeyedNodeGreater>;
 
 // Resolves the caller's context: a nullptr falls back to a thread_local
-// instance, so steady-state search is allocation-free either way.
+// instance, so steady-state search is allocation-free either way. Every
+// search entry point follows the resolve with BbTree::BindScratch, which
+// re-validates the (possibly tree-hopping) context against the tree about
+// to be searched and bounds its retained capacity.
 SearchContext& Scratch(SearchContext* ctx) {
   if (ctx != nullptr) return *ctx;
   thread_local SearchContext tls;
   return tls;
+}
+
+// Releases a scratch vector whose retained capacity is far beyond what the
+// bound tree can demand. The 4× hysteresis over a small floor means a
+// context reused against one tree never reallocates, while a thread_local
+// context that once served a worst-case tree stops pinning that high-water
+// mark the first time it touches a smaller one.
+template <typename T>
+void BoundCapacity(std::vector<T>& v, size_t need) {
+  constexpr size_t kFloor = 64;
+  if (v.capacity() > std::max(4 * need, kFloor)) {
+    std::vector<T>().swap(v);
+    v.reserve(need);
+  }
 }
 
 uint64_t ElapsedNs(const Timer& t) {
@@ -41,6 +58,23 @@ uint64_t ElapsedNs(const Timer& t) {
 }
 
 }  // namespace
+
+void SearchContext::BindTo(size_t dim, size_t max_leaf, size_t max_children) {
+  // Sizes are additionally re-validated at every use site (resize/assign per
+  // node or leaf), so binding is purely about bounding retention: correctness
+  // against a different tree never depends on this call.
+  kl_.ShrinkTo(dim);
+  BoundCapacity(bisect_.x, dim);
+  BoundCapacity(bisect_.u, dim);
+  BoundCapacity(child_divs_, max_children);
+  BoundCapacity(leaf_divs_, max_leaf);
+  BoundCapacity(mean_, dim);
+  BoundCapacity(direction_, dim);
+  BoundCapacity(sample_, max_leaf + 1);
+  // One bypassed sibling set per level is the steady state; depth ×
+  // branching is a loose worst case the queue rarely approaches.
+  BoundCapacity(siblings_, std::max<size_t>(max_children * 8, 16));
+}
 
 // The `similar_enough` test of Algorithm 1: project the leaf population and
 // the query onto the direction from the leaf's mean to the query and
@@ -129,6 +163,7 @@ InflexSearchResult BbTree::InflexSearch(const simplex::TopicVector& query,
                                         SearchContext* ctx_in) const {
   INFLEX_CHECK_EQ(query.size(), dim());
   SearchContext& ctx = Scratch(ctx_in);
+  BindScratch(ctx);
   ctx.kl_.Reset(query);
   InflexSearchResult result;
   SearchStats& stats = result.stats;
@@ -195,6 +230,7 @@ std::vector<Neighbor> BbTree::ExactKnn(const simplex::TopicVector& query,
   INFLEX_CHECK_EQ(query.size(), dim());
   INFLEX_CHECK_GT(k, 0u);
   SearchContext& ctx = Scratch(ctx_in);
+  BindScratch(ctx);
   ctx.kl_.Reset(query);
   SearchStats local;
   SearchStats& st = stats != nullptr ? *stats : local;
@@ -256,6 +292,7 @@ std::vector<Neighbor> BbTree::LinearScanKnn(const simplex::TopicVector& query,
                                             SearchContext* ctx_in) const {
   INFLEX_CHECK_EQ(query.size(), dim());
   SearchContext& ctx = Scratch(ctx_in);
+  BindScratch(ctx);
   ctx.kl_.Reset(query);
   const size_t n = num_points();
   std::vector<Neighbor> all(n);

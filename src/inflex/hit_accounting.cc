@@ -1,0 +1,122 @@
+#include "inflex/hit_accounting.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "inflex/inflex_index.h"
+#include "util/check.h"
+
+namespace inflex {
+namespace core {
+
+namespace {
+
+/// Stable per-thread stripe assignment: hashing the thread id once per
+/// thread spreads serving threads across stripes without any coordination.
+size_t ThreadStripe(size_t num_stripes) {
+  static thread_local const size_t salt =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return salt % num_stripes;
+}
+
+}  // namespace
+
+uint64_t PointHitAccounting::StripeSet::LiveCount(uint32_t id) const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < num_stripes; ++s) {
+    total += counts[s * num_points + id].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::shared_ptr<const PointHitAccounting::StripeSet>
+PointHitAccounting::MakeSet(uint64_t epoch, size_t num_points) const {
+  auto set = std::make_shared<StripeSet>();
+  set->epoch = epoch;
+  set->num_points = num_points;
+  set->num_stripes = options_.num_stripes;
+  const size_t total = set->num_stripes * num_points;
+  set->counts = std::make_unique<std::atomic<uint64_t>[]>(total);
+  for (size_t i = 0; i < total; ++i) {
+    set->counts[i].store(0, std::memory_order_relaxed);
+  }
+  return set;
+}
+
+PointHitAccounting::PointHitAccounting(size_t num_points,
+                                       const Options& options)
+    : options_(options) {
+  INFLEX_CHECK_GT(num_points, 0u);
+  options_.num_stripes = std::max<size_t>(options_.num_stripes, 1);
+  options_.decay = std::clamp(options_.decay, 0.0, 1.0);
+  scores_.assign(num_points, 0.0);
+  live_.store(MakeSet(0, num_points), std::memory_order_release);
+}
+
+void PointHitAccounting::Record(uint64_t epoch,
+                                std::span<const bbtree::Neighbor> backing) {
+  const std::shared_ptr<const StripeSet> set =
+      live_.load(std::memory_order_acquire);
+  // An answer computed against a superseded generation carries point ids of
+  // that generation's numbering; crediting them against the live tally would
+  // corrupt neighbors after a renumbering, so the observation is dropped.
+  if (set->epoch != epoch) return;
+  std::atomic<uint64_t>* stripe =
+      set->counts.get() + ThreadStripe(set->num_stripes) * set->num_points;
+  for (const bbtree::Neighbor& n : backing) {
+    if (n.point_id < set->num_points) {
+      stripe[n.point_id].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void PointHitAccounting::Fold(uint64_t new_epoch, size_t new_num_points,
+                              std::span<const uint32_t> old_to_new) {
+  INFLEX_CHECK_GT(new_num_points, 0u);
+  std::lock_guard<std::mutex> lock(fold_mu_);
+  const std::shared_ptr<const StripeSet> old_set =
+      live_.load(std::memory_order_acquire);
+  // The remap may be larger than the tally when the same publish also added
+  // points (the publisher remaps base + freshly inserted ids); the extra
+  // entries describe points this tally never saw, which start at score 0.
+  INFLEX_CHECK(old_to_new.empty() || old_to_new.size() >= old_set->num_points);
+  std::vector<double> next(new_num_points, 0.0);
+  for (uint32_t id = 0; id < old_set->num_points; ++id) {
+    const uint32_t new_id =
+        old_to_new.empty() ? id : old_to_new[id];
+    if (new_id == kDroppedIndexPoint ||
+        static_cast<size_t>(new_id) >= new_num_points) {
+      continue;  // evicted — its history dies with it
+    }
+    next[new_id] = options_.decay * scores_[id] +
+                   static_cast<double>(old_set->LiveCount(id));
+  }
+  scores_ = std::move(next);
+  // Records racing this swap either land on the old set (their counts were
+  // already folded or are lost — bounded, advisory) or see the new epoch.
+  live_.store(MakeSet(new_epoch, new_num_points), std::memory_order_release);
+}
+
+std::vector<double> PointHitAccounting::HitScores() const {
+  std::lock_guard<std::mutex> lock(fold_mu_);
+  const std::shared_ptr<const StripeSet> set =
+      live_.load(std::memory_order_acquire);
+  std::vector<double> out(scores_.begin(), scores_.end());
+  INFLEX_CHECK_EQ(out.size(), set->num_points);
+  for (uint32_t id = 0; id < set->num_points; ++id) {
+    out[id] += static_cast<double>(set->LiveCount(id));
+  }
+  return out;
+}
+
+uint64_t PointHitAccounting::epoch() const {
+  return live_.load(std::memory_order_acquire)->epoch;
+}
+
+size_t PointHitAccounting::num_points() const {
+  return live_.load(std::memory_order_acquire)->num_points;
+}
+
+}  // namespace core
+}  // namespace inflex

@@ -1,0 +1,105 @@
+#ifndef INFLEX_INFLEX_HIT_ACCOUNTING_H_
+#define INFLEX_INFLEX_HIT_ACCOUNTING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "bbtree/bbtree.h"
+
+namespace inflex {
+namespace core {
+
+/// \brief Lock-free per-index-point hit accounting for the serving layer.
+///
+/// Every answered query reports which index points backed it
+/// (QueryResult::neighbors_used); the eviction sweep wants a per-point
+/// "how much is this point earning its keep" signal that decays over time so
+/// points that were hot a hundred generations ago do not stay protected
+/// forever. This class keeps that signal without touching the serving hot
+/// path with a lock:
+///
+///  - The *live* tally is an RCU-swapped StripeSet: one plain array of
+///    relaxed atomic counters per stripe, one slot per index point of the
+///    current generation. Record() hashes the calling thread onto a stripe
+///    and does one fetch_add per backing point — no lock, no false sharing
+///    between serving threads on different stripes.
+///  - At every generation publish, Fold() (called under the engine's publish
+///    lock) folds the live tally into the long-run score with exponential
+///    decay — score'[new_id] = decay · score[old_id] + live_count[old_id] —
+///    threading the publisher's old→new id remap through so scores follow
+///    surviving points across evictions, and swaps in a fresh zeroed
+///    StripeSet tagged with the new epoch.
+///  - Record() drops observations whose generation epoch does not match the
+///    live StripeSet (a query that pinned the previous generation finishing
+///    after the swap). Accounting is advisory: losing a handful of in-flight
+///    observations at a swap boundary is bounded and harmless, whereas
+///    crediting them to the wrong point id after a renumbering would not be.
+///
+/// HitScores() returns score + live counts per current point id — the
+/// decay sweep's input. Thread-safe throughout.
+class PointHitAccounting {
+ public:
+  struct Options {
+    /// Multiplier applied to accumulated scores at each generation publish.
+    /// 0 forgets everything each generation; 1 never forgets.
+    double decay = 0.5;
+    /// Counter striping width across serving threads.
+    size_t num_stripes = 8;
+  };
+
+  /// Starts accounting for `num_points` index points at epoch 0.
+  explicit PointHitAccounting(size_t num_points)
+      : PointHitAccounting(num_points, Options()) {}
+  PointHitAccounting(size_t num_points, const Options& options);
+
+  /// Credits one answered query to the index points that backed it. Drops
+  /// the observation when `epoch` is not the live epoch. Lock-free.
+  void Record(uint64_t epoch, std::span<const bbtree::Neighbor> backing);
+
+  /// Folds the live tally into the decayed scores and swaps in a fresh
+  /// tally for `new_epoch` over `new_num_points` points. `old_to_new` maps
+  /// old point ids to their ids in the new generation (kDroppedIndexPoint
+  /// entries discard that point's score); it may be larger than the tally
+  /// when the publish also appended points. Empty = identity (pure growth:
+  /// surviving ids unchanged, appended points start at score 0). Call under
+  /// the publisher's serialization (one Fold at a time); concurrent
+  /// Record/HitScores calls stay safe.
+  void Fold(uint64_t new_epoch, size_t new_num_points,
+            std::span<const uint32_t> old_to_new);
+
+  /// Decayed score + live (un-folded) counts per current point id.
+  std::vector<double> HitScores() const;
+
+  /// Epoch of the live tally.
+  uint64_t epoch() const;
+
+  size_t num_points() const;
+
+ private:
+  struct StripeSet {
+    uint64_t epoch = 0;
+    size_t num_points = 0;
+    size_t num_stripes = 0;
+    /// num_stripes × num_points relaxed counters, stripe-major.
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+
+    uint64_t LiveCount(uint32_t id) const;
+  };
+
+  std::shared_ptr<const StripeSet> MakeSet(uint64_t epoch,
+                                           size_t num_points) const;
+
+  Options options_;
+  std::atomic<std::shared_ptr<const StripeSet>> live_;
+  mutable std::mutex fold_mu_;
+  std::vector<double> scores_;  // guarded by fold_mu_
+};
+
+}  // namespace core
+}  // namespace inflex
+
+#endif  // INFLEX_INFLEX_HIT_ACCOUNTING_H_

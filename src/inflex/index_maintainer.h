@@ -3,10 +3,13 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "inflex/inflex_index.h"
 #include "inflex/query_engine.h"
@@ -34,9 +37,9 @@ enum class DeltaOutcome {
   /// the stored seed list answers it accurately). No work scheduled.
   kCovered,
   /// Admitted at submission, but by the time its seeds were ready another
-  /// publication had already covered the item; the generation was not
-  /// produced. (Only ever reported through MaintenanceStats — SubmitDelta
-  /// itself has returned kAdmitted long before.)
+  /// publication had already covered the item; the point was not added.
+  /// (Only ever reported through MaintenanceStats — SubmitDelta itself has
+  /// returned kAdmitted long before.)
   kSuperseded,
 };
 
@@ -62,11 +65,20 @@ struct MaintenanceStats {
   uint64_t failed = 0;
   uint64_t generations_published = 0;
   uint64_t tree_rebuilds = 0;
+  /// Decay sweeps executed (including sweeps that evicted nothing).
+  uint64_t decay_sweeps = 0;
+  /// Index points dropped by decay sweeps.
+  uint64_t points_evicted = 0;
+  /// Admitted deltas whose publication was coalesced with at least one
+  /// other delta (i.e. published in a batch of ≥ 2). A 100-delta burst that
+  /// lands in 4 generations reports ~100 here but only 4 publications.
+  uint64_t batched_deltas = 0;
   /// Epoch of the newest published generation.
   uint64_t epoch = 0;
   /// Index points in the newest generation.
   size_t index_points = 0;
-  /// Admitted deltas whose background precompute has not finished yet.
+  /// Admitted deltas not yet published/superseded/failed (in precompute or
+  /// waiting in the publisher's ready queue).
   size_t pending = 0;
   /// One-line operator rendering.
   std::string ToString() const;
@@ -86,20 +98,52 @@ struct IndexMaintainerOptions {
   /// Live-edge snapshots behind each background CELF++ run.
   size_t oracle_snapshots = 150;
   uint64_t seed = 101;
-  /// Publish-time tree-quality gate: when the incrementally maintained ball
-  /// tree's degradation() reaches this after an insert, the new generation
-  /// is produced by a full §3.2 rebuild instead (Compact()).
+  /// Publish-time tree-quality gate: when the batch's inserts/removals push
+  /// the clone's tree degradation() to this, the new generation is produced
+  /// by a full §3.2 rebuild instead (Compact()) — once per batch, not per
+  /// delta.
   double rebuild_degradation = 0.10;
   /// Options for those full rebuilds.
   bbtree::BbTreeOptions tree;
+
+  /// --- Delta coalescing (the publisher thread's batching window) ---
+  /// Upper bound on admitted deltas folded into one clone+insert+publish.
+  size_t max_batch = 16;
+  /// How long the publisher waits for further precomputes to finish before
+  /// publishing what it has. The window only opens while precomputes are
+  /// actually in flight: a lone delta (nothing else pending) publishes
+  /// immediately, a burst coalesces. 0 disables coalescing entirely.
+  double max_batch_delay_ms = 50.0;
+
+  /// --- Eviction / decay sweeps ---
+  /// A sweep (RequestDecaySweep or auto_sweep_every) evicts points whose
+  /// decayed hit score (QueryEngine::HitScores) is below this. Requires the
+  /// engine to run with enable_hit_accounting; sweeps are no-ops otherwise.
+  double eviction_score_threshold = 0.5;
+  /// Grace period: a point is never evicted until at least this many
+  /// generations have been published since it was added (fresh points have
+  /// had no time to earn hits).
+  size_t min_point_age_generations = 2;
+  /// Hard floor on index size; sweeps never shrink the index below this.
+  size_t min_index_points = 16;
+  /// true (default): a cold admitted point is evicted and its item retired
+  /// from the admitted-item registry — resubmitting the item later re-admits
+  /// it. false: a point that is the last one covering a registered admitted
+  /// item (no survivor within admission_threshold) is protected from
+  /// eviction no matter how cold.
+  bool retire_admitted_items = true;
+  /// When > 0, a decay sweep is requested automatically after every N
+  /// published generations. 0 = sweeps only via RequestDecaySweep().
+  size_t auto_sweep_every = 0;
+
   /// Dedicated background pool for the CELF++ precompute; the serving path
   /// never blocks on it. nullptr = the maintainer creates a private
   /// single-thread pool.
   ThreadPool* pool = nullptr;
-  /// Invoked after every generation publication (under the internal publish
-  /// lock, so invocations are ordered by epoch). Must not call SubmitDelta
-  /// of this maintainer synchronously from the callback on pain of
-  /// re-entrancy surprises; reading stats()/current() is fine.
+  /// Invoked after every generation publication, from the publisher thread
+  /// (so invocations are ordered by epoch). Must not call SubmitDelta or
+  /// Drain of this maintainer synchronously from the callback; reading
+  /// stats()/current() is fine.
   std::function<void(uint64_t epoch, std::shared_ptr<const InflexIndex>)>
       on_publish;
 };
@@ -117,26 +161,36 @@ struct IndexMaintainerOptions {
 ///  2. **Seed precompute** (background, the expensive part): CELF++ over a
 ///     live-edge snapshot oracle on the item-specific IC instance (Eq. 1),
 ///     exactly the per-point offline computation of InflexIndex::Build, run
-///     on the dedicated maintenance pool.
-///  3. **Publication** (serialized, milliseconds): re-check coverage against
-///     the *latest* generation (a concurrent publication may have covered
-///     the item meanwhile → superseded), clone it, insert the new point
-///     incrementally into the clone's ball tree — or trigger a full §3.2
-///     rebuild when tree degradation crosses the gate — and publish the
-///     clone as the next immutable generation via QueryEngine::PublishIndex
-///     (atomic shared_ptr swap + cache-epoch bump). In-flight queries keep
-///     the generation they pinned; nobody waits.
+///     on the dedicated maintenance pool. Finished precomputes are handed to
+///     the publisher as *ready deltas*.
+///  3. **Coalesced publication** (dedicated publisher thread): ready deltas
+///     are drained in admission-ticket order into ONE clone of the latest
+///     generation — re-checking coverage against the *evolving* clone, so a
+///     near-duplicate admitted twice still publishes once (kSuperseded) —
+///     bounded by max_batch / max_batch_delay_ms. Pending decay-sweep
+///     evictions fold into the same clone (RemoveIndexPoints), the tree is
+///     compacted at most once per batch when degradation crosses the gate,
+///     and the clone is published as the next immutable generation via
+///     QueryEngine::PublishIndex (atomic shared_ptr swap + cache-epoch bump,
+///     with the eviction id-remap threaded into the hit-score fold). A burst
+///     of N admitted deltas costs O(1) generations instead of N; in-flight
+///     queries keep the generation they pinned; nobody waits.
 ///
-/// Thread-safety: SubmitDelta/Drain/current/epoch/stats may be called
-/// concurrently from any threads, concurrently with serving. Two
-/// near-duplicate deltas racing through admission may both be admitted; the
-/// publish-time re-check resolves the race (one becomes kSuperseded).
+/// Eviction safety: a sweep only considers points whose decayed hit score is
+/// below eviction_score_threshold AND that are at least
+/// min_point_age_generations old; the index never shrinks below
+/// min_index_points; and with retire_admitted_items=false the last point
+/// covering a registered admitted item is protected (see options).
+///
+/// Thread-safety: SubmitDelta/RequestDecaySweep/Drain/current/epoch/stats
+/// may be called concurrently from any threads, concurrently with serving.
 class IndexMaintainer {
  public:
   /// `initial` is generation 0 (must be the same index the engine serves).
   /// `graph` backs the CELF++ precompute and must outlive the maintainer.
   /// `engine` receives the publications; may be nullptr (the maintainer
-  /// then only tracks generations itself — useful for tests and tools).
+  /// then only tracks generations itself — useful for tests and tools —
+  /// but decay sweeps become no-ops: hit scores live in the engine).
   IndexMaintainer(std::shared_ptr<const InflexIndex> initial,
                   const graph::TopicGraph* graph, QueryEngine* engine,
                   const IndexMaintainerOptions& options = {});
@@ -152,8 +206,15 @@ class IndexMaintainer {
   /// Fails on a dimension mismatch with the index.
   Result<DeltaReceipt> SubmitDelta(const CatalogDelta& delta);
 
+  /// Asks the publisher to fold a decay sweep into its next publication
+  /// (standalone if no deltas are pending). Returns immediately; Drain()
+  /// waits for the sweep too. Requests collapse: several requests before
+  /// the sweep runs execute once.
+  void RequestDecaySweep();
+
   /// Blocks until every admitted delta has been published, superseded, or
-  /// failed. Must not be called from the maintenance pool itself.
+  /// failed, and any requested decay sweep has run. Must not be called from
+  /// the maintenance pool or the on_publish callback.
   void Drain();
 
   /// Pins and returns the newest published generation.
@@ -165,12 +226,41 @@ class IndexMaintainer {
   MaintenanceStats stats() const;
 
  private:
-  /// Background stage: seed precompute + serialized publication.
-  /// `admitted_at` started ticking at admission; its elapsed time at
-  /// publication is the delta's admission→publish latency, reported to the
-  /// engine's ServingStats.
-  void ProcessAdmitted(const CatalogDelta& delta, uint64_t ticket,
-                       Timer admitted_at);
+  /// A delta whose precompute finished, waiting for the publisher.
+  struct ReadyDelta {
+    CatalogDelta delta;
+    uint64_t ticket = 0;
+    rank::RankedList seeds;
+    Status precompute_status;
+    /// Started at admission; elapsed at publication = admit→publish latency.
+    Timer admitted_at;
+  };
+
+  /// An admitted item the maintainer still vouches coverage for (used by
+  /// the retire_admitted_items=false protection rule). Publisher-thread
+  /// state: only the publisher reads or mutates the registry after
+  /// construction.
+  struct AdmittedItem {
+    simplex::TopicDistribution item;
+    uint32_t point_id = 0;
+  };
+
+  /// Background stage 2: CELF++ precompute, then hand off to the publisher.
+  void PrecomputeAdmitted(CatalogDelta delta, uint64_t ticket,
+                          Timer admitted_at);
+
+  /// The publisher thread: batches ready deltas + pending sweeps into
+  /// coalesced publications until shutdown.
+  void PublisherLoop();
+
+  /// Stage 3 for one batch (runs on the publisher thread, no lock held).
+  void PublishBatch(std::vector<ReadyDelta> batch, bool do_sweep);
+
+  /// Picks sweep victims for the clone `next` (already carrying this
+  /// batch's inserts). Returns ids to remove, respecting score threshold,
+  /// min age, min size, and admitted-item coverage.
+  std::vector<uint32_t> PickSweepVictims(const InflexIndex& next,
+                                         uint64_t next_epoch);
 
   /// min_i D_KL(γ_i ‖ γ_item) via a 1-NN tree probe of `index`.
   static double MinDivergence(const InflexIndex& index,
@@ -182,17 +272,27 @@ class IndexMaintainer {
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;  // options_.pool or owned_pool_.get()
 
-  /// Serializes the clone→insert→publish critical section so generations
-  /// form a linear history.
-  std::mutex publish_mu_;
-
   mutable std::mutex state_mu_;
-  std::condition_variable drained_;          // pending_ == 0
+  std::condition_variable publisher_cv_;     // wakes the publisher
+  std::condition_variable drained_;          // pending_==0 && !sweep_pending_
   std::shared_ptr<const InflexIndex> current_;  // guarded by state_mu_
   uint64_t epoch_ = 0;                       // guarded by state_mu_
   uint64_t next_ticket_ = 0;                 // guarded by state_mu_
   size_t pending_ = 0;                       // guarded by state_mu_
+  size_t precompute_inflight_ = 0;           // guarded by state_mu_
+  std::deque<ReadyDelta> ready_;             // guarded by state_mu_
+  bool sweep_pending_ = false;               // guarded by state_mu_
+  bool stop_ = false;                        // guarded by state_mu_
   MaintenanceStats stats_;                   // guarded by state_mu_
+
+  /// Publisher-thread-only state (no lock): birth epoch per current point
+  /// id (age gate) and the admitted-item registry (coverage protection).
+  /// Both follow the eviction id-remap at each sweep publish.
+  std::vector<uint64_t> born_epoch_;
+  std::vector<AdmittedItem> admitted_items_;
+
+  /// Started last in the constructor, joined first in the destructor.
+  std::thread publisher_;
 };
 
 }  // namespace core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <numeric>
 
 #include "im/celfpp.h"
 #include "im/snapshot_oracle.h"
@@ -302,8 +303,50 @@ Status InflexIndex::AddIndexPoint(const simplex::TopicDistribution& item,
   return Status::OK();
 }
 
+Status InflexIndex::RemoveIndexPoints(std::span<const uint32_t> ids,
+                                      std::vector<uint32_t>* old_to_new) {
+  const size_t n = num_index_points();
+  if (ids.empty()) {
+    if (old_to_new != nullptr) {
+      old_to_new->resize(n);
+      std::iota(old_to_new->begin(), old_to_new->end(), 0u);
+    }
+    return Status::OK();
+  }
+  // Validate and build the dense renumbering before mutating anything, so a
+  // bad request leaves the index untouched.
+  std::vector<uint8_t> drop(n, 0);
+  for (uint32_t id : ids) {
+    if (id >= n) return Status::InvalidArgument("remove id out of range");
+    drop[id] = 1;
+  }
+  std::vector<uint32_t> map(n, kDroppedIndexPoint);
+  uint32_t next = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (drop[i] == 0) map[i] = next++;
+  }
+  if (next == 0) {
+    return Status::InvalidArgument("cannot remove every index point");
+  }
+  INFLEX_RETURN_NOT_OK(tree_.RemovePoints(ids));
+  // Compact seed lists in id order so list i stays aligned with tree point i
+  // under the same dense renumbering the tree applied.
+  size_t ell = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (map[i] == kDroppedIndexPoint) continue;
+    if (map[i] != i) seed_lists_[map[i]] = std::move(seed_lists_[i]);
+    ell = std::max(ell, seed_lists_[map[i]].size());
+  }
+  seed_lists_.resize(next);
+  seed_list_length_ = ell;
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return Status::OK();
+}
+
 Status InflexIndex::Compact(const bbtree::BbTreeOptions& tree_options) {
-  if (tree_.num_inserted() == 0) return Status::OK();
+  if (tree_.num_inserted() == 0 && tree_.num_removed() == 0) {
+    return Status::OK();
+  }
   std::vector<simplex::TopicVector> points;
   points.reserve(num_index_points());
   for (uint32_t i = 0; i < num_index_points(); ++i) {

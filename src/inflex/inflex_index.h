@@ -1,7 +1,9 @@
 #ifndef INFLEX_INFLEX_INFLEX_INDEX_H_
 #define INFLEX_INFLEX_INFLEX_INDEX_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,9 @@ enum class QueryStrategy {
 };
 
 const char* QueryStrategyName(QueryStrategy s);
+
+/// Sentinel in RemoveIndexPoints' old→new id remap for ids that were dropped.
+inline constexpr uint32_t kDroppedIndexPoint = UINT32_MAX;
 
 /// \brief Options governing one TIM query evaluation.
 struct QueryOptions {
@@ -149,9 +154,24 @@ class InflexIndex {
   Status AddIndexPoint(const simplex::TopicDistribution& item,
                        rank::RankedList seed_list);
 
+  /// Drops the given index points (and their seed lists) without rebuilding
+  /// the tree: rows are physically compacted and surviving ids densely
+  /// renumbered in order (see BbTree::RemovePoints). When `old_to_new` is
+  /// non-null it receives the id remap — old_to_new[old_id] is the
+  /// survivor's new id, or kDroppedIndexPoint for removed ids — which the
+  /// serving layer threads through generation publishes so hit accounting
+  /// and admitted-item registries follow the renumbering. Fails (without
+  /// mutating) on out-of-range ids or when the removal would empty the
+  /// index. Removals count toward tree().degradation(); Compact() restores
+  /// a fresh partition.
+  Status RemoveIndexPoints(std::span<const uint32_t> ids,
+                           std::vector<uint32_t>* old_to_new = nullptr);
+
   /// Rebuilds the ball tree from scratch over all points (the §3.2 offline
   /// construction), restoring tree().degradation() to 0. Point ids are
   /// preserved (ids are positions in the point set, which rebuilding keeps).
+  /// A no-op when the tree has seen neither inserts nor removals since the
+  /// last build.
   Status Compact(const bbtree::BbTreeOptions& tree_options = {});
 
   /// Number of points added online since the last full (re)build.

@@ -172,5 +172,17 @@ size_t QueryCache::size() const {
   return total;
 }
 
+QueryCache::CounterSnapshot QueryCache::counters() const {
+  uint64_t h = hits_.load(std::memory_order_acquire);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint64_t m = misses_.load(std::memory_order_acquire);
+    const uint64_t h2 = hits_.load(std::memory_order_acquire);
+    if (h2 == h) return {h, m};
+    h = h2;
+  }
+  // Counters moving too fast to bracket — return the freshest pair.
+  return {h, misses_.load(std::memory_order_acquire)};
+}
+
 }  // namespace core
 }  // namespace inflex

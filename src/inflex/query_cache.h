@@ -82,6 +82,22 @@ class QueryCache {
   size_t size() const;
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  /// One hit/miss pair sampled together.
+  struct CounterSnapshot {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
+  /// Samples both counters as a pair: the hit count is re-read until it is
+  /// stable across the miss read (bounded retries), so under a quiescent or
+  /// slowly-moving cache the pair corresponds to one instant. The counters
+  /// are independent relaxed atomics on the serving hot path, so under heavy
+  /// concurrent traffic the pair can still straddle a handful of in-flight
+  /// requests — callers must treat derived epoch-scoped readouts as
+  /// estimates and clamp subtractions (see QueryEngine::cumulative_stats).
+  CounterSnapshot counters() const;
+
   size_t num_shards() const { return shards_.size(); }
 
  private:

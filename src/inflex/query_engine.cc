@@ -42,6 +42,13 @@ QueryEngine::QueryEngine(std::shared_ptr<const InflexIndex> index,
                          const QueryEngineOptions& options)
     : options_(options), cache_(options.cache) {
   INFLEX_CHECK(index != nullptr);
+  if (options_.enable_hit_accounting) {
+    PointHitAccounting::Options hopts;
+    hopts.decay = options_.hit_decay;
+    hopts.num_stripes = options_.hit_stripes;
+    hit_accounting_ = std::make_unique<PointHitAccounting>(
+        index->num_index_points(), hopts);
+  }
   generation_.store(
       std::make_shared<const Generation>(Generation{std::move(index), 0}),
       std::memory_order_release);
@@ -64,7 +71,14 @@ Result<QueryResult> QueryEngine::Query(const QueryRequest& request) {
           ? cache_.Query(*gen->index, request.item, request.k, request.options,
                          gen->epoch)
           : gen->index->Query(request.item, request.k, request.options);
-  if (result.ok()) result.ValueOrDie().generation = gen->epoch;
+  if (result.ok()) {
+    result.ValueOrDie().generation = gen->epoch;
+    // Credit the index points that backed this answer (cache hits included:
+    // a point behind a hot cached answer is still earning its keep).
+    if (hit_accounting_ != nullptr) {
+      hit_accounting_->Record(gen->epoch, result.ValueOrDie().neighbors_used);
+    }
+  }
   return result;
 }
 
@@ -151,18 +165,32 @@ std::vector<Result<QueryResult>> QueryEngine::QueryBatch(
   return results;
 }
 
-uint64_t QueryEngine::PublishIndex(std::shared_ptr<const InflexIndex> next) {
+uint64_t QueryEngine::PublishIndex(std::shared_ptr<const InflexIndex> next,
+                                   std::span<const uint32_t> old_to_new) {
   INFLEX_CHECK(next != nullptr);
   std::lock_guard<std::mutex> lock(publish_mu_);
   const uint64_t epoch = PinGeneration()->epoch + 1;
+  const size_t num_points = next->num_index_points();
   generation_.store(
       std::make_shared<const Generation>(Generation{std::move(next), epoch}),
       std::memory_order_release);
   generation_swaps_.fetch_add(1, std::memory_order_relaxed);
+  // Fold the hit tally of the superseded generation into the decayed scores,
+  // renumbered through the publisher's remap for eviction publishes.
+  if (hit_accounting_ != nullptr) {
+    hit_accounting_->Fold(epoch, num_points, old_to_new);
+  }
   // Re-baseline the epoch-scoped cache counters: the bumped epoch starts the
-  // new generation's warm-up from a cold (all-miss) cache.
-  epoch_hits_base_.store(cache_.hits(), std::memory_order_relaxed);
-  epoch_misses_base_.store(cache_.misses(), std::memory_order_relaxed);
+  // new generation's warm-up from a cold (all-miss) cache. The pair is
+  // sampled together and stored under stats_mu_ so readers never see a
+  // hits baseline from this publish paired with a misses baseline from
+  // another (lock order publish_mu_ → stats_mu_).
+  const QueryCache::CounterSnapshot snap = cache_.counters();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    epoch_hits_base_ = snap.hits;
+    epoch_misses_base_ = snap.misses;
+  }
   return epoch;
 }
 
@@ -179,6 +207,11 @@ std::shared_ptr<const InflexIndex> QueryEngine::index_snapshot() const {
 
 uint64_t QueryEngine::index_epoch() const { return PinGeneration()->epoch; }
 
+std::vector<double> QueryEngine::HitScores() const {
+  if (hit_accounting_ == nullptr) return {};
+  return hit_accounting_->HitScores();
+}
+
 ServingStats QueryEngine::cumulative_stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   ServingStats out = cumulative_;
@@ -189,14 +222,17 @@ ServingStats QueryEngine::cumulative_stats() const {
     out.latency_samples = latency_reservoir_.size();
   }
   out.generation_swaps = generation_swaps_.load(std::memory_order_relaxed);
-  // Epoch-scoped counters can momentarily read hits/misses from a query
-  // racing a publish; the readout is a dashboard estimate, not a ledger.
-  const uint64_t hits = cache_.hits();
-  const uint64_t misses = cache_.misses();
-  const uint64_t hb = epoch_hits_base_.load(std::memory_order_relaxed);
-  const uint64_t mb = epoch_misses_base_.load(std::memory_order_relaxed);
-  out.epoch_cache_hits = hits >= hb ? hits - hb : 0;
-  out.epoch_cache_misses = misses >= mb ? misses - mb : 0;
+  // Epoch-scoped counters: the baseline pair is coherent (stored together
+  // under stats_mu_, which we hold); the live pair is sampled together.
+  // Queries racing a publish may be attributed to either epoch — the
+  // readout is a dashboard estimate, not a ledger — so the subtraction is
+  // clamped.
+  const QueryCache::CounterSnapshot snap = cache_.counters();
+  out.epoch_cache_hits =
+      snap.hits >= epoch_hits_base_ ? snap.hits - epoch_hits_base_ : 0;
+  out.epoch_cache_misses = snap.misses >= epoch_misses_base_
+                               ? snap.misses - epoch_misses_base_
+                               : 0;
   out.publishes_timed = publishes_timed_;
   out.admit_to_publish_mean_ms =
       publishes_timed_ > 0

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "inflex/hit_accounting.h"
 #include "inflex/inflex_index.h"
 #include "inflex/query_cache.h"
 #include "util/random.h"
@@ -74,6 +75,17 @@ struct QueryEngineOptions {
   /// When false every request runs the index directly (useful to measure
   /// raw index throughput, or when answers must reflect a mutating index).
   bool enable_cache = true;
+  /// Per-index-point hit accounting: every answered query credits the index
+  /// points that backed it (QueryResult::neighbors_used), and the scores
+  /// decay by `hit_decay` at each generation publish. The decay sweep in
+  /// IndexMaintainer uses the scores to pick cold points for eviction;
+  /// leave off when the index is static.
+  bool enable_hit_accounting = false;
+  /// Multiplier applied to accumulated hit scores at each publish (see
+  /// PointHitAccounting::Options::decay).
+  double hit_decay = 0.5;
+  /// Striping width of the hit counters across serving threads.
+  size_t hit_stripes = 8;
   /// Pool the batch API fans requests across; nullptr = the process-global
   /// pool. The engine does not own the pool.
   ThreadPool* pool = nullptr;
@@ -130,7 +142,14 @@ class QueryEngine {
   /// cache epoch (lazy invalidation). Returns the new epoch. In-flight
   /// queries finish against the generation they pinned; new queries see
   /// `next`. Thread-safe against queries and against other publishers.
-  uint64_t PublishIndex(std::shared_ptr<const InflexIndex> next);
+  ///
+  /// `old_to_new` is the point-id remap when `next` renumbered index points
+  /// (an eviction publish): old_to_new[old_id] is the survivor's id in
+  /// `next`, kDroppedIndexPoint for evicted points. It is threaded into the
+  /// hit-accounting fold so decayed scores follow surviving points. Empty =
+  /// pure growth (ids preserved, appended points start cold).
+  uint64_t PublishIndex(std::shared_ptr<const InflexIndex> next,
+                        std::span<const uint32_t> old_to_new = {});
 
   /// Folds one admission→publish latency observation into the cumulative
   /// maintenance stats (called by IndexMaintainer when a generation it
@@ -154,6 +173,16 @@ class QueryEngine {
   /// true aggregates, not the most recent batch's; `latency_samples` reports
   /// the reservoir occupancy. mean/max are exact running aggregates.
   ServingStats cumulative_stats() const;
+
+  /// Per-index-point hit scores of the current generation (decayed history +
+  /// live counts; see PointHitAccounting). Empty when hit accounting is
+  /// disabled.
+  std::vector<double> HitScores() const;
+
+  /// The hit-accounting layer, or nullptr when disabled.
+  const PointHitAccounting* hit_accounting() const {
+    return hit_accounting_.get();
+  }
 
   QueryCache& cache() { return cache_; }
   const QueryEngineOptions& options() const { return options_; }
@@ -183,13 +212,18 @@ class QueryEngine {
   std::atomic<std::shared_ptr<const Generation>> generation_;
   std::mutex publish_mu_;  // serializes PublishIndex epoch assignment
 
-  // Cache-counter baselines captured at the last publish: epoch-scoped hit
-  // rate is (cache totals − baseline).
   std::atomic<uint64_t> generation_swaps_{0};
-  std::atomic<uint64_t> epoch_hits_base_{0};
-  std::atomic<uint64_t> epoch_misses_base_{0};
+
+  /// nullptr unless options_.enable_hit_accounting.
+  std::unique_ptr<PointHitAccounting> hit_accounting_;
 
   mutable std::mutex stats_mu_;
+  // Cache-counter baselines captured at the last publish: epoch-scoped hit
+  // rate is (cache totals − baseline). Guarded as a PAIR by stats_mu_ so a
+  // reader can never combine a hits baseline from one publish with a misses
+  // baseline from another (lock order: publish_mu_ → stats_mu_).
+  uint64_t epoch_hits_base_ = 0;    // guarded by stats_mu_
+  uint64_t epoch_misses_base_ = 0;  // guarded by stats_mu_
   ServingStats cumulative_;            // guarded by stats_mu_
   std::vector<double> latency_reservoir_;  // guarded by stats_mu_
   size_t latency_seen_ = 0;            // guarded by stats_mu_

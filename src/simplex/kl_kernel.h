@@ -85,6 +85,25 @@ class KlQueryContext {
     return KlFactorized(neg_entropy_q_, q_.data(), log_target, dim_);
   }
 
+  /// Retained buffer capacity in doubles (the query copy + its log).
+  size_t retained_capacity() const {
+    return q_.capacity() + log_q_.capacity();
+  }
+
+  /// Releases the retained buffers when their capacity is far beyond `dim`
+  /// (long-lived contexts serve queries of different dimension back to back;
+  /// see bbtree::SearchContext::BindTo for the hysteresis contract).
+  void ShrinkTo(size_t dim) {
+    if (q_.capacity() > std::max<size_t>(4 * dim, 64)) {
+      std::vector<double>().swap(q_);
+      std::vector<double>().swap(log_q_);
+      q_.reserve(dim);
+      log_q_.reserve(dim);
+      dim_ = 0;
+      neg_entropy_q_ = 0.0;
+    }
+  }
+
  private:
   std::vector<double> q_;
   std::vector<double> log_q_;

@@ -419,6 +419,204 @@ TEST(InsertTest, DegradationGrowsAndResetsOnRebuild) {
   EXPECT_DOUBLE_EQ(rebuilt.ValueOrDie().degradation(), 0.0);
 }
 
+// ---------------------------------------------------------- online removal ---
+
+TEST(RemoveTest, RejectsBadInputWithoutMutating) {
+  auto tree_r = BbTree::Build(ClusteredPoints(40, 4, 401), {});
+  ASSERT_TRUE(tree_r.ok());
+  BbTree& tree = tree_r.ValueOrDie();
+
+  const std::vector<uint32_t> out_of_range = {3, 40};
+  EXPECT_FALSE(tree.RemovePoints(out_of_range).ok());
+  EXPECT_EQ(tree.num_points(), 40u);
+  EXPECT_EQ(tree.num_removed(), 0u);
+
+  std::vector<uint32_t> everything(40);
+  for (uint32_t i = 0; i < 40; ++i) everything[i] = i;
+  EXPECT_FALSE(tree.RemovePoints(everything).ok());
+  EXPECT_EQ(tree.num_points(), 40u);
+  EXPECT_DOUBLE_EQ(tree.degradation(), 0.0);
+
+  EXPECT_TRUE(tree.RemovePoints({}).ok());  // no-op
+  EXPECT_EQ(tree.num_points(), 40u);
+}
+
+TEST(RemoveTest, PrunedTreeSearchesMatchFreshBuildOnSurvivors) {
+  // After removing a mix of built and inserted points, every search on the
+  // pruned tree must agree bit-for-bit with a fresh tree built over the
+  // survivors in order: the renumbering is dense and order-preserving, and
+  // the KL kernel evaluates every point row in a fixed reduction order, so
+  // ids AND divergences are comparable exactly.
+  const auto points = ClusteredPoints(180, 5, 411);
+  auto tree_r = BbTree::Build(points, {});
+  ASSERT_TRUE(tree_r.ok());
+  BbTree& tree = tree_r.ValueOrDie();
+  Rng rng(412);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(tree.Insert(simplex::SampleUniformSimplex(5, &rng)).ok());
+  }
+
+  // Drop every 7th id (covers built rows and the inserted tail), plus a
+  // duplicate to confirm duplicates are tolerated.
+  std::vector<uint32_t> victims;
+  for (uint32_t id = 0; id < 200; id += 7) victims.push_back(id);
+  victims.push_back(victims.front());
+  std::vector<TopicVector> survivors;
+  for (uint32_t id = 0; id < 200; ++id) {
+    if (id % 7 != 0) survivors.push_back(tree.point(id));
+  }
+
+  ASSERT_TRUE(tree.RemovePoints(victims).ok());
+  EXPECT_EQ(tree.num_points(), survivors.size());
+  EXPECT_EQ(tree.num_removed(), 200u / 7 + 1);
+  EXPECT_GT(tree.degradation(), 0.0);
+
+  auto fresh_r = BbTree::Build(survivors, {});
+  ASSERT_TRUE(fresh_r.ok());
+  const BbTree& fresh = fresh_r.ValueOrDie();
+
+  for (int t = 0; t < 20; ++t) {
+    const TopicVector q = simplex::SampleUniformSimplex(5, &rng);
+    // Exactness within the pruned tree itself (balls stayed conservative).
+    const auto got = tree.ExactKnn(q, 6);
+    const auto scan = tree.LinearScanKnn(q, 6);
+    // ...and bit-identity against the pristine rebuild.
+    const auto want = fresh.ExactKnn(q, 6);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].point_id, scan[i].point_id) << "query " << t;
+      EXPECT_EQ(got[i].point_id, want[i].point_id) << "query " << t;
+      EXPECT_DOUBLE_EQ(got[i].divergence, scan[i].divergence);
+      EXPECT_DOUBLE_EQ(got[i].divergence, want[i].divergence);
+    }
+  }
+}
+
+TEST(RemoveTest, SurvivingPointsKeepTheirDataUnderRenumbering) {
+  const auto points = ClusteredPoints(60, 4, 421);
+  auto tree_r = BbTree::Build(points, {});
+  ASSERT_TRUE(tree_r.ok());
+  BbTree& tree = tree_r.ValueOrDie();
+  ASSERT_TRUE(tree.RemovePoints(std::vector<uint32_t>{0, 13, 27, 59}).ok());
+  // Survivor with old id `old` now answers to old minus dropped-before-it.
+  uint32_t new_id = 0;
+  for (uint32_t old = 0; old < 60; ++old) {
+    if (old == 0 || old == 13 || old == 27 || old == 59) continue;
+    const auto got = tree.point(new_id);
+    ASSERT_EQ(got.size(), points[old].size());
+    for (size_t d = 0; d < got.size(); ++d) {
+      EXPECT_EQ(got[d], points[old][d]) << "survivor " << old;
+    }
+    ++new_id;
+  }
+  EXPECT_EQ(new_id, tree.num_points());
+}
+
+// Regression: degradation() used to compare the largest leaf against
+// max_leaf_size, so a build whose degenerate split legitimately left an
+// oversized leaf (duplicate-heavy data) reported phantom degradation — and a
+// rebuild could never bring it back to 0.
+TEST(RemoveTest, DegradationIsZeroAfterBuildEvenWithOversizedLeaves) {
+  std::vector<TopicVector> points;
+  for (int i = 0; i < 40; ++i) points.push_back({0.7, 0.1, 0.1, 0.1});
+  for (int i = 0; i < 4; ++i) {
+    points.push_back({0.1, 0.7, 0.1, 0.1});
+  }
+  BbTreeOptions bopts;
+  bopts.max_leaf_size = 4;  // duplicates cannot split below this
+  auto tree_r = BbTree::Build(points, bopts);
+  ASSERT_TRUE(tree_r.ok());
+  BbTree& tree = tree_r.ValueOrDie();
+  EXPECT_DOUBLE_EQ(tree.degradation(), 0.0);
+
+  // Degrade it, then rebuild over the same points: back to exactly 0.
+  Rng rng(431);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tree.Insert(simplex::SampleUniformSimplex(4, &rng)).ok());
+  }
+  ASSERT_TRUE(tree.RemovePoints(std::vector<uint32_t>{1, 2, 3}).ok());
+  EXPECT_GT(tree.degradation(), 0.0);
+  std::vector<TopicVector> all;
+  for (uint32_t i = 0; i < tree.num_points(); ++i) all.push_back(tree.point(i));
+  auto rebuilt = BbTree::Build(std::move(all), bopts);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_DOUBLE_EQ(rebuilt.ValueOrDie().degradation(), 0.0);
+}
+
+// ------------------------------------------------- search context lifetime ---
+
+// Regression: a long-lived SearchContext (the thread_local fallback on a
+// serving thread) used to keep its worst-case scratch forever and was never
+// re-validated against the tree it was about to search, so one context
+// serving trees of different dimension back to back was unsound by
+// construction. Every entry point now re-binds the scratch per search.
+TEST(SearchContextTest, OneContextServesTreesOfDifferentDimension) {
+  auto small_r = BbTree::Build(ClusteredPoints(80, 4, 441), {});
+  auto big_r = BbTree::Build(ClusteredPoints(600, 16, 442), {});
+  ASSERT_TRUE(small_r.ok());
+  ASSERT_TRUE(big_r.ok());
+  const BbTree& small = small_r.ValueOrDie();
+  const BbTree& big = big_r.ValueOrDie();
+
+  SearchContext ctx;
+  Rng rng(443);
+  for (int t = 0; t < 8; ++t) {
+    // Alternate trees through ONE context; answers must match fresh-context
+    // searches exactly (same kernel, same traversal — scratch is invisible).
+    const TopicVector qs = simplex::SampleUniformSimplex(4, &rng);
+    const TopicVector qb = simplex::SampleUniformSimplex(16, &rng);
+    const auto got_s = small.ExactKnn(qs, 5, nullptr, &ctx);
+    const auto want_s = small.ExactKnn(qs, 5);
+    const auto got_b = big.ExactKnn(qb, 5, nullptr, &ctx);
+    const auto want_b = big.ExactKnn(qb, 5);
+    ASSERT_EQ(got_s.size(), want_s.size());
+    ASSERT_EQ(got_b.size(), want_b.size());
+    for (size_t i = 0; i < got_s.size(); ++i) {
+      EXPECT_EQ(got_s[i].point_id, want_s[i].point_id);
+      EXPECT_DOUBLE_EQ(got_s[i].divergence, want_s[i].divergence);
+    }
+    for (size_t i = 0; i < got_b.size(); ++i) {
+      EXPECT_EQ(got_b[i].point_id, want_b[i].point_id);
+      EXPECT_DOUBLE_EQ(got_b[i].divergence, want_b[i].divergence);
+    }
+    // InflexSearch through the same context as well.
+    const auto r = small.InflexSearch(qs, {}, &ctx);
+    ASSERT_FALSE(r.neighbors.empty());
+  }
+}
+
+TEST(SearchContextTest, RetainedCapacityIsBoundedAfterWorstCaseSearch) {
+  auto small_r = BbTree::Build(ClusteredPoints(60, 4, 451), {});
+  // Worst case by construction: one 500-point leaf (max_leaf_size above the
+  // point count), so a single search inflates the leaf-scan scratch to 500 —
+  // far beyond the release threshold of the small tree's ≤16-point leaves.
+  BbTreeOptions one_leaf;
+  one_leaf.max_leaf_size = 600;
+  auto big_r = BbTree::Build(ClusteredPoints(500, 8, 452), one_leaf);
+  ASSERT_TRUE(small_r.ok());
+  ASSERT_TRUE(big_r.ok());
+  const BbTree& small = small_r.ValueOrDie();
+  const BbTree& big = big_r.ValueOrDie();
+
+  SearchContext ctx;
+  Rng rng(453);
+  for (int t = 0; t < 3; ++t) {
+    big.ExactKnn(simplex::SampleUniformSimplex(8, &rng), 10, nullptr, &ctx);
+  }
+  const size_t inflated = ctx.retained_capacity();
+  ASSERT_GT(inflated, 0u);
+
+  // Re-binding to the small tree must release the far-oversized buffers
+  // instead of pinning the high-water mark forever.
+  small.ExactKnn(simplex::SampleUniformSimplex(4, &rng), 5, nullptr, &ctx);
+  const size_t rebound = ctx.retained_capacity();
+  EXPECT_LT(rebound, inflated);
+
+  // Steady-state reuse on one tree is stable (hysteresis: no realloc churn).
+  small.ExactKnn(simplex::SampleUniformSimplex(4, &rng), 5, nullptr, &ctx);
+  EXPECT_EQ(ctx.retained_capacity(), rebound);
+}
+
 }  // namespace
 }  // namespace bbtree
 }  // namespace inflex

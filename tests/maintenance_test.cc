@@ -20,6 +20,7 @@
 #include "inflex/index_maintainer.h"
 #include "inflex/inflex_index.h"
 #include "inflex/query_engine.h"
+#include "simplex/divergence.h"
 #include "simplex/sampling.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -80,6 +81,36 @@ class MaintenanceTest : public ::testing::Test {
     d.id = "corner-" + std::to_string(corner);
     d.item = simplex::TopicDistribution::Create(p).ValueOrDie();
     return d;
+  }
+
+  /// Deterministically picks `n` mixtures that are far (in KL, both
+  /// directions, with margin) from every index point of `index` AND from
+  /// each other: submitted as a burst, every one passes the admission probe
+  /// and none is superseded by another within the same batch.
+  static std::vector<simplex::TopicDistribution> FarApartMixtures(
+      const core::InflexIndex& index, size_t n, double margin,
+      uint64_t seed) {
+    Rng rng(seed);
+    std::vector<simplex::TopicDistribution> picked;
+    for (int attempt = 0; attempt < 20000 && picked.size() < n; ++attempt) {
+      const auto q = simplex::SampleUniformSimplex(4, &rng);
+      // Same probe as admission: min_i D_KL(index point i ‖ q).
+      if (index.tree().ExactKnn(q, 1).front().divergence <= margin) continue;
+      bool far = true;
+      for (const auto& p : picked) {
+        if (simplex::KlDivergence(p.probs(), q) <= margin ||
+            simplex::KlDivergence(q, p.probs()) <= margin) {
+          far = false;
+          break;
+        }
+      }
+      if (far) {
+        picked.push_back(simplex::TopicDistribution::Create(q).ValueOrDie());
+      }
+    }
+    EXPECT_EQ(picked.size(), n) << "could not find " << n
+                                << " mutually far mixtures";
+    return picked;
   }
 
   static std::vector<core::QueryRequest> MakeWorkload(size_t n,
@@ -451,6 +482,212 @@ TEST_F(MaintenanceTest, SaveLoadRoundTripsAMaintainedIndex) {
   std::remove(path.c_str());
 }
 
+// ----------------------------------------------- post-insert save/load ---
+
+// A maintained index whose tree still carries post-Insert rows (NOT
+// leaf-contiguous — no Compact ran) must round-trip through Save/Load with
+// bit-identical neighbor sets: Load rebuilds the tree, but exact search is
+// shape-independent and the point data is preserved exactly.
+TEST_F(MaintenanceTest, SaveLoadPreservesPostInsertNeighborSetsBitForBit) {
+  auto mopts = FastOptions();
+  mopts.rebuild_degradation = 0.75;  // keep the inserted rows in place
+  core::IndexMaintainer m(InitialGeneration(), &dataset_->graph, nullptr,
+                          mopts);
+  ASSERT_TRUE(m.SubmitDelta(CornerDelta(0)).ok());
+  ASSERT_TRUE(m.SubmitDelta(CornerDelta(3)).ok());
+  m.Drain();
+  ASSERT_EQ(m.stats().tree_rebuilds, 0u);
+  const auto maintained = m.current();
+  ASSERT_GT(maintained->tree().num_inserted(), 0u)
+      << "precondition: the saved tree must carry post-Insert rows";
+
+  const std::string path = ::testing::TempDir() + "/post_insert.inflex";
+  ASSERT_TRUE(maintained->Save(path).ok());
+  auto loaded_r = core::InflexIndex::Load(path, &dataset_->graph);
+  ASSERT_TRUE(loaded_r.ok());
+  const auto& loaded = loaded_r.ValueOrDie();
+
+  Rng rng(606);
+  for (int t = 0; t < 25; ++t) {
+    const auto q = simplex::SampleUniformSimplex(4, &rng);
+    const auto got = loaded.tree().ExactKnn(q, 5);
+    const auto want = maintained->tree().ExactKnn(q, 5);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].point_id, want[i].point_id) << "query " << t;
+      EXPECT_EQ(got[i].divergence, want[i].divergence) << "query " << t;
+    }
+    // The 1-NN backs the admission/coverage probe — it must agree too.
+    EXPECT_EQ(loaded.tree().ExactKnn(q, 1).front().point_id,
+              maintained->tree().ExactKnn(q, 1).front().point_id);
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- delta coalescing ---
+
+// A burst of admitted deltas whose precomputes land together must fold into
+// ONE clone+publish, not one generation per delta. The pool is gated so the
+// whole burst is in flight before any precompute starts; the publisher's
+// coalescing window (open while precomputes are in flight) then drains all
+// of them into a single batch.
+TEST_F(MaintenanceTest, CoalescedBurstPublishesOneGeneration) {
+  ThreadPool pool(4);
+  auto mopts = FastOptions();
+  mopts.pool = &pool;
+  mopts.max_batch = 64;
+  mopts.max_batch_delay_ms = 30'000.0;  // the in-flight gate ends the window
+  core::IndexMaintainer m(InitialGeneration(), &dataset_->graph, nullptr,
+                          mopts);
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  for (int t = 0; t < 4; ++t) pool.Submit([opened] { opened.wait(); });
+
+  // 12 mixtures far from every index point and from each other (3× the
+  // admission threshold): every delta admits, none supersedes another.
+  const auto burst = FarApartMixtures(*InitialGeneration(), 12, 0.15, 5150);
+  ASSERT_EQ(burst.size(), 12u);
+  for (size_t i = 0; i < burst.size(); ++i) {
+    core::CatalogDelta d;
+    d.id = "burst-" + std::to_string(i);
+    d.item = burst[i];
+    auto receipt = m.SubmitDelta(d);
+    ASSERT_TRUE(receipt.ok());
+    ASSERT_EQ(receipt.ValueOrDie().outcome, core::DeltaOutcome::kAdmitted)
+        << d.id << " at min divergence "
+        << receipt.ValueOrDie().min_divergence;
+  }
+
+  gate.set_value();
+  m.Drain();
+
+  const auto stats = m.stats();
+  EXPECT_EQ(stats.admitted, 12u);
+  EXPECT_EQ(stats.superseded, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.generations_published, 1u)
+      << "a coalesced burst must cost one generation, not one per delta";
+  EXPECT_EQ(stats.batched_deltas, 12u);
+  EXPECT_EQ(stats.index_points, 16u + 12u);
+  EXPECT_EQ(m.epoch(), 1u);
+  EXPECT_EQ(m.current()->num_index_points(), 28u);
+}
+
+// ------------------------------------------------------ decay sweep eviction ---
+
+// Warm every ORIGINAL index point through the engine (ε-exact self-queries
+// put exactly one hit per query on exactly that point), leave the admitted
+// corner points stone cold, then sweep: the cold points are evicted, the
+// index shrinks back, and (retire_admitted_items=true) their items are
+// retired — resubmission re-admits.
+TEST_F(MaintenanceTest, DecaySweepEvictsColdPointsAndRetiresTheirItems) {
+  auto initial = InitialGeneration();
+  core::QueryEngineOptions eopts;
+  eopts.enable_hit_accounting = true;
+  core::QueryEngine engine(initial, eopts);
+  auto mopts = FastOptions();
+  mopts.rebuild_degradation = 0.75;
+  mopts.min_point_age_generations = 1;
+  mopts.min_index_points = 4;
+  core::IndexMaintainer m(initial, &dataset_->graph, &engine, mopts);
+
+  auto first = m.SubmitDelta(CornerDelta(0));
+  auto second = m.SubmitDelta(CornerDelta(1));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first.ValueOrDie().outcome, core::DeltaOutcome::kAdmitted);
+  ASSERT_EQ(second.ValueOrDie().outcome, core::DeltaOutcome::kAdmitted);
+  m.Drain();
+  ASSERT_EQ(m.stats().index_points, 18u);
+
+  const auto gen = m.current();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint32_t id = 0; id < 16; ++id) {
+      core::QueryRequest req;
+      req.item = simplex::TopicDistribution::Create(gen->index_point(id))
+                     .ValueOrDie();
+      req.k = 6;
+      auto r = engine.Query(req);
+      ASSERT_TRUE(r.ok());
+      ASSERT_TRUE(r.ValueOrDie().epsilon_exact);
+    }
+  }
+
+  m.RequestDecaySweep();
+  m.Drain();
+
+  const auto stats = m.stats();
+  EXPECT_EQ(stats.decay_sweeps, 1u);
+  EXPECT_EQ(stats.points_evicted, 2u);
+  EXPECT_EQ(stats.index_points, 16u);
+  EXPECT_EQ(m.current()->num_index_points(), 16u);
+  EXPECT_EQ(engine.index_epoch(), m.epoch());
+  EXPECT_EQ(engine.HitScores().size(), 16u)
+      << "the hit-score fold must follow the eviction renumbering";
+  // The corner points are really gone: the coverage probe no longer finds
+  // anything near them.
+  const auto nn = m.current()->tree().ExactKnn(CornerDelta(1).item.probs(), 1);
+  EXPECT_GT(nn.front().divergence, mopts.admission_threshold);
+
+  // ...and their items were retired, so resubmission re-admits.
+  auto again = m.SubmitDelta(CornerDelta(0));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.ValueOrDie().outcome, core::DeltaOutcome::kAdmitted)
+      << "evicting a point must retire its item";
+  m.Drain();
+}
+
+// With retire_admitted_items=false the maintainer keeps vouching coverage
+// for every admitted item: a stone-cold point that is the LAST one covering
+// its item is protected from eviction no matter the sweep.
+TEST_F(MaintenanceTest, SweepProtectsLastCoverOfAdmittedItems) {
+  auto initial = InitialGeneration();
+  core::QueryEngineOptions eopts;
+  eopts.enable_hit_accounting = true;
+  core::QueryEngine engine(initial, eopts);
+  auto mopts = FastOptions();
+  mopts.rebuild_degradation = 0.75;
+  mopts.min_point_age_generations = 1;
+  mopts.min_index_points = 4;
+  mopts.retire_admitted_items = false;
+  core::IndexMaintainer m(initial, &dataset_->graph, &engine, mopts);
+
+  auto receipt = m.SubmitDelta(CornerDelta(2));
+  ASSERT_TRUE(receipt.ok());
+  ASSERT_EQ(receipt.ValueOrDie().outcome, core::DeltaOutcome::kAdmitted);
+  m.Drain();
+  ASSERT_EQ(m.stats().index_points, 17u);
+  ASSERT_EQ(m.stats().generations_published, 1u);
+
+  const auto gen = m.current();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint32_t id = 0; id < 16; ++id) {
+      core::QueryRequest req;
+      req.item = simplex::TopicDistribution::Create(gen->index_point(id))
+                     .ValueOrDie();
+      req.k = 6;
+      ASSERT_TRUE(engine.Query(req).ok());
+    }
+  }
+
+  m.RequestDecaySweep();
+  m.Drain();
+
+  const auto stats = m.stats();
+  EXPECT_EQ(stats.decay_sweeps, 1u);
+  EXPECT_EQ(stats.points_evicted, 0u)
+      << "the only point covering an admitted item must survive the sweep";
+  EXPECT_EQ(stats.index_points, 17u);
+  EXPECT_EQ(stats.generations_published, 1u)
+      << "a sweep that evicts nothing must not publish a generation";
+
+  auto again = m.SubmitDelta(CornerDelta(2));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.ValueOrDie().outcome, core::DeltaOutcome::kCovered)
+      << "the protected point still covers its item";
+}
+
 // ------------------------------------------------- maintenance under storm ---
 
 // The tentpole invariant: 8 threads storm the engine while the maintenance
@@ -534,6 +771,118 @@ TEST_F(MaintenanceTest, ConcurrentMaintenanceStress) {
   }
 
   // Serial replay: every answer against its own pinned generation.
+  size_t replayed = 0;
+  for (const auto& per_thread : recorded) {
+    for (const auto& rec : per_thread) {
+      const auto& req = requests[rec.request];
+      std::shared_ptr<const core::InflexIndex> gen;
+      if (rec.result.ok()) {
+        std::lock_guard<std::mutex> lock(gen_mu);
+        auto it = generations.find(rec.result.ValueOrDie().generation);
+        ASSERT_NE(it, generations.end())
+            << "answer served by an unknown generation "
+            << rec.result.ValueOrDie().generation;
+        gen = it->second;
+      } else {
+        gen = generations[engine.index_epoch()];
+      }
+      ExpectSameAnswer(rec.result, gen->Query(req.item, req.k, req.options),
+                       rec.request);
+      ++replayed;
+    }
+  }
+  EXPECT_EQ(replayed, static_cast<size_t>(kThreads) * kRounds *
+                          requests.size());
+}
+
+// The same invariant under the FULL maintenance plane: coalesced delta
+// bursts AND decay sweeps (evictions renumber index points!) race a serving
+// storm with hit accounting on. Every recorded answer must still replay
+// bit-identically against its pinned generation, and the generation history
+// must be exactly the published sequence. Runs under TSan via
+// tests/run_sanitized_stress.sh.
+TEST_F(MaintenanceTest, EvictionCoalescingStormKeepsAnswersBitIdentical) {
+  auto initial = InitialGeneration();
+  ThreadPool serve_pool(8);
+  core::QueryEngineOptions eopts;
+  eopts.pool = &serve_pool;
+  eopts.cache.num_shards = 8;
+  eopts.cache.capacity = 4096;
+  eopts.enable_hit_accounting = true;
+  core::QueryEngine engine(initial, eopts);
+
+  std::mutex gen_mu;
+  std::map<uint64_t, std::shared_ptr<const core::InflexIndex>> generations;
+  generations[0] = initial;
+
+  ThreadPool maint_pool(2);
+  auto mopts = FastOptions();
+  mopts.pool = &maint_pool;
+  mopts.max_batch = 8;
+  mopts.max_batch_delay_ms = 5.0;
+  mopts.min_point_age_generations = 1;
+  mopts.min_index_points = 8;
+  mopts.eviction_score_threshold = 0.25;
+  mopts.on_publish = [&](uint64_t epoch,
+                         std::shared_ptr<const core::InflexIndex> gen) {
+    std::lock_guard<std::mutex> lock(gen_mu);
+    generations[epoch] = std::move(gen);
+  };
+  core::IndexMaintainer maintainer(initial, &dataset_->graph, &engine, mopts);
+
+  const auto requests = MakeWorkload(32, 2718);
+  struct Recorded {
+    size_t request;
+    Result<core::QueryResult> result = Status::Internal("unset");
+  };
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 4;
+  std::vector<std::vector<Recorded>> recorded(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      recorded[t].reserve(kRounds * requests.size());
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < requests.size(); ++i) {
+          recorded[t].push_back(Recorded{i, engine.Query(requests[i])});
+        }
+      }
+    });
+  }
+
+  // Maintenance storm: 12 mutually-admissible mixtures interleaved with
+  // sweep requests so evictions and coalesced publications overlap the
+  // serving load.
+  const auto storm = FarApartMixtures(*initial, 12, 0.15, 2719);
+  for (size_t d = 0; d < storm.size(); ++d) {
+    core::CatalogDelta delta;
+    delta.id = "evict-storm-" + std::to_string(d);
+    delta.item = storm[d];
+    ASSERT_TRUE(maintainer.SubmitDelta(delta).ok());
+    if ((d + 1) % 3 == 0) maintainer.RequestDecaySweep();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  maintainer.RequestDecaySweep();
+  for (auto& th : threads) th.join();
+  maintainer.Drain();
+
+  const auto stats = maintainer.stats();
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_GE(stats.decay_sweeps, 1u);
+  EXPECT_GE(stats.generations_published, 1u);
+  EXPECT_EQ(engine.index_epoch(), maintainer.epoch());
+  EXPECT_EQ(engine.HitScores().size(),
+            maintainer.current()->num_index_points());
+  {
+    std::lock_guard<std::mutex> lock(gen_mu);
+    EXPECT_EQ(generations.size(), 1 + stats.generations_published);
+  }
+
+  // Serial replay: every answer against its own pinned generation — even
+  // answers served by generations whose points were later evicted and
+  // renumbered.
   size_t replayed = 0;
   for (const auto& per_thread : recorded) {
     for (const auto& rec : per_thread) {

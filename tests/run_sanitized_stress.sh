@@ -31,16 +31,18 @@ cmake --build "$BUILD" --target serving_test maintenance_test util_test \
 
 echo "== run serving stress + thread-pool tests under TSan"
 # halt_on_error: any reported race is a hard failure, not a log line.
-TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+# tsan.supp scopes out libstdc++ 12's _Sp_atomic relaxed-unlock artifact
+# (see the comment in that file) without masking races in our own code.
+TSAN_OPTIONS="halt_on_error=1 suppressions=$SRC/tests/tsan.supp ${TSAN_OPTIONS:-}" \
   "$BUILD/tests/serving_test"
-TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+TSAN_OPTIONS="halt_on_error=1 suppressions=$SRC/tests/tsan.supp ${TSAN_OPTIONS:-}" \
   "$BUILD/tests/util_test" --gtest_filter='ThreadPoolTest.*'
 
 echo "== run live-maintenance stress under TSan"
 # The query storm runs concurrently with background seed recompute and
 # RCU-style generation swaps; the test additionally replays every answer
 # serially against its pinned generation and requires bit-identity.
-TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}" \
+TSAN_OPTIONS="halt_on_error=1 suppressions=$SRC/tests/tsan.supp ${TSAN_OPTIONS:-}" \
   "$BUILD/tests/maintenance_test"
 
 echo "TSan stress: OK (zero reported races)"

@@ -375,6 +375,64 @@ TEST_F(ServingTest, ConcurrentServingStress) {
             stats.num_requests + raw_requests);
 }
 
+// ---------------------------------------------- epoch hit-rate coherence ---
+
+// Regression: cumulative_stats() used to subtract epoch baselines that were
+// two independent atomics sampled at different times, so a reader racing a
+// publish could pair the new hits baseline with the old misses baseline (or
+// vice versa) and report wrapped-around epoch counters. The baselines are now
+// stored as a coherent pair and the subtraction is clamped; under a storm of
+// concurrent queries, publishes and readers the epoch-scoped counters must
+// stay sane (bounded by the cache's own monotonic totals).
+TEST_F(ServingTest, EpochHitRateStaysCoherentUnderPublishStorm) {
+  ThreadPool pool(4);
+  core::QueryEngineOptions eopts;
+  eopts.pool = &pool;
+  core::QueryEngine engine(index_, eopts);
+  const auto requests = MakeWorkload(32, 77);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_readouts{0};
+  std::vector<std::thread> threads;
+
+  // Publisher: republish the current snapshot as fast as possible (same
+  // index, bumped epoch — exactly what re-baselines the epoch counters).
+  threads.emplace_back([&] {
+    while (!stop.load()) {
+      engine.PublishIndex(engine.index_snapshot());
+    }
+  });
+  // Readers: the racing readout must never see wrapped counters.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        const auto stats = engine.cumulative_stats();
+        const double rate = stats.epoch_hit_rate();
+        if (rate < 0.0 || rate > 1.0) bad_readouts.fetch_add(1);
+        // Epoch-scoped deltas are clamped differences of the cache's
+        // monotonic counters, so they can never exceed the totals sampled
+        // AFTER the readout.
+        if (stats.epoch_cache_hits > engine.cache().hits() ||
+            stats.epoch_cache_misses > engine.cache().misses()) {
+          bad_readouts.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Query load (hit-heavy after the first pass) racing both of the above.
+  for (int round = 0; round < 40; ++round) {
+    engine.QueryBatch(requests);
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(bad_readouts.load(), 0);
+  const auto stats = engine.cumulative_stats();
+  EXPECT_GT(stats.generation_swaps, 0u);
+  EXPECT_LE(stats.epoch_cache_hits, engine.cache().hits());
+  EXPECT_LE(stats.epoch_cache_misses, engine.cache().misses());
+}
+
 // --------------------------------------------- nested parallelism regression ---
 
 // Regression: EstimateSpread(parallel=true) from inside a task running on the

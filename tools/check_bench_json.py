@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate the committed BENCH_*.json artifacts.
+
+CI runs this after the benchmarks regenerate the files, so a bench that
+silently stops emitting a section (or emits garbage numbers) fails the build
+instead of shipping a stale artifact. Checks are structural plus a few loose
+physical invariants — they must hold on any machine, so no absolute
+throughput thresholds.
+
+Usage: tools/check_bench_json.py [repo_root]
+"""
+
+import json
+import math
+import sys
+from pathlib import Path
+
+FAILURES = []
+
+
+def check(cond, msg):
+    if not cond:
+        FAILURES.append(msg)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool) and math.isfinite(x)
+
+
+def require_keys(obj, keys, where):
+    for k in keys:
+        check(k in obj, f"{where}: missing key '{k}'")
+    return all(k in obj for k in keys)
+
+
+def check_kernels(path):
+    d = json.loads(path.read_text())
+    check(d.get("benchmark") == "kl_kernel_leaf_scan", f"{path.name}: bad 'benchmark'")
+    check(d.get("unit") == "ns_per_eval", f"{path.name}: bad 'unit'")
+    rows = d.get("rows")
+    check(isinstance(rows, list) and rows, f"{path.name}: 'rows' empty or missing")
+    for i, row in enumerate(rows or []):
+        where = f"{path.name} rows[{i}]"
+        if not require_keys(row, ("z", "batch", "reference", "kernel", "speedup"), where):
+            continue
+        check(is_num(row["reference"]) and row["reference"] > 0, f"{where}: bad reference")
+        check(is_num(row["kernel"]) and row["kernel"] > 0, f"{where}: bad kernel")
+        check(is_num(row["speedup"]) and row["speedup"] > 1.0,
+              f"{where}: vectorized kernel must beat the scalar reference")
+
+
+def check_serving(path):
+    d = json.loads(path.read_text())
+    check(d.get("benchmark") == "serving_throughput", f"{path.name}: bad 'benchmark'")
+
+    serial = d.get("serial", {})
+    check(is_num(serial.get("qps")) and serial.get("qps", 0) > 0,
+          f"{path.name}: serial.qps must be positive")
+
+    rows = d.get("rows")
+    check(isinstance(rows, list) and rows, f"{path.name}: 'rows' empty or missing")
+    saw_cached = saw_uncached = False
+    for i, row in enumerate(rows or []):
+        where = f"{path.name} rows[{i}]"
+        if not require_keys(
+                row, ("config", "cached", "threads", "qps", "hit_rate", "p50_ms", "p99_ms"),
+                where):
+            continue
+        check(is_num(row["qps"]) and row["qps"] > 0, f"{where}: bad qps")
+        check(is_num(row["hit_rate"]) and 0.0 <= row["hit_rate"] <= 1.0,
+              f"{where}: hit_rate out of [0,1]")
+        check(is_num(row["p50_ms"]) and is_num(row["p99_ms"])
+              and 0 <= row["p50_ms"] <= row["p99_ms"],
+              f"{where}: latency percentiles must be ordered")
+        if row["cached"]:
+            saw_cached = True
+            check(row["hit_rate"] > 0.5, f"{where}: cached row with cold cache")
+        else:
+            saw_uncached = True
+            check(row["hit_rate"] == 0.0, f"{where}: uncached row reports cache hits")
+    check(saw_cached and saw_uncached, f"{path.name}: need both cached and uncached rows")
+
+    # The churn scenario exercises the maintenance tentpole end to end: a
+    # 100-delta burst must coalesce into a handful of generations, and the
+    # decay sweeps must evict cold points with the index size stabilizing.
+    churn = d.get("churn")
+    check(isinstance(churn, dict), f"{path.name}: missing 'churn' section")
+    if not isinstance(churn, dict):
+        return
+    ok = require_keys(
+        churn,
+        ("deltas_submitted", "admitted", "burst_generations", "batched_deltas",
+         "index_points_initial", "index_points_peak", "decay_sweeps",
+         "points_evicted", "rows"),
+        f"{path.name} churn")
+    if not ok:
+        return
+    check(churn["deltas_submitted"] >= 100, f"{path.name}: churn burst too small")
+    check(churn["admitted"] == churn["deltas_submitted"],
+          f"{path.name}: churn deltas must all be admitted (mixtures are far apart)")
+    check(1 <= churn["burst_generations"] <= 5,
+          f"{path.name}: {churn['deltas_submitted']}-delta burst published "
+          f"{churn['burst_generations']} generations, want <= 5")
+    check(churn["batched_deltas"] == churn["admitted"],
+          f"{path.name}: every burst delta should land via a coalesced batch")
+    check(churn["points_evicted"] > 0, f"{path.name}: decay sweeps evicted nothing")
+    check(churn["decay_sweeps"] >= 2, f"{path.name}: need repeated sweeps")
+    check(churn["index_points_peak"] > churn["index_points_initial"],
+          f"{path.name}: burst did not grow the index")
+
+    phases = churn["rows"]
+    check(isinstance(phases, list) and len(phases) >= 4,
+          f"{path.name}: churn needs warm/burst/sweep phases")
+    if isinstance(phases, list):
+        for i, row in enumerate(phases):
+            require_keys(row, ("phase", "generation_swaps", "index_points",
+                               "points_evicted"), f"{path.name} churn rows[{i}]")
+        sweeps = [r for r in phases if str(r.get("phase", "")).startswith("sweep")]
+        check(len(sweeps) >= 2, f"{path.name}: need at least two sweep snapshots")
+        if len(sweeps) >= 2:
+            check(sweeps[-1]["index_points"] == sweeps[-2]["index_points"],
+                  f"{path.name}: index size must stabilize across trailing sweeps")
+            check(sweeps[-1]["index_points"] < churn["index_points_peak"],
+                  f"{path.name}: sweeps must shrink the index below its burst peak")
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    for name, checker in (("BENCH_kernels.json", check_kernels),
+                          ("BENCH_serving.json", check_serving)):
+        path = root / name
+        if not path.exists():
+            FAILURES.append(f"{name}: file not found under {root}")
+            continue
+        try:
+            checker(path)
+        except (json.JSONDecodeError, OSError) as e:
+            FAILURES.append(f"{name}: unreadable ({e})")
+
+    if FAILURES:
+        print("BENCH json validation FAILED:")
+        for f in FAILURES:
+            print(f"  - {f}")
+        return 1
+    print("BENCH json validation OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
