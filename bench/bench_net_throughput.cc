@@ -1,0 +1,352 @@
+// Network serving throughput: closed-loop load through the TCP front end
+// (InflexServer + wire protocol) measured from the client side, so every
+// latency includes framing, the socket round trip, admission queueing, and
+// the engine itself. Two scenarios land in the `net` section of
+// BENCH_serving.json:
+//  - scaling rows: 1/2/4/8 concurrent connections against a well-provisioned
+//    server (no shedding expected) — the wire-tax counterpart of the
+//    in-process rows that bench_serving_throughput emits;
+//  - an overload row: many closed-loop connections against one slow worker
+//    and a tiny admission queue, where the server must shed with kOverloaded
+//    instead of queueing unboundedly — the shed rate and the throughput the
+//    surviving requests still get are the artifact.
+//
+// Run bench_serving_throughput first: this binary splices `net` into the
+// BENCH_serving.json it wrote.
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/evaluation.h"
+#include "common/testbed.h"
+#include "data/workload.h"
+#include "inflex/query_engine.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace inflex;                // NOLINT
+using namespace inflex::benchsupport;  // NOLINT
+
+namespace {
+
+/// A serving trace of `total` requests over `unique` distinct mixtures (the
+/// same re-submission-heavy shape bench_serving_throughput uses).
+std::vector<core::QueryRequest> MakeTrace(const Testbed& tb, size_t unique,
+                                          size_t total, size_t k) {
+  data::QueryWorkloadOptions wopts;
+  wopts.num_data_driven = unique / 2;
+  wopts.num_uniform = unique - wopts.num_data_driven;
+  wopts.seed = 1303;
+  auto workload = data::GenerateQueryWorkload(tb.dataset->catalog, wopts);
+  std::vector<core::QueryRequest> trace;
+  if (!workload.ok()) return trace;
+  const auto& qs = workload.ValueOrDie().queries;
+  Rng rng(77);
+  trace.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    core::QueryRequest r;
+    r.item = qs[i < qs.size() ? i : rng.UniformInt(qs.size())];
+    r.k = k;
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+struct LoopResult {
+  size_t requests = 0;
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t failed = 0;
+  double wall_s = 0.0;
+  /// Client-observed latencies of OK responses (wire + queue + engine), ms.
+  std::vector<double> latencies_ms;
+
+  double qps() const { return wall_s > 0 ? ok / wall_s : 0.0; }
+  double shed_rate() const {
+    return requests > 0 ? static_cast<double>(shed) / requests : 0.0;
+  }
+  double Percentile(double q) const {
+    if (latencies_ms.empty()) return 0.0;
+    const size_t idx = std::min(
+        latencies_ms.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(latencies_ms.size())));
+    return latencies_ms[idx];
+  }
+};
+
+/// Closed-loop load: `connections` client threads, each with its own
+/// InflexClient, each issuing `per_connection` requests back to back (a shed
+/// response completes the request — real clients would back off
+/// retry_after_ms; the bench measures the server's shedding, not a retry
+/// policy).
+LoopResult RunClosedLoop(uint16_t port,
+                         const std::vector<core::QueryRequest>& trace,
+                         size_t connections, size_t per_connection) {
+  std::vector<std::vector<double>> lat(connections);
+  std::vector<std::array<size_t, 3>> counts(connections, {0, 0, 0});
+  std::atomic<size_t> connect_failures{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (size_t t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = net::InflexClient::Connect("127.0.0.1", port, 30000);
+      if (!client.ok()) {
+        connect_failures.fetch_add(1);
+        return;
+      }
+      lat[t].reserve(per_connection);
+      for (size_t i = 0; i < per_connection; ++i) {
+        const auto& request = trace[(t * per_connection + i) % trace.size()];
+        Timer rt;
+        auto resp = client.ValueOrDie().Query(request);
+        const double ms = rt.ElapsedMillis();
+        if (!resp.ok()) {
+          ++counts[t][2];
+          continue;
+        }
+        switch (resp.ValueOrDie().status) {
+          case net::WireStatus::kOk:
+            ++counts[t][0];
+            lat[t].push_back(ms);
+            break;
+          case net::WireStatus::kOverloaded:
+            ++counts[t][1];
+            break;
+          default:
+            ++counts[t][2];
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  LoopResult out;
+  out.wall_s = wall.ElapsedSeconds();
+  out.requests = connections * per_connection;
+  for (size_t t = 0; t < connections; ++t) {
+    out.ok += counts[t][0];
+    out.shed += counts[t][1];
+    out.failed += counts[t][2] + connect_failures.load();
+    out.latencies_ms.insert(out.latencies_ms.end(), lat[t].begin(),
+                            lat[t].end());
+  }
+  std::sort(out.latencies_ms.begin(), out.latencies_ms.end());
+  return out;
+}
+
+struct NetRow {
+  size_t connections = 0;
+  LoopResult result;
+};
+
+/// Splices the `net` section into the BENCH_serving.json written by
+/// bench_serving_throughput (replacing any previous `net` section).
+bool SpliceNetSection(const std::string& net_json) {
+  const char* path = "BENCH_serving.json";
+  std::string content;
+  {
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) {
+      std::fprintf(stderr,
+                   "cannot read %s — run bench_serving_throughput first\n",
+                   path);
+      return false;
+    }
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      content.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  const size_t existing = content.find(",\n  \"net\":");
+  if (existing != std::string::npos) {
+    content.resize(existing);  // drop the old net section + closing brace
+  } else {
+    const size_t last = content.rfind('}');  // top-level closing brace
+    if (last == std::string::npos) {
+      std::fprintf(stderr, "%s is not the expected JSON object\n", path);
+      return false;
+    }
+    content.resize(last);
+    while (!content.empty() &&
+           (content.back() == '\n' || content.back() == ' ')) {
+      content.pop_back();
+    }
+  }
+  content += ",\n  \"net\": ";
+  content += net_json;
+  content += "\n}\n";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("spliced \"net\" into %s\n", path);
+  return true;
+}
+
+std::string FormatNetJson(const std::vector<NetRow>& rows,
+                          const LoopResult& overload, size_t ov_connections,
+                          size_t ov_workers, size_t ov_queue_high) {
+  std::string out = "{\n    \"rows\": [\n";
+  char buf[512];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const NetRow& r = rows[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "      {\"connections\": %zu, \"requests\": %zu, \"qps\": %.0f, "
+        "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"shed_rate\": %.4f}%s\n",
+        r.connections, r.result.requests, r.result.qps(),
+        r.result.Percentile(0.50), r.result.Percentile(0.95),
+        r.result.Percentile(0.99), r.result.shed_rate(),
+        i + 1 < rows.size() ? "," : "");
+    out += buf;
+  }
+  out += "    ],\n";
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"overload\": {\"connections\": %zu, \"workers\": %zu, "
+      "\"queue_high\": %zu, \"requests\": %zu, \"ok\": %zu, \"shed\": %zu, "
+      "\"shed_rate\": %.4f, \"qps\": %.0f, \"p99_ms\": %.4f}\n  }",
+      ov_connections, ov_workers, ov_queue_high, overload.requests,
+      overload.ok, overload.shed, overload.shed_rate(), overload.qps(),
+      overload.Percentile(0.99));
+  out += buf;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto tb_r = GetTestbed();
+  if (!tb_r.ok()) {
+    std::fprintf(stderr, "testbed: %s\n", tb_r.status().ToString().c_str());
+    return 1;
+  }
+  const Testbed& tb = *tb_r.ValueOrDie();
+  PrintBanner("Network serving — wire protocol + bounded admission", tb);
+
+  constexpr size_t kUnique = 96;
+  constexpr size_t kK = 10;
+  constexpr size_t kRequestsPerRow = 1024;
+  const auto trace = MakeTrace(tb, kUnique, kRequestsPerRow, kK);
+  if (trace.empty()) {
+    std::fprintf(stderr, "failed to build the serving trace\n");
+    return 1;
+  }
+
+  // --- Scaling rows: a well-provisioned server (cache on, ample queue) ---
+  std::vector<NetRow> rows;
+  {
+    ThreadPool pool(4);
+    core::QueryEngineOptions eopts;
+    eopts.pool = &pool;
+    eopts.cache.capacity = 4096;
+    eopts.cache.num_shards = 16;
+    core::QueryEngine engine(tb.index.get(), eopts);
+    net::InflexServer server(&engine);
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    // Warm pass: every unique mixture once, so the scaling rows measure
+    // steady-state serving (same protocol as the in-process bench).
+    RunClosedLoop(server.port(), trace, 1, kUnique);
+
+    std::printf("%-14s %10s %9s %9s %9s %10s\n", "connections", "QPS",
+                "p50 ms", "p95 ms", "p99 ms", "shed rate");
+    for (size_t connections : {1u, 2u, 4u, 8u}) {
+      NetRow row;
+      row.connections = connections;
+      row.result = RunClosedLoop(server.port(), trace, connections,
+                                 kRequestsPerRow / connections);
+      if (row.result.failed > 0) {
+        std::fprintf(stderr, "%zu requests failed at %zu connections\n",
+                     row.result.failed, connections);
+        return 1;
+      }
+      std::printf("%-14zu %10.0f %9.3f %9.3f %9.3f %9.1f%%\n", connections,
+                  row.result.qps(), row.result.Percentile(0.50),
+                  row.result.Percentile(0.95), row.result.Percentile(0.99),
+                  100.0 * row.result.shed_rate());
+      rows.push_back(std::move(row));
+    }
+    server.Stop();
+  }
+
+  // --- Overload: one uncached worker, a tiny queue, many more closed-loop
+  // connections than the queue admits. The server must shed (kOverloaded)
+  // rather than queue unboundedly; surviving requests keep flowing. ---
+  constexpr size_t kOverloadConnections = 24;
+  constexpr size_t kOverloadWorkers = 1;
+  constexpr size_t kOverloadQueueHigh = 8;
+  LoopResult overload;
+  {
+    ThreadPool pool(1);
+    core::QueryEngineOptions eopts;
+    eopts.pool = &pool;
+    eopts.enable_cache = false;  // full engine cost per request
+    core::QueryEngine engine(tb.index.get(), eopts);
+    net::InflexServerOptions sopts;
+    sopts.num_workers = kOverloadWorkers;
+    sopts.max_worker_batch = 1;
+    sopts.queue_high_watermark = kOverloadQueueHigh;
+    sopts.queue_low_watermark = 2;
+    sopts.retry_after_ms = 5;
+    net::InflexServer server(&engine, sopts);
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "server: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    overload =
+        RunClosedLoop(server.port(), trace, kOverloadConnections, 64);
+    server.Stop();
+    const net::ServerStats stats = server.stats();
+    std::printf(
+        "\noverload (%zu connections, %zu worker, queue high %zu): "
+        "%zu/%zu shed (%.1f%%), surviving QPS %.0f, p99 %.3f ms, "
+        "queue peak %zu\n",
+        kOverloadConnections, kOverloadWorkers, kOverloadQueueHigh,
+        overload.shed, overload.requests, 100.0 * overload.shed_rate(),
+        overload.qps(), overload.Percentile(0.99), stats.queue_depth_peak);
+    if (overload.failed > 0) {
+      std::fprintf(stderr, "%zu overload requests failed outright\n",
+                   overload.failed);
+      return 1;
+    }
+    if (overload.shed == 0) {
+      std::fprintf(stderr,
+                   "overload scenario shed nothing — admission control is "
+                   "not bounding the queue\n");
+      return 1;
+    }
+  }
+
+  if (!SpliceNetSection(FormatNetJson(rows, overload, kOverloadConnections,
+                                      kOverloadWorkers,
+                                      kOverloadQueueHigh))) {
+    return 1;
+  }
+
+  std::printf(
+      "\nShape to expect: the 1-connection row pays the wire round trip on "
+      "top of the in-process p50; QPS grows with connections until the "
+      "engine pool saturates. The overload row must show a nonzero shed "
+      "rate with bounded p99 for the surviving requests — back-pressure, "
+      "not collapse.\n");
+  return 0;
+}

@@ -22,22 +22,25 @@ const char* DeltaOutcomeName(DeltaOutcome outcome) {
       return "covered";
     case DeltaOutcome::kSuperseded:
       return "superseded";
+    case DeltaOutcome::kRetryLater:
+      return "retry-later";
   }
   return "unknown";
 }
 
 std::string MaintenanceStats::ToString() const {
-  char buf[320];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "%llu deltas: %llu admitted %llu covered %llu superseded "
-                "%llu failed | %llu generations (epoch %llu, %zu points, "
-                "%llu rebuilds, %llu coalesced) | %llu sweeps, %llu evicted "
-                "| %zu pending",
+                "%llu failed %llu deferred | %llu generations (epoch %llu, "
+                "%zu points, %llu rebuilds, %llu coalesced) | %llu sweeps, "
+                "%llu evicted | %zu pending",
                 static_cast<unsigned long long>(submitted),
                 static_cast<unsigned long long>(admitted),
                 static_cast<unsigned long long>(covered),
                 static_cast<unsigned long long>(superseded),
                 static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(deferred),
                 static_cast<unsigned long long>(generations_published),
                 static_cast<unsigned long long>(epoch), index_points,
                 static_cast<unsigned long long>(tree_rebuilds),
@@ -116,6 +119,14 @@ Result<DeltaReceipt> IndexMaintainer::SubmitDelta(const CatalogDelta& delta) {
   receipt.outcome = DeltaOutcome::kAdmitted;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
+    // Back-pressure: checked under the same lock as the admission
+    // bookkeeping so concurrent submitters cannot both slip past the mark.
+    if (options_.pending_high_watermark > 0 &&
+        pending_ >= options_.pending_high_watermark) {
+      receipt.outcome = DeltaOutcome::kRetryLater;
+      ++stats_.deferred;
+      return receipt;
+    }
     ++stats_.admitted;
     ++pending_;
     ++precompute_inflight_;

@@ -41,6 +41,11 @@ enum class DeltaOutcome {
   /// (Only ever reported through MaintenanceStats — SubmitDelta itself has
   /// returned kAdmitted long before.)
   kSuperseded,
+  /// Back-pressure: the delta would have been admitted, but the maintenance
+  /// pipeline already holds pending_high_watermark unpublished deltas.
+  /// Nothing was scheduled — resubmit once the publisher catches up. The
+  /// serving front end maps this to kOverloaded on the wire.
+  kRetryLater,
 };
 
 const char* DeltaOutcomeName(DeltaOutcome outcome);
@@ -63,6 +68,8 @@ struct MaintenanceStats {
   uint64_t covered = 0;
   uint64_t superseded = 0;
   uint64_t failed = 0;
+  /// Deltas bounced with kRetryLater by the pending high-water mark.
+  uint64_t deferred = 0;
   uint64_t generations_published = 0;
   uint64_t tree_rebuilds = 0;
   /// Decay sweeps executed (including sweeps that evicted nothing).
@@ -135,6 +142,15 @@ struct IndexMaintainerOptions {
   /// When > 0, a decay sweep is requested automatically after every N
   /// published generations. 0 = sweeps only via RequestDecaySweep().
   size_t auto_sweep_every = 0;
+
+  /// --- Back-pressure ---
+  /// When > 0, SubmitDelta answers kRetryLater (admitting nothing) while
+  /// `pending` — admitted deltas not yet published/superseded/failed — is at
+  /// or above this mark. Bounds the precompute backlog under delta storms:
+  /// the CELF++ stage is minutes-per-delta while admission is microseconds,
+  /// so without a ceiling the queue grows unboundedly. 0 = unbounded
+  /// (the pre-back-pressure behavior).
+  size_t pending_high_watermark = 0;
 
   /// Dedicated background pool for the CELF++ precompute; the serving path
   /// never blocks on it. nullptr = the maintainer creates a private

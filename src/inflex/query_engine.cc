@@ -24,17 +24,21 @@ double ServingStats::epoch_hit_rate() const {
 }
 
 std::string ServingStats::ToString() const {
-  char buf[384];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "%zu req in %.2f ms | %.0f QPS | hit rate %.1f%% | "
                 "p50 %.3f ms p95 %.3f ms p99 %.3f ms max %.3f ms | %zu failed"
                 " | %llu swaps, epoch hit rate %.1f%%, "
-                "admit->publish mean %.1f ms max %.1f ms",
+                "admit->publish mean %.1f ms max %.1f ms | "
+                "queue %zu (peak %zu), %llu shed, %llu expired",
                 num_requests, wall_ms, qps, 100.0 * hit_rate(), p50_ms, p95_ms,
                 p99_ms, max_ms, num_failed,
                 static_cast<unsigned long long>(generation_swaps),
                 100.0 * epoch_hit_rate(), admit_to_publish_mean_ms,
-                admit_to_publish_max_ms);
+                admit_to_publish_max_ms, admission_queue_depth,
+                admission_queue_peak,
+                static_cast<unsigned long long>(shed_count),
+                static_cast<unsigned long long>(deadline_expired_count));
   return buf;
 }
 
@@ -239,7 +243,30 @@ ServingStats QueryEngine::cumulative_stats() const {
           ? publish_latency_total_ms_ / static_cast<double>(publishes_timed_)
           : 0.0;
   out.admit_to_publish_max_ms = publish_latency_max_ms_;
+  out.admission_queue_depth =
+      admission_queue_depth_.load(std::memory_order_relaxed);
+  out.admission_queue_peak =
+      admission_queue_peak_.load(std::memory_order_relaxed);
+  out.shed_count = shed_count_.load(std::memory_order_relaxed);
+  out.deadline_expired_count =
+      deadline_expired_count_.load(std::memory_order_relaxed);
   return out;
+}
+
+void QueryEngine::ReportAdmissionQueue(size_t depth) {
+  admission_queue_depth_.store(depth, std::memory_order_relaxed);
+  size_t peak = admission_queue_peak_.load(std::memory_order_relaxed);
+  while (depth > peak && !admission_queue_peak_.compare_exchange_weak(
+                             peak, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void QueryEngine::RecordLoadShed(uint64_t count) {
+  shed_count_.fetch_add(count, std::memory_order_relaxed);
+}
+
+void QueryEngine::RecordDeadlineExpired(uint64_t count) {
+  deadline_expired_count_.fetch_add(count, std::memory_order_relaxed);
 }
 
 }  // namespace core

@@ -60,6 +60,17 @@ struct ServingStats {
   uint64_t publishes_timed = 0;
   double admit_to_publish_mean_ms = 0.0;
   double admit_to_publish_max_ms = 0.0;
+  /// Network-front-end overload visibility (filled by cumulative_stats();
+  /// zero for per-batch stats and when no InflexServer feeds the engine):
+  /// the admission queue's current depth and high-water mark, and how many
+  /// requests were shed (kOverloaded) or expired waiting (kDeadlineExceeded)
+  /// instead of reaching QueryBatch. Overload must be observable, not
+  /// silent — shed requests never enter num_requests, so without these the
+  /// dashboard would show a healthy engine inside a melting server.
+  size_t admission_queue_depth = 0;
+  size_t admission_queue_peak = 0;
+  uint64_t shed_count = 0;
+  uint64_t deadline_expired_count = 0;
   /// Hits / (hits + misses); 0 when the batch had no cache traffic.
   double hit_rate() const;
   /// Hit rate within the current cache epoch (since the last publish).
@@ -156,6 +167,13 @@ class QueryEngine {
   /// prepared goes live; the clock starts at delta admission). Thread-safe.
   void RecordPublishLatency(double ms);
 
+  /// Admission-control visibility hooks (called by the network front end;
+  /// all thread-safe, lock-free). The engine never sheds by itself — these
+  /// only mirror the server's bounded-queue decisions into ServingStats.
+  void ReportAdmissionQueue(size_t depth);
+  void RecordLoadShed(uint64_t count);
+  void RecordDeadlineExpired(uint64_t count);
+
   /// Pins and returns the current generation (never null).
   std::shared_ptr<const InflexIndex> index_snapshot() const;
 
@@ -213,6 +231,12 @@ class QueryEngine {
   std::mutex publish_mu_;  // serializes PublishIndex epoch assignment
 
   std::atomic<uint64_t> generation_swaps_{0};
+
+  /// Admission-control mirrors (see ReportAdmissionQueue and friends).
+  std::atomic<size_t> admission_queue_depth_{0};
+  std::atomic<size_t> admission_queue_peak_{0};
+  std::atomic<uint64_t> shed_count_{0};
+  std::atomic<uint64_t> deadline_expired_count_{0};
 
   /// nullptr unless options_.enable_hit_accounting.
   std::unique_ptr<PointHitAccounting> hit_accounting_;

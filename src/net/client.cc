@@ -1,0 +1,150 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace inflex {
+namespace net {
+
+Result<InflexClient> InflexClient::Connect(const std::string& host,
+                                           uint16_t port, double timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1e3);
+    tv.tv_usec = static_cast<suseconds_t>(
+        std::fmod(timeout_ms, 1e3) * 1e3);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string resolved = host;
+  if (resolved == "localhost" || resolved.empty()) resolved = "127.0.0.1";
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IOError("connect " + resolved + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return InflexClient(fd);
+}
+
+void InflexClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status InflexClient::WriteAll(const uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("send: ") +
+                           (n < 0 ? std::strerror(errno) : "short write"));
+  }
+  return Status::OK();
+}
+
+Status InflexClient::ReadExactly(uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::recv(fd_, data + off, size - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed by server mid-frame");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<WireResponse> InflexClient::Call(const WireRequest& request) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("client is not connected");
+  }
+  std::vector<uint8_t> frame = EncodeRequestFrame(request);
+  Status s = WriteAll(frame.data(), frame.size());
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+
+  uint8_t header[kFrameHeaderBytes];
+  s = ReadExactly(header, sizeof(header));
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  uint32_t payload_bytes = 0;
+  std::memcpy(&payload_bytes, header, sizeof(payload_bytes));
+  if (payload_bytes == 0 || payload_bytes > kMaxFramePayloadBytes) {
+    Close();
+    return Status::IOError("bad response frame length: " +
+                           std::to_string(payload_bytes));
+  }
+  std::vector<uint8_t> payload(payload_bytes);
+  s = ReadExactly(payload.data(), payload.size());
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  Result<WireResponse> resp = DecodeResponsePayload(payload);
+  if (!resp.ok()) Close();
+  return resp;
+}
+
+Result<WireResponse> InflexClient::Query(const core::QueryRequest& request,
+                                         uint32_t deadline_ms) {
+  return Call(MakeQueryRequest(request, deadline_ms));
+}
+
+Result<WireResponse> InflexClient::Ping() {
+  WireRequest request;
+  request.type = MessageType::kPing;
+  request.gamma = {1.0};  // payload layout always carries a mixture
+  return Call(request);
+}
+
+Result<WireResponse> InflexClient::SubmitDelta(
+    const std::string& delta_id, const simplex::TopicVector& item_gamma) {
+  WireRequest request;
+  request.type = MessageType::kDelta;
+  request.gamma = item_gamma;
+  request.delta_id = delta_id;
+  return Call(request);
+}
+
+}  // namespace net
+}  // namespace inflex

@@ -1,0 +1,74 @@
+#ifndef INFLEX_NET_CLIENT_H_
+#define INFLEX_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "inflex/query_engine.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace net {
+
+/// \brief A blocking INFLEX wire-protocol client over one TCP connection.
+///
+/// One request in flight at a time (Call writes a frame and blocks for the
+/// response frame); open several clients for concurrency — the load
+/// generator in bench_net_throughput does exactly that, one per closed-loop
+/// thread. Not thread-safe; a client belongs to one thread at a time.
+///
+/// A transport failure (connection reset, timeout, framing error) returns a
+/// non-OK Status and poisons the connection — every later Call fails too;
+/// reconnect with Connect(). Server-side failures arrive as OK Results whose
+/// WireResponse carries a non-kOk status (kOverloaded, kQueryFailed, ...):
+/// the transport worked, the server said no.
+class InflexClient {
+ public:
+  /// Connects to host:port. `timeout_ms` bounds the connect AND each later
+  /// send/receive (0 = block forever).
+  static Result<InflexClient> Connect(const std::string& host, uint16_t port,
+                                      double timeout_ms = 0);
+
+  InflexClient() = default;
+  ~InflexClient() { Close(); }
+
+  InflexClient(InflexClient&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)) {}
+  InflexClient& operator=(InflexClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  InflexClient(const InflexClient&) = delete;
+  InflexClient& operator=(const InflexClient&) = delete;
+
+  /// Sends one request frame and blocks for its response frame.
+  Result<WireResponse> Call(const WireRequest& request);
+
+  /// Convenience wrappers over Call().
+  Result<WireResponse> Query(const core::QueryRequest& request,
+                             uint32_t deadline_ms = 0);
+  Result<WireResponse> Ping();
+  Result<WireResponse> SubmitDelta(const std::string& delta_id,
+                                   const simplex::TopicVector& item_gamma);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  explicit InflexClient(int fd) : fd_(fd) {}
+
+  Status WriteAll(const uint8_t* data, size_t size);
+  Status ReadExactly(uint8_t* data, size_t size);
+
+  int fd_ = -1;
+};
+
+}  // namespace net
+}  // namespace inflex
+
+#endif  // INFLEX_NET_CLIENT_H_

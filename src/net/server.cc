@@ -1,0 +1,739 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace inflex {
+namespace net {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl(O_NONBLOCK): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ServerStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "net: %llu conns | %llu req, %llu resp | %llu ok, %llu failed | "
+      "%llu shed, %llu expired, %llu draining | %llu deltas (%llu deferred) | "
+      "%llu malformed | queue %zu (peak %zu)",
+      static_cast<unsigned long long>(connections_accepted),
+      static_cast<unsigned long long>(requests_received),
+      static_cast<unsigned long long>(responses_sent),
+      static_cast<unsigned long long>(queries_ok),
+      static_cast<unsigned long long>(queries_failed),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(deadline_expired),
+      static_cast<unsigned long long>(rejected_draining),
+      static_cast<unsigned long long>(deltas_submitted),
+      static_cast<unsigned long long>(deltas_deferred),
+      static_cast<unsigned long long>(malformed), queue_depth,
+      queue_depth_peak);
+  return std::string(buf);
+}
+
+InflexServer::InflexServer(core::QueryEngine* engine,
+                           const InflexServerOptions& options)
+    : engine_(engine), options_(options) {
+  INFLEX_CHECK(engine_ != nullptr);
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.max_worker_batch == 0) options_.max_worker_batch = 1;
+  if (options_.queue_high_watermark == 0) options_.queue_high_watermark = 1;
+  low_watermark_ = options_.queue_low_watermark != 0
+                       ? options_.queue_low_watermark
+                       : options_.queue_high_watermark / 2;
+  if (low_watermark_ >= options_.queue_high_watermark) {
+    low_watermark_ = options_.queue_high_watermark - 1;
+  }
+}
+
+InflexServer::~InflexServer() { Stop(); }
+
+Status InflexServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("InflexServer::Start called twice");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  std::string host = options_.bind_address;
+  if (host == "localhost" || host.empty()) host = "127.0.0.1";
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " + host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IOError(std::string("bind ") + host + ": " +
+                               std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status s = Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    bound_port_ = ntohs(addr.sin_port);
+  }
+  INFLEX_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  INFLEX_RETURN_NOT_OK(SetNonBlocking(wake_pipe_[0]));
+  INFLEX_RETURN_NOT_OK(SetNonBlocking(wake_pipe_[1]));
+
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void InflexServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+
+  // 1. Stop accepting; new query/delta requests get kShuttingDown.
+  draining_.store(true, std::memory_order_release);
+  WakeIo();
+
+  // 2. Wait for the admission queue to drain and every worker to go idle —
+  // in-flight requests complete with real answers.
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_drained_.wait(lock,
+                        [this] { return queue_.empty() && busy_workers_ == 0; });
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+
+  // 3. Bounded flush: wait for the IO thread to route every completion and
+  // push the bytes out to (possibly slow) clients.
+  Timer drain_timer;
+  while (drain_timer.ElapsedMillis() < options_.drain_timeout_ms &&
+         (responses_outstanding_.load(std::memory_order_acquire) > 0 ||
+          pending_write_bytes_.load(std::memory_order_acquire) > 0)) {
+    WakeIo();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // 4. Tear the IO thread down; it closes every socket on exit.
+  io_stop_.store(true, std::memory_order_release);
+  WakeIo();
+  io_thread_.join();
+
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+
+  // 5. Quiesce the maintenance plane last: every delta acknowledged over the
+  // wire is published (or superseded) before Stop() returns.
+  if (options_.maintainer != nullptr) options_.maintainer->Drain();
+
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStats InflexServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServerStats out = stats_;
+  out.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  out.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void InflexServer::WakeIo() {
+  char b = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+void InflexServer::PublishQueueDepth(size_t depth) {
+  queue_depth_.store(depth, std::memory_order_relaxed);
+  size_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  while (depth > peak && !queue_depth_peak_.compare_exchange_weak(
+                             peak, depth, std::memory_order_relaxed)) {
+  }
+  engine_->ReportAdmissionQueue(depth);
+}
+
+// ---------------------------------------------------------------------------
+// IO thread
+// ---------------------------------------------------------------------------
+
+void InflexServer::IoLoop() {
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> pfd_conn;  // conn id per pollfd (0 = not a conn)
+
+  while (!io_stop_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfd_conn.clear();
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    pfd_conn.push_back(0);
+    const bool accepting = !draining_.load(std::memory_order_acquire);
+    if (!accepting && listen_fd_ >= 0) {
+      // Close the listen socket the moment draining starts: connects must
+      // fail fast instead of completing into the kernel backlog where no
+      // one will ever read them.
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    if (accepting) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      pfd_conn.push_back(0);
+    }
+    for (auto& [id, conn] : connections_) {
+      short events = conn->saw_eof ? 0 : POLLIN;
+      if (conn->woff < conn->wbuf.size()) events |= POLLOUT;
+      pfds.push_back({conn->fd, events, 0});
+      pfd_conn.push_back(id);
+    }
+
+    ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/100);
+
+    if (pfds[0].revents & POLLIN) {
+      char drain[256];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+
+    DrainCompletions();
+
+    size_t idx = 1;
+    if (accepting) {
+      if (pfds[idx].revents & POLLIN) AcceptNew();
+      ++idx;
+    }
+    for (; idx < pfds.size(); ++idx) {
+      uint64_t id = pfd_conn[idx];
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      if (pfds[idx].revents & (POLLERR | POLLNVAL)) conn->broken = true;
+      if (!conn->broken && (pfds[idx].revents & (POLLIN | POLLHUP))) {
+        ReadFrom(conn);  // POLLHUP still delivers buffered bytes, then EOF
+      }
+      if (!conn->broken && (pfds[idx].revents & POLLOUT)) {
+        FlushConnection(conn);
+      }
+    }
+    // Sweep closures last so no helper above ever holds a dangling pointer.
+    std::vector<uint64_t> to_close;
+    for (auto& [id, conn] : connections_) {
+      if (conn->broken ||
+          (conn->close_after_flush && conn->woff >= conn->wbuf.size() &&
+           conn->parked.empty() && conn->next_seq_out == conn->next_seq_in)) {
+        to_close.push_back(id);
+      }
+    }
+    for (uint64_t id : to_close) CloseConnection(id);
+  }
+
+  // Shutdown: route any last completions, attempt one final flush, close.
+  DrainCompletions();
+  std::vector<uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (auto& [id, conn] : connections_) {
+    FlushConnection(conn.get());
+    ids.push_back(id);
+  }
+  for (uint64_t id : ids) CloseConnection(id);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void InflexServer::AcceptNew() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      INFLEX_LOG(Warning) << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    uint64_t id = conn->id;
+    connections_.emplace(id, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void InflexServer::CloseConnection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  // Whatever never made it to the socket is abandoned with the peer.
+  size_t unsent = conn->wbuf.size() - conn->woff;
+  if (unsent > 0) {
+    pending_write_bytes_.fetch_sub(unsent, std::memory_order_acq_rel);
+  }
+  ::close(conn->fd);
+  connections_.erase(it);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.connections_closed;
+}
+
+void InflexServer::ReadFrom(Connection* conn) {
+  uint8_t chunk[16 * 1024];
+  while (true) {
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->rbuf.insert(conn->rbuf.end(), chunk, chunk + n);
+      if (n < static_cast<ssize_t>(sizeof(chunk))) break;
+      continue;
+    }
+    if (n == 0) {  // peer closed its write side; flush and close
+      conn->saw_eof = true;
+      conn->close_after_flush = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    conn->broken = true;
+    return;
+  }
+
+  size_t off = 0;
+  while (true) {
+    std::span<const uint8_t> rest(conn->rbuf.data() + off,
+                                  conn->rbuf.size() - off);
+    size_t frame_bytes = 0;
+    Status peek = PeekFrame(rest, &frame_bytes);
+    if (!peek.ok()) {
+      // Length prefix itself is garbage: the stream cannot be resynced.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.malformed;
+      }
+      WireResponse resp;
+      resp.status = WireStatus::kMalformed;
+      resp.message = peek.message();
+      RespondNow(conn, conn->next_seq_in++, resp);
+      conn->close_after_flush = true;
+      conn->rbuf.clear();
+      return;
+    }
+    if (frame_bytes == 0 || rest.size() < frame_bytes) break;
+    HandleFrame(conn,
+                rest.subspan(kFrameHeaderBytes, frame_bytes - kFrameHeaderBytes));
+    off += frame_bytes;
+    if (conn->close_after_flush) break;  // stop parsing a poisoned stream
+  }
+  if (off > 0) conn->rbuf.erase(conn->rbuf.begin(), conn->rbuf.begin() + off);
+}
+
+void InflexServer::HandleFrame(Connection* conn,
+                               std::span<const uint8_t> payload) {
+  const uint64_t seq = conn->next_seq_in++;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests_received;
+  }
+
+  Result<WireRequest> decoded = DecodeRequestPayload(payload);
+  if (!decoded.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.malformed;
+    }
+    WireResponse resp;
+    resp.status = WireStatus::kMalformed;
+    resp.message = decoded.status().message();
+    RespondNow(conn, seq, resp);
+    conn->close_after_flush = true;
+    return;
+  }
+  WireRequest request = std::move(decoded).ValueOrDie();
+
+  if (request.type == MessageType::kPing) {
+    WireResponse resp;
+    resp.epoch = engine_->index_epoch();
+    RespondNow(conn, seq, resp);
+    return;
+  }
+
+  if (draining_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_draining;
+    }
+    WireResponse resp;
+    resp.status = WireStatus::kShuttingDown;
+    resp.message = "server is draining";
+    RespondNow(conn, seq, resp);
+    return;
+  }
+
+  if (request.type == MessageType::kDelta) {
+    RespondNow(conn, seq, HandleDelta(request));
+    return;
+  }
+
+  // kQuery.
+  WireResponse reject;
+  reject.status = WireStatus::kInvalidRequest;
+  if (request.k == 0) {
+    reject.message = "k must be >= 1";
+    RespondNow(conn, seq, reject);
+    return;
+  }
+  Result<simplex::TopicDistribution> item =
+      simplex::TopicDistribution::Create(std::move(request.gamma));
+  if (!item.ok()) {
+    reject.message = "bad query mixture: " + item.status().message();
+    RespondNow(conn, seq, reject);
+    return;
+  }
+
+  PendingRequest pending;
+  pending.conn_id = conn->id;
+  pending.seq = seq;
+  pending.query.item = std::move(item).ValueOrDie();
+  pending.query.k = request.k;
+  pending.query.options = request.ToQueryOptions();
+  pending.deadline_ms = request.deadline_ms != 0 ? request.deadline_ms
+                                                 : options_.default_deadline_ms;
+
+  std::vector<Completion> expired;
+  const bool admitted = TryAdmit(std::move(pending), &expired);
+
+  // Expired entries drained from the queue front may belong to any
+  // connection; route them like worker completions.
+  for (Completion& c : expired) {
+    auto it = connections_.find(c.conn_id);
+    if (it == connections_.end()) continue;
+    Connection* victim = it->second.get();
+    victim->parked.emplace(c.seq, std::move(c.frame));
+    FlushConnection(victim);
+  }
+
+  if (!admitted) {
+    WireResponse resp;
+    resp.status = WireStatus::kOverloaded;
+    resp.retry_after_ms = options_.retry_after_ms;
+    resp.epoch = engine_->index_epoch();
+    resp.message = "admission queue over high-water mark";
+    RespondNow(conn, seq, resp);
+  }
+}
+
+WireResponse InflexServer::HandleDelta(const WireRequest& request) {
+  WireResponse resp;
+  resp.epoch = engine_->index_epoch();
+  if (options_.maintainer == nullptr) {
+    resp.status = WireStatus::kInvalidRequest;
+    resp.message = "server has no maintenance plane";
+    return resp;
+  }
+  Result<simplex::TopicDistribution> item =
+      simplex::TopicDistribution::Create(request.gamma);
+  if (!item.ok()) {
+    resp.status = WireStatus::kInvalidRequest;
+    resp.message = "bad delta mixture: " + item.status().message();
+    return resp;
+  }
+  core::CatalogDelta delta;
+  delta.id = request.delta_id;
+  delta.item = std::move(item).ValueOrDie();
+  Result<core::DeltaReceipt> receipt = options_.maintainer->SubmitDelta(delta);
+  if (!receipt.ok()) {
+    resp.status = WireStatus::kInvalidRequest;
+    resp.message = receipt.status().message();
+    return resp;
+  }
+  const core::DeltaReceipt& r = receipt.ValueOrDie();
+  resp.delta_outcome = static_cast<uint16_t>(r.outcome) + 1;
+  if (r.outcome == core::DeltaOutcome::kRetryLater) {
+    resp.status = WireStatus::kOverloaded;
+    resp.retry_after_ms = options_.retry_after_ms;
+    resp.message = "maintenance plane over high-water mark";
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.deltas_deferred;
+  } else {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.deltas_submitted;
+  }
+  return resp;
+}
+
+void InflexServer::RespondNow(Connection* conn, uint64_t seq,
+                              const WireResponse& resp) {
+  conn->parked.emplace(seq, EncodeResponseFrame(resp));
+  FlushConnection(conn);
+}
+
+void InflexServer::FlushConnection(Connection* conn) {
+  // Append every response whose turn has come (per-request order).
+  while (true) {
+    auto it = conn->parked.find(conn->next_seq_out);
+    if (it == conn->parked.end()) break;
+    conn->wbuf.insert(conn->wbuf.end(), it->second.begin(), it->second.end());
+    pending_write_bytes_.fetch_add(it->second.size(),
+                                   std::memory_order_acq_rel);
+    conn->parked.erase(it);
+    ++conn->next_seq_out;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.responses_sent;
+  }
+  // Push what the socket will take.
+  while (conn->woff < conn->wbuf.size()) {
+    ssize_t n = ::send(conn->fd, conn->wbuf.data() + conn->woff,
+                       conn->wbuf.size() - conn->woff, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->woff += static_cast<size_t>(n);
+      pending_write_bytes_.fetch_sub(static_cast<size_t>(n),
+                                     std::memory_order_acq_rel);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      break;  // poll will report POLLOUT
+    }
+    conn->broken = true;
+    return;
+  }
+  if (conn->woff == conn->wbuf.size() && conn->woff > 0) {
+    conn->wbuf.clear();
+    conn->woff = 0;
+  }
+}
+
+void InflexServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& c : batch) {
+    auto it = connections_.find(c.conn_id);
+    if (it != connections_.end()) {
+      Connection* conn = it->second.get();
+      conn->parked.emplace(c.seq, std::move(c.frame));
+      FlushConnection(conn);
+    }
+    responses_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission
+// ---------------------------------------------------------------------------
+
+bool InflexServer::TryAdmit(PendingRequest pending,
+                            std::vector<Completion>* expired) {
+  uint64_t expired_count = 0;
+  bool shed_this = false;
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (shedding_ && queue_.size() <= low_watermark_) shedding_ = false;
+    if (queue_.size() >= options_.queue_high_watermark) {
+      // The front has waited longest: expire it first, shed only if the
+      // queue is still saturated with live requests.
+      while (queue_.size() >= options_.queue_high_watermark &&
+             !queue_.empty() && queue_.front().deadline_ms > 0 &&
+             queue_.front().enqueued.ElapsedMillis() >
+                 queue_.front().deadline_ms) {
+        PendingRequest& dead = queue_.front();
+        WireResponse resp;
+        resp.status = WireStatus::kDeadlineExceeded;
+        resp.epoch = engine_->index_epoch();
+        resp.queue_ms = dead.enqueued.ElapsedMillis();
+        resp.message = "deadline expired in admission queue";
+        expired->push_back(
+            {dead.conn_id, dead.seq, EncodeResponseFrame(resp)});
+        queue_.pop_front();
+        ++expired_count;
+      }
+      if (queue_.size() >= options_.queue_high_watermark) shedding_ = true;
+    }
+    if (shedding_) {
+      shed_this = true;
+    } else {
+      queue_.push_back(std::move(pending));
+    }
+    depth = queue_.size();
+  }
+  PublishQueueDepth(depth);
+  if (expired_count > 0) {
+    engine_->RecordDeadlineExpired(expired_count);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.deadline_expired += expired_count;
+  }
+  if (shed_this) {
+    engine_->RecordLoadShed(1);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.shed;
+    return false;
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+void InflexServer::WorkerLoop() {
+  while (true) {
+    std::vector<PendingRequest> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return workers_stop_ || !queue_.empty(); });
+      if (workers_stop_ && queue_.empty()) return;
+      while (!queue_.empty() && batch.size() < options_.max_worker_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++busy_workers_;
+    }
+    size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      depth = queue_.size();
+    }
+    PublishQueueDepth(depth);
+    if (options_.worker_hook) options_.worker_hook();
+    ServeBatch(std::move(batch));
+    bool drained = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --busy_workers_;
+      drained = queue_.empty() && busy_workers_ == 0;
+    }
+    if (drained) queue_drained_.notify_all();
+  }
+}
+
+void InflexServer::ServeBatch(std::vector<PendingRequest> batch) {
+  // Deadline re-check at pop: entries that expired while queued are answered
+  // without touching the engine.
+  std::vector<Completion> out;
+  out.reserve(batch.size());
+  std::vector<const PendingRequest*> live;
+  std::vector<core::QueryRequest> requests;
+  std::vector<double> queue_waits;
+  live.reserve(batch.size());
+  requests.reserve(batch.size());
+  uint64_t expired_count = 0;
+  for (PendingRequest& p : batch) {
+    double waited = p.enqueued.ElapsedMillis();
+    if (p.deadline_ms > 0 && waited > p.deadline_ms) {
+      WireResponse resp;
+      resp.status = WireStatus::kDeadlineExceeded;
+      resp.epoch = engine_->index_epoch();
+      resp.queue_ms = waited;
+      resp.message = "deadline expired in admission queue";
+      out.push_back({p.conn_id, p.seq, EncodeResponseFrame(resp)});
+      ++expired_count;
+      continue;
+    }
+    live.push_back(&p);
+    requests.push_back(p.query);  // copy: p owns routing metadata
+    queue_waits.push_back(waited);
+  }
+  if (expired_count > 0) {
+    engine_->RecordDeadlineExpired(expired_count);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.deadline_expired += expired_count;
+  }
+
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  if (!requests.empty()) {
+    std::vector<Result<core::QueryResult>> results =
+        engine_->QueryBatch(requests);
+    for (size_t i = 0; i < results.size(); ++i) {
+      WireResponse resp;
+      if (results[i].ok()) {
+        const core::QueryResult& qr = results[i].ValueOrDie();
+        resp.status = WireStatus::kOk;
+        resp.from_cache = qr.from_cache;
+        resp.epsilon_exact = qr.epsilon_exact;
+        resp.epoch = qr.generation;
+        resp.seeds = qr.seeds;
+        resp.similarity_search_ms = qr.similarity_search_ms;
+        resp.aggregation_ms = qr.aggregation_ms;
+        resp.engine_ms = qr.total_ms;
+        ++ok;
+      } else {
+        resp.status = WireStatus::kQueryFailed;
+        resp.epoch = engine_->index_epoch();
+        resp.message = results[i].status().ToString();
+        ++failed;
+      }
+      resp.queue_ms = queue_waits[i];
+      out.push_back({live[i]->conn_id, live[i]->seq,
+                     EncodeResponseFrame(resp)});
+    }
+  }
+  if (ok + failed > 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.queries_ok += ok;
+    stats_.queries_failed += failed;
+  }
+
+  if (!out.empty()) {
+    responses_outstanding_.fetch_add(out.size(), std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      for (Completion& c : out) completions_.push_back(std::move(c));
+    }
+    WakeIo();
+  }
+}
+
+}  // namespace net
+}  // namespace inflex

@@ -1,0 +1,274 @@
+#ifndef INFLEX_NET_SERVER_H_
+#define INFLEX_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "inflex/index_maintainer.h"
+#include "inflex/query_engine.h"
+#include "net/wire.h"
+#include "util/timer.h"
+
+namespace inflex {
+namespace net {
+
+/// \brief Options for an InflexServer.
+struct InflexServerOptions {
+  /// IPv4 address to bind ("localhost" is accepted as 127.0.0.1).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Worker threads draining the admission queue into QueryEngine::QueryBatch.
+  size_t num_workers = 4;
+  /// Upper bound on requests one worker drains into a single QueryBatch call
+  /// (the batch then fans across the engine's pool). Larger batches amortize
+  /// dispatch under load; 1 serves strictly one request at a time.
+  size_t max_worker_batch = 8;
+  /// Admission high-water mark: once the queue holds this many requests the
+  /// server starts shedding new queries with kOverloaded (after first
+  /// draining queue entries whose deadline already expired).
+  size_t queue_high_watermark = 1024;
+  /// Hysteresis: shedding stops only once the queue drains to this depth
+  /// (0 = half the high-water mark). Two levels keep the server from
+  /// flapping between admit and shed at the boundary.
+  size_t queue_low_watermark = 0;
+  /// Retry hint stamped into kOverloaded responses.
+  uint32_t retry_after_ms = 50;
+  /// Queue-wait budget applied to requests that carry deadline_ms = 0
+  /// (0 = no default deadline).
+  uint32_t default_deadline_ms = 0;
+  /// How long Stop() waits for outbound responses to flush to slow clients
+  /// before force-closing their connections.
+  double drain_timeout_ms = 5000.0;
+  /// Optional maintenance plane: kDelta requests are submitted here (a
+  /// kRetryLater receipt maps to kOverloaded on the wire) and Stop() drains
+  /// it after the query pipeline. nullptr rejects deltas as kInvalidRequest.
+  core::IndexMaintainer* maintainer = nullptr;
+  /// Test seam: invoked by a worker after popping a batch and before serving
+  /// it. The overload and shutdown tests park workers here to make queue
+  /// buildup deterministic. Leave empty in production.
+  std::function<void()> worker_hook;
+};
+
+/// \brief Cumulative counters of the network front end.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t requests_received = 0;
+  uint64_t responses_sent = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;
+  uint64_t deltas_submitted = 0;
+  /// Queries shed with kOverloaded by admission control.
+  uint64_t shed = 0;
+  /// Delta submissions deferred by maintenance back-pressure (also answered
+  /// kOverloaded).
+  uint64_t deltas_deferred = 0;
+  /// Requests answered kDeadlineExceeded from the admission queue.
+  uint64_t deadline_expired = 0;
+  /// Undecodable frames (each also closes its connection).
+  uint64_t malformed = 0;
+  /// Requests rejected with kShuttingDown during drain.
+  uint64_t rejected_draining = 0;
+  /// Admission-queue depth: current and high-water observed.
+  size_t queue_depth = 0;
+  size_t queue_depth_peak = 0;
+  /// One-line operator rendering.
+  std::string ToString() const;
+};
+
+/// \brief The network serving front end: a TCP server speaking the INFLEX
+/// wire protocol (net/wire.h) in front of a QueryEngine, with bounded
+/// admission and load shedding.
+///
+/// Architecture (three planes, no lock shared with the query hot path):
+///  - **IO thread**: one poll() loop owning every socket. Accepts
+///    connections, reassembles length-prefixed frames, decodes requests, and
+///    writes responses back. Responses to one connection always flush in
+///    request order (per-connection sequence numbers reorder worker
+///    completions), so pipelined clients stay coherent.
+///  - **Admission queue**: a bounded FIFO between the IO thread and the
+///    workers. Two watermarks with hysteresis: depth >= high starts
+///    shedding (kOverloaded + retry_after_ms, produced by the IO thread
+///    without touching a worker), and shedding stops once depth <= low.
+///    Before shedding, expired-deadline entries are drained from the front
+///    (kDeadlineExceeded) — the oldest waiting request is the one least
+///    likely to still have a caller. Workers re-check deadlines at pop.
+///  - **Workers**: drain up to max_worker_batch requests per iteration into
+///    one QueryEngine::QueryBatch call (reusing the engine's pool fan-out,
+///    cache, and ServingStats), then hand encoded responses back to the IO
+///    thread. Queue depth / shed / expiry counters are mirrored into the
+///    engine's ServingStats so the serving dashboard sees overload.
+///
+/// Graceful shutdown (Stop(), also run by the destructor): stop accepting
+/// connections, answer new requests kShuttingDown, wait until the admission
+/// queue is empty and every worker is idle, flush outbound buffers (bounded
+/// by drain_timeout_ms), then join threads, close sockets, and Drain() the
+/// attached maintainer. In-flight requests complete with real answers.
+class InflexServer {
+ public:
+  /// The engine must outlive the server. Construction does not open sockets;
+  /// call Start().
+  InflexServer(core::QueryEngine* engine,
+               const InflexServerOptions& options = {});
+  ~InflexServer();
+
+  InflexServer(const InflexServer&) = delete;
+  InflexServer& operator=(const InflexServer&) = delete;
+
+  /// Binds, listens, and starts the IO + worker threads. Fails on socket
+  /// errors (port in use, bad address). Must be called at most once.
+  Status Start();
+
+  /// Graceful shutdown; idempotent, thread-safe, and safe to call while
+  /// clients are mid-request (they receive their answers first).
+  void Stop();
+
+  /// Bound TCP port (resolves port 0 after Start()).
+  uint16_t port() const { return bound_port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerStats stats() const;
+
+ private:
+  /// A request admitted to the queue, waiting for a worker. The wire request
+  /// is already translated into engine terms (the IO thread validates the
+  /// mixture once at decode; workers never re-parse).
+  struct PendingRequest {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    core::QueryRequest query;
+    /// Started at admission; its elapsed time is the queue wait.
+    Timer enqueued;
+    /// Queue-wait budget in ms (0 = none).
+    uint32_t deadline_ms = 0;
+  };
+
+  /// An encoded response traveling worker -> IO thread.
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    std::vector<uint8_t> frame;
+  };
+
+  /// Per-connection state, owned by the IO thread exclusively.
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::vector<uint8_t> rbuf;
+    /// Bytes queued toward the socket; [woff, size) still unwritten.
+    std::vector<uint8_t> wbuf;
+    size_t woff = 0;
+    /// Next sequence number assigned to an incoming request.
+    uint64_t next_seq_in = 0;
+    /// Next response sequence to append to wbuf (in-order flush).
+    uint64_t next_seq_out = 0;
+    /// Out-of-order worker completions parked until their turn.
+    std::map<uint64_t, std::vector<uint8_t>> parked;
+    /// Close once every pending response has flushed (set on malformed
+    /// frames — the stream is desynchronized beyond repair — and on peer
+    /// EOF).
+    bool close_after_flush = false;
+    /// The peer shut its write side; stop polling for reads.
+    bool saw_eof = false;
+    /// Fatal socket error: close at the next IoLoop sweep. Set instead of
+    /// closing inline so helpers never invalidate a Connection* their
+    /// caller still holds.
+    bool broken = false;
+  };
+
+  void IoLoop();
+  void WorkerLoop();
+
+  /// IO-thread helpers.
+  void AcceptNew();
+  void ReadFrom(Connection* conn);
+  void HandleFrame(Connection* conn, std::span<const uint8_t> payload);
+  void CloseConnection(uint64_t conn_id);
+  /// Routes an IO-thread-generated response (shed, malformed, ping, delta
+  /// receipt, shutdown) through the ordered flush path.
+  void RespondNow(Connection* conn, uint64_t seq, const WireResponse& resp);
+  /// Appends every in-order parked response to wbuf and writes what the
+  /// socket accepts.
+  void FlushConnection(Connection* conn);
+  void DrainCompletions();
+  void WakeIo();
+
+  /// Admission: true when enqueued, false when shed. Queue entries whose
+  /// deadline expired while waiting are drained into `expired` (already
+  /// encoded as kDeadlineExceeded completions) before the shed decision.
+  bool TryAdmit(PendingRequest pending, std::vector<Completion>* expired);
+  /// Handles a kDelta request via the maintainer (IO thread; the admission
+  /// probe is a microsecond 1-NN lookup).
+  WireResponse HandleDelta(const WireRequest& request);
+
+  /// Worker-side: answers a popped batch through QueryEngine::QueryBatch and
+  /// hands the encoded responses to the IO thread.
+  void ServeBatch(std::vector<PendingRequest> batch);
+
+  void PublishQueueDepth(size_t depth);
+
+  core::QueryEngine* engine_;
+  InflexServerOptions options_;
+  size_t low_watermark_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> running_{false};
+  /// Set by Stop(): no new connections, new requests get kShuttingDown.
+  std::atomic<bool> draining_{false};
+  /// Set by Stop() after the queue drains: IO thread exits its loop.
+  std::atomic<bool> io_stop_{false};
+
+  /// Admission queue (IO thread pushes, workers pop).
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;       // wakes workers
+  std::condition_variable queue_drained_;  // wakes Stop()
+  std::deque<PendingRequest> queue_;
+  bool shedding_ = false;        // guarded by queue_mu_
+  size_t busy_workers_ = 0;      // guarded by queue_mu_
+  bool workers_stop_ = false;    // guarded by queue_mu_
+
+  /// Worker -> IO thread handoff.
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  /// Worker completions pushed but not yet routed by the IO thread; Stop()
+  /// waits for this to reach zero before tearing the IO thread down.
+  std::atomic<uint64_t> responses_outstanding_{0};
+  /// Bytes appended to connection write buffers but not yet accepted by the
+  /// sockets (IO thread updates; Stop() bounds its flush wait on it).
+  std::atomic<size_t> pending_write_bytes_{0};
+
+  std::atomic<size_t> queue_depth_{0};
+  std::atomic<size_t> queue_depth_peak_{0};
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;  // guarded by stats_mu_ (except queue-depth atomics)
+
+  /// IO-thread-only state.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+
+  std::vector<std::thread> workers_;
+  std::thread io_thread_;
+  std::mutex stop_mu_;  // serializes Stop()
+};
+
+}  // namespace net
+}  // namespace inflex
+
+#endif  // INFLEX_NET_SERVER_H_

@@ -1,0 +1,320 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace inflex {
+namespace net {
+namespace {
+
+/// Appends host-order PODs to a byte buffer. The on-wire convention matches
+/// the persistence layer (util/serialize.h): raw little-endian PODs,
+/// length-prefixed containers.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Pod(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t at = out_->size();
+    out_->resize(at + sizeof(T));
+    std::memcpy(out_->data() + at, &v, sizeof(T));
+  }
+
+  void Bytes(const void* data, size_t n) {
+    const size_t at = out_->size();
+    out_->resize(at + n);
+    if (n > 0) std::memcpy(out_->data() + at, data, n);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked reader over a frame payload.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> buf) : buf_(buf) {}
+
+  template <typename T>
+  Status Pod(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (buf_.size() - off_ < sizeof(T)) {
+      return Status::IOError("truncated wire frame");
+    }
+    std::memcpy(v, buf_.data() + off_, sizeof(T));
+    off_ += sizeof(T);
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status PodVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint32_t n = 0;
+    INFLEX_RETURN_NOT_OK(Pod(&n));
+    if (static_cast<size_t>(n) * sizeof(T) > buf_.size() - off_) {
+      return Status::IOError("corrupt vector length in wire frame");
+    }
+    v->resize(n);
+    if (n > 0) {
+      std::memcpy(v->data(), buf_.data() + off_, n * sizeof(T));
+      off_ += n * sizeof(T);
+    }
+    return Status::OK();
+  }
+
+  Status String(std::string* s) {
+    uint32_t n = 0;
+    INFLEX_RETURN_NOT_OK(Pod(&n));
+    if (n > buf_.size() - off_) {
+      return Status::IOError("corrupt string length in wire frame");
+    }
+    s->assign(reinterpret_cast<const char*>(buf_.data()) + off_, n);
+    off_ += n;
+    return Status::OK();
+  }
+
+  Status ExpectEnd() const {
+    if (off_ != buf_.size()) {
+      return Status::IOError("trailing bytes after wire frame payload");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::span<const uint8_t> buf_;
+  size_t off_ = 0;
+};
+
+template <typename T>
+void WritePodVector(ByteWriter* w, const std::vector<T>& v) {
+  w->Pod<uint32_t>(static_cast<uint32_t>(v.size()));
+  w->Bytes(v.data(), v.size() * sizeof(T));
+}
+
+void WriteString(ByteWriter* w, const std::string& s) {
+  w->Pod<uint32_t>(static_cast<uint32_t>(s.size()));
+  w->Bytes(s.data(), s.size());
+}
+
+/// Validates the shared magic+version prologue of both message kinds.
+Status CheckPrologue(ByteReader* r) {
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  INFLEX_RETURN_NOT_OK(r->Pod(&magic));
+  if (magic != kWireMagic) {
+    return Status::IOError("bad wire magic");
+  }
+  INFLEX_RETURN_NOT_OK(r->Pod(&version));
+  if (version != kWireVersion) {
+    return Status::IOError("unsupported wire version " +
+                           std::to_string(version));
+  }
+  return Status::OK();
+}
+
+/// Prepends the length header once the payload is complete.
+std::vector<uint8_t> SealFrame(std::vector<uint8_t> payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  frame.resize(kFrameHeaderBytes);
+  std::memcpy(frame.data(), &len, sizeof(len));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+constexpr uint8_t kRequestFlagHasSegmentMask = 1u << 0;
+constexpr uint8_t kResponseFlagFromCache = 1u << 0;
+constexpr uint8_t kResponseFlagEpsilonExact = 1u << 1;
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kQuery:
+      return "query";
+    case MessageType::kDelta:
+      return "delta";
+    case MessageType::kPing:
+      return "ping";
+  }
+  return "unknown";
+}
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "ok";
+    case WireStatus::kMalformed:
+      return "malformed";
+    case WireStatus::kInvalidRequest:
+      return "invalid-request";
+    case WireStatus::kQueryFailed:
+      return "query-failed";
+    case WireStatus::kOverloaded:
+      return "overloaded";
+    case WireStatus::kShuttingDown:
+      return "shutting-down";
+    case WireStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+  }
+  return "unknown";
+}
+
+core::QueryOptions WireRequest::ToQueryOptions() const {
+  core::QueryOptions options;
+  options.strategy = strategy;
+  options.knn_k = knn_k;
+  options.max_leaves = max_leaves;
+  options.segment_mask = segment_mask;
+  return options;
+}
+
+WireRequest MakeQueryRequest(const core::QueryRequest& request,
+                             uint32_t deadline_ms) {
+  WireRequest wire;
+  wire.type = MessageType::kQuery;
+  wire.gamma = request.item.probs();
+  wire.k = static_cast<uint32_t>(request.k);
+  wire.strategy = request.options.strategy;
+  wire.knn_k = static_cast<uint32_t>(request.options.knn_k);
+  wire.max_leaves = static_cast<uint32_t>(request.options.max_leaves);
+  wire.segment_mask = request.options.segment_mask;
+  wire.deadline_ms = deadline_ms;
+  return wire;
+}
+
+std::vector<uint8_t> EncodeRequestFrame(const WireRequest& request) {
+  std::vector<uint8_t> payload;
+  payload.reserve(64 + request.gamma.size() * sizeof(double) +
+                  request.segment_mask.size() + request.delta_id.size());
+  ByteWriter w(&payload);
+  w.Pod(kWireMagic);
+  w.Pod(kWireVersion);
+  w.Pod(static_cast<uint8_t>(request.type));
+  const uint8_t flags =
+      request.segment_mask.empty() ? 0 : kRequestFlagHasSegmentMask;
+  w.Pod(flags);
+  w.Pod(request.k);
+  w.Pod(static_cast<uint16_t>(request.strategy));
+  w.Pod<uint16_t>(0);  // reserved
+  w.Pod(request.knn_k);
+  w.Pod(request.max_leaves);
+  w.Pod(request.deadline_ms);
+  WritePodVector(&w, request.gamma);
+  if ((flags & kRequestFlagHasSegmentMask) != 0) {
+    WritePodVector(&w, request.segment_mask);
+  }
+  WriteString(&w, request.delta_id);
+  return SealFrame(std::move(payload));
+}
+
+Result<WireRequest> DecodeRequestPayload(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  INFLEX_RETURN_NOT_OK(CheckPrologue(&r));
+  WireRequest out;
+  uint8_t type = 0;
+  uint8_t flags = 0;
+  uint16_t strategy = 0;
+  uint16_t reserved = 0;
+  INFLEX_RETURN_NOT_OK(r.Pod(&type));
+  if (type < static_cast<uint8_t>(MessageType::kQuery) ||
+      type > static_cast<uint8_t>(MessageType::kPing)) {
+    return Status::IOError("unknown wire message type " +
+                           std::to_string(type));
+  }
+  out.type = static_cast<MessageType>(type);
+  INFLEX_RETURN_NOT_OK(r.Pod(&flags));
+  INFLEX_RETURN_NOT_OK(r.Pod(&out.k));
+  INFLEX_RETURN_NOT_OK(r.Pod(&strategy));
+  if (strategy > static_cast<uint16_t>(core::QueryStrategy::kApproxAd)) {
+    return Status::IOError("unknown query strategy " +
+                           std::to_string(strategy));
+  }
+  out.strategy = static_cast<core::QueryStrategy>(strategy);
+  INFLEX_RETURN_NOT_OK(r.Pod(&reserved));
+  INFLEX_RETURN_NOT_OK(r.Pod(&out.knn_k));
+  INFLEX_RETURN_NOT_OK(r.Pod(&out.max_leaves));
+  INFLEX_RETURN_NOT_OK(r.Pod(&out.deadline_ms));
+  INFLEX_RETURN_NOT_OK(r.PodVector(&out.gamma));
+  if ((flags & kRequestFlagHasSegmentMask) != 0) {
+    INFLEX_RETURN_NOT_OK(r.PodVector(&out.segment_mask));
+  }
+  INFLEX_RETURN_NOT_OK(r.String(&out.delta_id));
+  INFLEX_RETURN_NOT_OK(r.ExpectEnd());
+  return out;
+}
+
+std::vector<uint8_t> EncodeResponseFrame(const WireResponse& response) {
+  std::vector<uint8_t> payload;
+  payload.reserve(80 + response.seeds.size() * sizeof(uint32_t) +
+                  response.message.size());
+  ByteWriter w(&payload);
+  w.Pod(kWireMagic);
+  w.Pod(kWireVersion);
+  w.Pod(static_cast<uint16_t>(response.status));
+  uint8_t flags = 0;
+  if (response.from_cache) flags |= kResponseFlagFromCache;
+  if (response.epsilon_exact) flags |= kResponseFlagEpsilonExact;
+  w.Pod(flags);
+  w.Pod<uint8_t>(0);  // reserved
+  w.Pod(response.delta_outcome);
+  w.Pod(response.retry_after_ms);
+  w.Pod(response.epoch);
+  WritePodVector(&w, response.seeds);
+  w.Pod(response.similarity_search_ms);
+  w.Pod(response.aggregation_ms);
+  w.Pod(response.engine_ms);
+  w.Pod(response.queue_ms);
+  WriteString(&w, response.message);
+  return SealFrame(std::move(payload));
+}
+
+Result<WireResponse> DecodeResponsePayload(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  INFLEX_RETURN_NOT_OK(CheckPrologue(&r));
+  WireResponse out;
+  uint16_t status = 0;
+  uint8_t flags = 0;
+  uint8_t reserved = 0;
+  INFLEX_RETURN_NOT_OK(r.Pod(&status));
+  if (status > static_cast<uint16_t>(WireStatus::kDeadlineExceeded)) {
+    return Status::IOError("unknown wire status " + std::to_string(status));
+  }
+  out.status = static_cast<WireStatus>(status);
+  INFLEX_RETURN_NOT_OK(r.Pod(&flags));
+  out.from_cache = (flags & kResponseFlagFromCache) != 0;
+  out.epsilon_exact = (flags & kResponseFlagEpsilonExact) != 0;
+  INFLEX_RETURN_NOT_OK(r.Pod(&reserved));
+  INFLEX_RETURN_NOT_OK(r.Pod(&out.delta_outcome));
+  INFLEX_RETURN_NOT_OK(r.Pod(&out.retry_after_ms));
+  INFLEX_RETURN_NOT_OK(r.Pod(&out.epoch));
+  INFLEX_RETURN_NOT_OK(r.PodVector(&out.seeds));
+  INFLEX_RETURN_NOT_OK(r.Pod(&out.similarity_search_ms));
+  INFLEX_RETURN_NOT_OK(r.Pod(&out.aggregation_ms));
+  INFLEX_RETURN_NOT_OK(r.Pod(&out.engine_ms));
+  INFLEX_RETURN_NOT_OK(r.Pod(&out.queue_ms));
+  INFLEX_RETURN_NOT_OK(r.String(&out.message));
+  INFLEX_RETURN_NOT_OK(r.ExpectEnd());
+  return out;
+}
+
+Status PeekFrame(std::span<const uint8_t> buf, size_t* total_frame_bytes) {
+  *total_frame_bytes = 0;
+  if (buf.size() < kFrameHeaderBytes) return Status::OK();  // need more
+  uint32_t len = 0;
+  std::memcpy(&len, buf.data(), sizeof(len));
+  if (len == 0) {
+    return Status::IOError("empty wire frame payload");
+  }
+  if (len > kMaxFramePayloadBytes) {
+    return Status::IOError("oversized wire frame (" + std::to_string(len) +
+                           " bytes)");
+  }
+  *total_frame_bytes = kFrameHeaderBytes + len;
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace inflex

@@ -1,0 +1,155 @@
+#ifndef INFLEX_NET_WIRE_H_
+#define INFLEX_NET_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "inflex/inflex_index.h"
+#include "inflex/query_engine.h"
+#include "simplex/topic_distribution.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace net {
+
+/// First four payload bytes of every INFLEX wire message ("INFL" viewed as a
+/// little-endian uint32). A frame whose payload does not start with this is
+/// rejected without interpreting the rest.
+inline constexpr uint32_t kWireMagic = 0x4C464E49;  // 'I' 'N' 'F' 'L'
+
+/// Protocol version carried by every message. Bumped on any layout change;
+/// the decoder rejects mismatches so old clients fail fast instead of
+/// misparsing.
+inline constexpr uint16_t kWireVersion = 1;
+
+/// Upper bound on one frame's payload. Large enough for a query over
+/// thousands of topics plus a full segment mask; anything bigger is treated
+/// as a framing error (a desynchronized or hostile peer), not a large
+/// request.
+inline constexpr size_t kMaxFramePayloadBytes = 1u << 20;  // 1 MiB
+
+/// Bytes of the length prefix in front of every payload.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// \brief What a request frame asks the server to do.
+enum class MessageType : uint8_t {
+  /// Answer Q(γ_q, k) from the serving index.
+  kQuery = 1,
+  /// Submit a catalog delta to the maintenance plane.
+  kDelta = 2,
+  /// Liveness probe; the response carries the current index epoch.
+  kPing = 3,
+};
+
+const char* MessageTypeName(MessageType type);
+
+/// \brief Status code of a response frame.
+enum class WireStatus : uint16_t {
+  kOk = 0,
+  /// The request frame could not be decoded; the server closes the
+  /// connection after sending this (framing state is unknown).
+  kMalformed = 1,
+  /// The frame decoded but the request is semantically invalid (bad mixture,
+  /// k = 0, dimension mismatch, delta without a maintenance plane).
+  kInvalidRequest = 2,
+  /// The engine ran the query and failed (e.g. empty retrieval); `message`
+  /// carries the engine status text.
+  kQueryFailed = 3,
+  /// Shed by admission control (queue over the high-water mark) or deferred
+  /// by maintenance back-pressure; retry_after_ms suggests when to retry.
+  kOverloaded = 4,
+  /// The server is draining for shutdown and no longer admits work.
+  kShuttingDown = 5,
+  /// The request expired in the admission queue before a worker picked it
+  /// up (its deadline_ms elapsed while waiting).
+  kDeadlineExceeded = 6,
+};
+
+const char* WireStatusName(WireStatus status);
+
+/// \brief One decoded request. A single layout serves every MessageType —
+/// query-only fields are ignored for deltas and vice versa — so round-trip
+/// encoding is uniform and version checks cover the whole surface.
+struct WireRequest {
+  MessageType type = MessageType::kQuery;
+  /// γ_q (or the delta's item mixture): Z doubles, bit-exact across the
+  /// wire. Servers validate simplex membership, they do not renormalize
+  /// already-normalized vectors, so a loopback answer is bit-identical to an
+  /// in-process one.
+  simplex::TopicVector gamma;
+  /// Answer size.
+  uint32_t k = 10;
+  /// Answer-shaping QueryOptions fingerprint fields (the ones heterogeneous
+  /// traffic actually varies; nested search/weighting/aggregation parameters
+  /// stay at server defaults — see DESIGN.md §12).
+  core::QueryStrategy strategy = core::QueryStrategy::kInflex;
+  uint32_t knn_k = 10;
+  uint32_t max_leaves = 5;
+  std::vector<uint8_t> segment_mask;
+  /// Queue-wait budget in milliseconds; 0 = use the server default (which
+  /// may itself be "none"). Expired requests are answered kDeadlineExceeded
+  /// without running the engine.
+  uint32_t deadline_ms = 0;
+  /// Operator-facing identifier of a kDelta request.
+  std::string delta_id;
+
+  /// The QueryOptions this request maps to on the server.
+  core::QueryOptions ToQueryOptions() const;
+};
+
+/// Builds a kQuery request from an in-process QueryRequest (the transport
+/// counterpart of QueryEngine::Query's argument).
+WireRequest MakeQueryRequest(const core::QueryRequest& request,
+                             uint32_t deadline_ms = 0);
+
+/// \brief One decoded response.
+struct WireResponse {
+  WireStatus status = WireStatus::kOk;
+  bool from_cache = false;
+  bool epsilon_exact = false;
+  /// Suggested client back-off for kOverloaded (0 otherwise).
+  uint32_t retry_after_ms = 0;
+  /// Index generation that served the answer (also set for pings and delta
+  /// receipts: the epoch current when the server handled the request).
+  uint64_t epoch = 0;
+  /// DeltaOutcome + 1 for delta receipts; 0 for non-delta responses.
+  uint16_t delta_outcome = 0;
+  /// The ranked seed list (empty unless an OK query response).
+  std::vector<uint32_t> seeds;
+  /// Server-side stage timings plus the admission-queue wait, so a client
+  /// can split its observed latency into wire time and server time.
+  double similarity_search_ms = 0.0;
+  double aggregation_ms = 0.0;
+  double engine_ms = 0.0;
+  double queue_ms = 0.0;
+  /// Status text for failures (empty on kOk).
+  std::string message;
+
+  bool ok() const { return status == WireStatus::kOk; }
+};
+
+/// Encodes a complete frame: 4-byte little-endian payload length, then the
+/// payload (magic + version + fields).
+std::vector<uint8_t> EncodeRequestFrame(const WireRequest& request);
+std::vector<uint8_t> EncodeResponseFrame(const WireResponse& response);
+
+/// Decodes a frame payload (the bytes after the length prefix). Rejects bad
+/// magic, version mismatches, truncated fields, out-of-range enums, and
+/// trailing garbage.
+Result<WireRequest> DecodeRequestPayload(std::span<const uint8_t> payload);
+Result<WireResponse> DecodeResponsePayload(std::span<const uint8_t> payload);
+
+/// Frame scanner for a streaming read buffer. On success sets
+/// *total_frame_bytes to the full frame size (header + payload) — 0 when the
+/// buffer does not yet hold the 4-byte header — and the caller consumes the
+/// frame once buf.size() >= *total_frame_bytes. Fails when the header
+/// announces an empty or oversized payload (a desynchronized peer; the
+/// connection should be closed).
+Status PeekFrame(std::span<const uint8_t> buf, size_t* total_frame_bytes);
+
+}  // namespace net
+}  // namespace inflex
+
+#endif  // INFLEX_NET_WIRE_H_

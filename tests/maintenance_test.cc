@@ -238,6 +238,67 @@ TEST_F(MaintenanceTest, AdmittedDeltaPublishesServableGeneration) {
   EXPECT_EQ(again.ValueOrDie().outcome, core::DeltaOutcome::kCovered);
 }
 
+TEST_F(MaintenanceTest, BackpressureDefersDeltasAtHighWaterMark) {
+  auto initial = InitialGeneration();
+
+  // Park the maintenance pool behind a sentinel task so admitted deltas stay
+  // pending and the high-water mark is hit deterministically.
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  pool.Submit([released] { released.wait(); });
+
+  core::IndexMaintainerOptions mopts = FastOptions();
+  mopts.pending_high_watermark = 2;
+  mopts.pool = &pool;
+  core::IndexMaintainer m(initial, &dataset_->graph, nullptr, mopts);
+
+  const auto mixtures = FarApartMixtures(*initial, 3, 0.08, 77);
+  std::vector<core::CatalogDelta> deltas;
+  for (size_t i = 0; i < mixtures.size(); ++i) {
+    core::CatalogDelta d;
+    d.id = "bp-" + std::to_string(i);
+    d.item = mixtures[i];
+    deltas.push_back(std::move(d));
+  }
+
+  // Two admissions fill the pipeline to the watermark...
+  for (size_t i = 0; i < 2; ++i) {
+    auto receipt = m.SubmitDelta(deltas[i]);
+    ASSERT_TRUE(receipt.ok());
+    ASSERT_EQ(receipt.ValueOrDie().outcome, core::DeltaOutcome::kAdmitted)
+        << "delta " << i;
+  }
+  // ...so the third is deferred without scheduling anything.
+  auto deferred = m.SubmitDelta(deltas[2]);
+  ASSERT_TRUE(deferred.ok());
+  EXPECT_EQ(deferred.ValueOrDie().outcome, core::DeltaOutcome::kRetryLater);
+  EXPECT_EQ(deferred.ValueOrDie().ticket, 0u) << "nothing was admitted";
+  {
+    const auto stats = m.stats();
+    EXPECT_EQ(stats.pending, 2u);
+    EXPECT_EQ(stats.deferred, 1u);
+    EXPECT_EQ(stats.admitted, 2u);
+  }
+  EXPECT_NE(core::DeltaOutcomeName(core::DeltaOutcome::kRetryLater),
+            nullptr);
+
+  // Once the backlog publishes, the same delta is admitted on retry: the
+  // contract is "resubmit later", not "dropped".
+  release.set_value();
+  m.Drain();
+  auto retried = m.SubmitDelta(deltas[2]);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.ValueOrDie().outcome, core::DeltaOutcome::kAdmitted);
+  m.Drain();
+
+  const auto stats = m.stats();
+  EXPECT_EQ(stats.deferred, 1u);
+  EXPECT_EQ(stats.pending, 0u);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.index_points, initial->num_index_points() + 3);
+}
+
 TEST_F(MaintenanceTest, DimensionMismatchFailsFast) {
   core::IndexMaintainer m(InitialGeneration(), &dataset_->graph, nullptr,
                           FastOptions());

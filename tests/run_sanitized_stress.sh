@@ -25,9 +25,9 @@ cmake -B "$BUILD" -S "$SRC" \
   -DINFLEX_BUILD_TOOLS=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 
-echo "== build (serving_test maintenance_test util_test)"
+echo "== build (serving_test maintenance_test util_test net_test)"
 cmake --build "$BUILD" --target serving_test maintenance_test util_test \
-  -j "$(nproc)" > /dev/null
+  net_test -j "$(nproc)" > /dev/null
 
 echo "== run serving stress + thread-pool tests under TSan"
 # halt_on_error: any reported race is a hard failure, not a log line.
@@ -44,6 +44,13 @@ echo "== run live-maintenance stress under TSan"
 # serially against its pinned generation and requires bit-identity.
 TSAN_OPTIONS="halt_on_error=1 suppressions=$SRC/tests/tsan.supp ${TSAN_OPTIONS:-}" \
   "$BUILD/tests/maintenance_test"
+
+echo "== run network loopback storm under TSan"
+# The TCP front end's three planes (IO thread, admission queue, workers)
+# against concurrent clients, live generation publishing, and graceful
+# shutdown with requests in flight.
+TSAN_OPTIONS="halt_on_error=1 suppressions=$SRC/tests/tsan.supp ${TSAN_OPTIONS:-}" \
+  "$BUILD/tests/net_test"
 
 echo "TSan stress: OK (zero reported races)"
 

@@ -123,6 +123,45 @@ def check_serving(path):
             check(sweeps[-1]["index_points"] < churn["index_points_peak"],
                   f"{path.name}: sweeps must shrink the index below its burst peak")
 
+    # The net section (spliced in by bench_net_throughput) measures the TCP
+    # front end: closed-loop scaling rows plus an overload scenario where the
+    # bounded admission queue must shed instead of queueing unboundedly.
+    net = d.get("net")
+    check(isinstance(net, dict),
+          f"{path.name}: missing 'net' section (run bench_net_throughput)")
+    if not isinstance(net, dict):
+        return
+    net_rows = net.get("rows")
+    check(isinstance(net_rows, list) and net_rows,
+          f"{path.name}: net.rows empty or missing")
+    for i, row in enumerate(net_rows or []):
+        where = f"{path.name} net.rows[{i}]"
+        if not require_keys(row, ("connections", "requests", "qps", "p50_ms",
+                                  "p95_ms", "p99_ms", "shed_rate"), where):
+            continue
+        check(is_num(row["qps"]) and row["qps"] > 0, f"{where}: bad qps")
+        check(is_num(row["p50_ms"]) and is_num(row["p95_ms"])
+              and is_num(row["p99_ms"])
+              and 0 <= row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"],
+              f"{where}: latency percentiles must be ordered")
+        check(is_num(row["shed_rate"]) and row["shed_rate"] == 0.0,
+              f"{where}: the well-provisioned scaling rows must not shed")
+    overload = net.get("overload")
+    check(isinstance(overload, dict), f"{path.name}: missing net.overload")
+    if isinstance(overload, dict) and require_keys(
+            overload, ("connections", "workers", "queue_high", "requests",
+                       "ok", "shed", "shed_rate", "qps", "p99_ms"),
+            f"{path.name} net.overload"):
+        check(overload["shed"] > 0,
+              f"{path.name}: overload scenario must shed (bounded admission)")
+        check(overload["ok"] > 0,
+              f"{path.name}: overload must not starve surviving requests")
+        check(overload["ok"] + overload["shed"] == overload["requests"],
+              f"{path.name}: net.overload counts must add up (no failures)")
+        check(is_num(overload["shed_rate"])
+              and 0.0 < overload["shed_rate"] < 1.0,
+              f"{path.name}: overload shed_rate out of (0,1)")
+
 
 def main():
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent

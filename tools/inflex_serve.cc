@@ -1,16 +1,25 @@
-// inflex_serve — serving-layer demo: replays a synthetic request trace
-// against a built index through the concurrent QueryEngine (sharded
-// QueryCache + batched ThreadPool fan-out) and prints per-batch and final
-// serving statistics. This is what a production front-end in front of the
-// INFLEX index looks like: accept a batch of TIM requests, fan them across
-// workers, answer repeats from the cache.
+// inflex_serve — the INFLEX serving front end, in three modes:
 //
-// With --deltas N the demo additionally exercises the live maintenance
-// plane: while the replay is in flight it submits N catalog deltas to an
-// IndexMaintainer attached to the engine — admitted items get their seed
-// lists recomputed on a background thread and each result is published as a
-// new index generation (RCU swap + cache-epoch bump) under the running
-// query storm, without rejecting or blocking a single request.
+// 1. Replay (default): replays a synthetic request trace against a built
+//    index through the concurrent QueryEngine (sharded QueryCache + batched
+//    ThreadPool fan-out) and prints per-batch and final serving statistics.
+//    With --deltas N it additionally exercises the live maintenance plane:
+//    while the replay is in flight it submits N catalog deltas to an
+//    IndexMaintainer attached to the engine — admitted items get their seed
+//    lists recomputed on a background thread and each result is published as
+//    a new index generation (RCU swap + cache-epoch bump) under the running
+//    query storm, without rejecting or blocking a single request.
+//
+// 2. Daemon (--listen PORT): a real TCP server speaking the INFLEX wire
+//    protocol (src/net/) in front of the same engine + maintainer, with a
+//    bounded admission queue and load shedding. PORT 0 binds an ephemeral
+//    port; the bound port is printed as "listening on HOST:PORT". SIGINT or
+//    SIGTERM drains gracefully: in-flight requests are answered, the
+//    maintainer is drained, and the summary lines are printed on exit.
+//
+// 3. Client (--connect PORT [--host H]): a blocking wire-protocol client for
+//    smoke tests and one-liners — sends --count queries for the mixture in
+//    --gamma (or --ping / --delta-id) and prints the answers.
 //
 //   inflex_serve --data data/ --index index.bin
 //                [--queries N] [--unique U] [--batch B] [--threads T]
@@ -18,16 +27,29 @@
 //                [--cache-capacity C] [--shards S] [--quantization Q]
 //                [--no-cache] [--seed S]
 //                [--deltas D] [--admission-threshold T] [--delta-snapshots S]
+//   inflex_serve --data data/ --index index.bin --listen PORT
+//                [--workers W] [--worker-batch B] [--queue-high H]
+//                [--queue-low L] [--retry-after-ms R] [--deadline-ms D]
+//                [--pending-high P] [...engine/maintainer options above]
+//   inflex_serve --connect PORT [--host H] [--gamma P1,P2,...] [--count N]
+//                [--k K] [--strategy ...] [--deadline-ms D]
+//                [--ping] [--delta-id ID] [--timeout-ms T]
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/dataset_io.h"
 #include "data/workload.h"
 #include "inflex/index_maintainer.h"
 #include "inflex/query_engine.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "util/args.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -35,6 +57,10 @@
 
 namespace inflex {
 namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleShutdownSignal(int) { g_shutdown.store(true); }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -64,40 +90,266 @@ Result<core::QueryStrategy> ParseStrategy(const std::string& name) {
   return Status::InvalidArgument("unknown strategy: " + name);
 }
 
-int Run(ArgParser& args) {
-  const std::string data_dir = args.GetString("data", "");
-  const std::string index_path = args.GetString("index", "");
-  auto queries = args.GetInt("queries", 4096);
-  auto unique = args.GetInt("unique", 128);
-  auto batch = args.GetInt("batch", 512);
-  auto threads = args.GetInt("threads", 0);  // 0 = hardware concurrency
+/// Everything the replay and daemon modes share: dataset, index, pool,
+/// engine, and (optionally) a maintainer attached to the engine.
+struct ServingStack {
+  data::SyntheticDataset dataset;
+  std::shared_ptr<core::InflexIndex> index;
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<core::QueryEngine> engine;
+  std::unique_ptr<core::IndexMaintainer> maintainer;
+};
+
+// --------------------------------------------------------------------------
+// Client mode: --connect PORT
+// --------------------------------------------------------------------------
+
+int RunClient(ArgParser& args, uint16_t port) {
+  const std::string host = args.GetString("host", "127.0.0.1");
+  auto count = args.GetInt("count", 1);
   auto k = args.GetInt("k", 10);
+  auto deadline = args.GetInt("deadline-ms", 0);
+  auto timeout = args.GetDouble("timeout-ms", 10000.0);
+  auto gamma = args.GetDoubleList("gamma");
+  const std::string strategy_name = args.GetString("strategy", "inflex");
+  const std::string delta_id = args.GetString("delta-id", "");
+  const bool ping = args.HasFlag("ping");
+  const bool quiet = args.HasFlag("quiet");
+  if (auto st = args.Validate(); !st.ok()) return Fail(st);
+  for (const auto* r : {&count, &k, &deadline}) {
+    if (!r->ok()) return Fail(r->status());
+  }
+  if (!timeout.ok()) return Fail(timeout.status());
+  auto strategy = ParseStrategy(strategy_name);
+  if (!strategy.ok()) return Fail(strategy.status());
+
+  auto client =
+      net::InflexClient::Connect(host, port, timeout.ValueOrDie());
+  if (!client.ok()) return Fail(client.status());
+  net::InflexClient& c = client.ValueOrDie();
+
+  if (ping) {
+    auto resp = c.Ping();
+    if (!resp.ok()) return Fail(resp.status());
+    std::printf("ping %s | epoch %llu\n",
+                net::WireStatusName(resp.ValueOrDie().status),
+                static_cast<unsigned long long>(resp.ValueOrDie().epoch));
+    return resp.ValueOrDie().ok() ? 0 : 1;
+  }
+
+  if (!delta_id.empty()) {
+    if (!gamma.ok()) return Fail(gamma.status());
+    auto resp = c.SubmitDelta(delta_id, gamma.ValueOrDie());
+    if (!resp.ok()) return Fail(resp.status());
+    const net::WireResponse& r = resp.ValueOrDie();
+    const char* outcome =
+        r.delta_outcome > 0
+            ? core::DeltaOutcomeName(
+                  static_cast<core::DeltaOutcome>(r.delta_outcome - 1))
+            : net::WireStatusName(r.status);
+    std::printf("delta %s: %s (epoch %llu)\n", delta_id.c_str(), outcome,
+                static_cast<unsigned long long>(r.epoch));
+    return r.ok() ? 0 : 1;
+  }
+
+  if (!gamma.ok()) return Fail(gamma.status());
+  auto item = simplex::TopicDistribution::Create(gamma.ValueOrDie());
+  if (!item.ok()) return Fail(item.status());
+  core::QueryRequest request;
+  request.item = std::move(item).ValueOrDie();
+  request.k = static_cast<size_t>(std::max<int64_t>(k.ValueOrDie(), 1));
+  request.options.strategy = strategy.ValueOrDie();
+
+  size_t ok = 0, overloaded = 0, expired = 0, failed = 0;
+  for (int64_t i = 0; i < count.ValueOrDie(); ++i) {
+    auto resp =
+        c.Query(request, static_cast<uint32_t>(deadline.ValueOrDie()));
+    if (!resp.ok()) return Fail(resp.status());
+    const net::WireResponse& r = resp.ValueOrDie();
+    switch (r.status) {
+      case net::WireStatus::kOk:
+        ++ok;
+        if (!quiet) {
+          std::printf("seeds:");
+          for (uint32_t s : r.seeds) std::printf(" %u", s);
+          std::printf(" | epoch %llu%s | engine %.3f ms + queue %.3f ms\n",
+                      static_cast<unsigned long long>(r.epoch),
+                      r.from_cache ? " | cached" : "", r.engine_ms,
+                      r.queue_ms);
+        }
+        break;
+      case net::WireStatus::kOverloaded:
+        ++overloaded;
+        if (!quiet) {
+          std::printf("overloaded (retry after %u ms)\n", r.retry_after_ms);
+        }
+        break;
+      case net::WireStatus::kDeadlineExceeded:
+        ++expired;
+        if (!quiet) std::printf("deadline exceeded\n");
+        break;
+      default:
+        ++failed;
+        std::fprintf(stderr, "query failed: %s %s\n",
+                     net::WireStatusName(r.status), r.message.c_str());
+        break;
+    }
+  }
+  std::printf("%zu ok, %zu overloaded, %zu expired, %zu failed\n", ok,
+              overloaded, expired, failed);
+  return failed == 0 ? 0 : 1;
+}
+
+// --------------------------------------------------------------------------
+// Shared engine construction (replay + daemon)
+// --------------------------------------------------------------------------
+
+Result<std::unique_ptr<ServingStack>> BuildStack(
+    ArgParser& args, const std::string& data_dir,
+    const std::string& index_path, bool with_maintainer) {
+  auto threads = args.GetInt("threads", 0);  // 0 = hardware concurrency
   auto capacity = args.GetInt("cache-capacity", 4096);
   auto shards = args.GetInt("shards", 16);
   auto quantization = args.GetDouble("quantization", 0.01);
   auto seed = args.GetInt("seed", 7);
-  auto deltas = args.GetInt("deltas", 0);
   auto admission = args.GetDouble("admission-threshold", 0.05);
   auto delta_snapshots = args.GetInt("delta-snapshots", 30);
-  const std::string strategy_name = args.GetString("strategy", "inflex");
+  auto pending_high = args.GetInt("pending-high", 0);
   const bool no_cache = args.HasFlag("no-cache");
-  if (auto st = args.Validate(); !st.ok()) return Fail(st);
-  if (data_dir.empty() || index_path.empty()) {
-    return Fail(Status::InvalidArgument("--data and --index are required"));
+  for (const auto* r :
+       {&threads, &capacity, &shards, &seed, &delta_snapshots, &pending_high}) {
+    INFLEX_RETURN_NOT_OK(r->status());
   }
-  for (const auto* r : {&queries, &unique, &batch, &threads, &k, &capacity,
-                        &shards, &seed, &deltas, &delta_snapshots}) {
+  INFLEX_RETURN_NOT_OK(quantization.status());
+  INFLEX_RETURN_NOT_OK(admission.status());
+
+  auto stack = std::make_unique<ServingStack>();
+  auto ds = data::LoadDataset(data_dir);
+  INFLEX_RETURN_NOT_OK(ds.status());
+  stack->dataset = std::move(ds).ValueOrDie();
+  auto index = core::InflexIndex::Load(index_path, &stack->dataset.graph);
+  INFLEX_RETURN_NOT_OK(index.status());
+  stack->index =
+      std::make_shared<core::InflexIndex>(std::move(index).ValueOrDie());
+
+  stack->pool = std::make_unique<ThreadPool>(
+      static_cast<size_t>(threads.ValueOrDie()));
+  core::QueryEngineOptions eopts;
+  eopts.pool = stack->pool.get();
+  eopts.enable_cache = !no_cache;
+  eopts.cache.capacity = static_cast<size_t>(capacity.ValueOrDie());
+  eopts.cache.num_shards = static_cast<size_t>(shards.ValueOrDie());
+  eopts.cache.quantization = quantization.ValueOrDie();
+  stack->engine =
+      std::make_unique<core::QueryEngine>(stack->index, eopts);
+
+  if (with_maintainer) {
+    core::IndexMaintainerOptions mopts;
+    mopts.admission_threshold = admission.ValueOrDie();
+    mopts.oracle_snapshots = static_cast<size_t>(delta_snapshots.ValueOrDie());
+    mopts.seed = static_cast<uint64_t>(seed.ValueOrDie()) + 100;
+    mopts.pending_high_watermark =
+        static_cast<size_t>(pending_high.ValueOrDie());
+    mopts.on_publish = [](uint64_t epoch,
+                          std::shared_ptr<const core::InflexIndex> gen) {
+      std::printf("  maintenance: published generation %llu "
+                  "(%zu index points)\n",
+                  static_cast<unsigned long long>(epoch),
+                  gen->num_index_points());
+      std::fflush(stdout);
+    };
+    stack->maintainer = std::make_unique<core::IndexMaintainer>(
+        stack->index, &stack->dataset.graph, stack->engine.get(), mopts);
+  }
+  return stack;
+}
+
+// --------------------------------------------------------------------------
+// Daemon mode: --listen PORT
+// --------------------------------------------------------------------------
+
+int RunDaemon(ArgParser& args, uint16_t port, const std::string& data_dir,
+              const std::string& index_path) {
+  auto workers = args.GetInt("workers", 4);
+  auto worker_batch = args.GetInt("worker-batch", 8);
+  auto queue_high = args.GetInt("queue-high", 1024);
+  auto queue_low = args.GetInt("queue-low", 0);
+  auto retry_after = args.GetInt("retry-after-ms", 50);
+  auto deadline = args.GetInt("deadline-ms", 0);
+  for (const auto* r : {&workers, &worker_batch, &queue_high, &queue_low,
+                        &retry_after, &deadline}) {
     if (!r->ok()) return Fail(r->status());
   }
-  if (!quantization.ok()) return Fail(quantization.status());
-  if (!admission.ok()) return Fail(admission.status());
+
+  auto stack =
+      BuildStack(args, data_dir, index_path, /*with_maintainer=*/true);
+  if (auto st = args.Validate(); !st.ok()) return Fail(st);
+  if (!stack.ok()) return Fail(stack.status());
+  ServingStack& s = *stack.ValueOrDie();
+
+  net::InflexServerOptions sopts;
+  sopts.port = port;
+  sopts.num_workers = static_cast<size_t>(workers.ValueOrDie());
+  sopts.max_worker_batch = static_cast<size_t>(worker_batch.ValueOrDie());
+  sopts.queue_high_watermark = static_cast<size_t>(queue_high.ValueOrDie());
+  sopts.queue_low_watermark = static_cast<size_t>(queue_low.ValueOrDie());
+  sopts.retry_after_ms = static_cast<uint32_t>(retry_after.ValueOrDie());
+  sopts.default_deadline_ms = static_cast<uint32_t>(deadline.ValueOrDie());
+  sopts.maintainer = s.maintainer.get();
+  net::InflexServer server(s.engine.get(), sopts);
+  if (auto st = server.Start(); !st.ok()) return Fail(st);
+
+  std::printf("listening on %s:%u (%zu workers, queue high %zu)\n",
+              sopts.bind_address.c_str(), server.port(), sopts.num_workers,
+              sopts.queue_high_watermark);
+  std::fflush(stdout);
+
+  struct sigaction sa {};
+  sa.sa_handler = HandleShutdownSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("shutting down: draining in-flight requests\n");
+  server.Stop();
+  std::printf("net serving summary: %s\n", server.stats().ToString().c_str());
+  std::printf("engine summary: %s\n",
+              s.engine->cumulative_stats().ToString().c_str());
+  if (s.maintainer != nullptr) {
+    std::printf("maintenance summary: %s\n",
+                s.maintainer->stats().ToString().c_str());
+  }
+  std::printf("drained cleanly\n");
+  return 0;
+}
+
+// --------------------------------------------------------------------------
+// Replay mode (default)
+// --------------------------------------------------------------------------
+
+int RunReplay(ArgParser& args, const std::string& data_dir,
+              const std::string& index_path) {
+  auto queries = args.GetInt("queries", 4096);
+  auto unique = args.GetInt("unique", 128);
+  auto batch = args.GetInt("batch", 512);
+  auto k = args.GetInt("k", 10);
+  auto seed = args.GetInt("seed", 7);
+  auto deltas = args.GetInt("deltas", 0);
+  const std::string strategy_name = args.GetString("strategy", "inflex");
+  for (const auto* r : {&queries, &unique, &batch, &k, &seed, &deltas}) {
+    if (!r->ok()) return Fail(r->status());
+  }
   auto strategy = ParseStrategy(strategy_name);
   if (!strategy.ok()) return Fail(strategy.status());
+  const size_t num_deltas = static_cast<size_t>(deltas.ValueOrDie());
 
-  auto ds = data::LoadDataset(data_dir);
-  if (!ds.ok()) return Fail(ds.status());
-  auto index = core::InflexIndex::Load(index_path, &ds.ValueOrDie().graph);
-  if (!index.ok()) return Fail(index.status());
+  auto stack = BuildStack(args, data_dir, index_path,
+                          /*with_maintainer=*/num_deltas > 0);
+  if (auto st = args.Validate(); !st.ok()) return Fail(st);
+  if (!stack.ok()) return Fail(stack.status());
+  ServingStack& s = *stack.ValueOrDie();
 
   // Build the request trace: `unique` distinct mixtures drawn like real
   // queries (half data-driven, half uniform), replayed with repetition up to
@@ -107,8 +359,7 @@ int Run(ArgParser& args) {
   wopts.num_uniform =
       static_cast<size_t>(unique.ValueOrDie()) - wopts.num_data_driven;
   wopts.seed = static_cast<uint64_t>(seed.ValueOrDie());
-  auto workload =
-      data::GenerateQueryWorkload(ds.ValueOrDie().catalog, wopts);
+  auto workload = data::GenerateQueryWorkload(s.dataset.catalog, wopts);
   if (!workload.ok()) return Fail(workload.status());
   const auto& mixtures = workload.ValueOrDie().queries;
   Rng rng(static_cast<uint64_t>(seed.ValueOrDie()) + 1);
@@ -122,47 +373,12 @@ int Run(ArgParser& args) {
     trace.push_back(std::move(r));
   }
 
-  ThreadPool pool(static_cast<size_t>(threads.ValueOrDie()));
-  core::QueryEngineOptions eopts;
-  eopts.pool = &pool;
-  eopts.enable_cache = !no_cache;
-  eopts.cache.capacity = static_cast<size_t>(capacity.ValueOrDie());
-  eopts.cache.num_shards = static_cast<size_t>(shards.ValueOrDie());
-  eopts.cache.quantization = quantization.ValueOrDie();
-  auto shared_index =
-      std::make_shared<core::InflexIndex>(std::move(index).ValueOrDie());
-  core::QueryEngine engine(shared_index, eopts);
-
-  // Optional live maintenance under the replay: an IndexMaintainer attached
-  // to the engine, fed one extreme-corner delta per batch.
-  const size_t num_deltas = static_cast<size_t>(deltas.ValueOrDie());
-  std::unique_ptr<core::IndexMaintainer> maintainer;
-  if (num_deltas > 0) {
-    core::IndexMaintainerOptions mopts;
-    mopts.admission_threshold = admission.ValueOrDie();
-    mopts.oracle_snapshots =
-        static_cast<size_t>(delta_snapshots.ValueOrDie());
-    mopts.seed = static_cast<uint64_t>(seed.ValueOrDie()) + 100;
-    mopts.on_publish = [](uint64_t epoch,
-                          std::shared_ptr<const core::InflexIndex> gen) {
-      std::printf("  maintenance: published generation %llu "
-                  "(%zu index points)\n",
-                  static_cast<unsigned long long>(epoch),
-                  gen->num_index_points());
-    };
-    maintainer = std::make_unique<core::IndexMaintainer>(
-        shared_index, &ds.ValueOrDie().graph, &engine, mopts);
-  }
-
   std::printf("serving %zu requests (%zu unique mixtures, k=%lld, %s) in "
-              "batches of %lld across %zu threads, cache %s (capacity %lld, "
-              "%lld shards)\n",
+              "batches of %lld across %zu threads\n",
               trace.size(), mixtures.size(),
               static_cast<long long>(k.ValueOrDie()), strategy_name.c_str(),
-              static_cast<long long>(batch.ValueOrDie()), pool.num_threads(),
-              no_cache ? "OFF" : "ON",
-              static_cast<long long>(capacity.ValueOrDie()),
-              static_cast<long long>(shards.ValueOrDie()));
+              static_cast<long long>(batch.ValueOrDie()),
+              s.pool->num_threads());
 
   Timer total;
   const size_t batch_size = static_cast<size_t>(batch.ValueOrDie());
@@ -172,10 +388,10 @@ int Run(ArgParser& args) {
     // Interleave catalog deltas with the replay so generation swaps land
     // while requests are in flight. SubmitDelta never blocks on the
     // precompute — admission is a microsecond tree probe.
-    if (maintainer != nullptr && deltas_sent < num_deltas) {
+    if (s.maintainer != nullptr && deltas_sent < num_deltas) {
       const auto delta =
-          MakeCornerDelta(deltas_sent++, shared_index->num_topics());
-      auto receipt = maintainer->SubmitDelta(delta);
+          MakeCornerDelta(deltas_sent++, s.index->num_topics());
+      auto receipt = s.maintainer->SubmitDelta(delta);
       if (!receipt.ok()) return Fail(receipt.status());
       std::printf("  delta %s: %s (min divergence %.4f)\n", delta.id.c_str(),
                   core::DeltaOutcomeName(receipt.ValueOrDie().outcome),
@@ -185,14 +401,13 @@ int Run(ArgParser& args) {
     std::span<const core::QueryRequest> slice(trace.data() + start,
                                               stop - start);
     core::ServingStats stats;
-    engine.QueryBatch(slice, &stats);
+    s.engine->QueryBatch(slice, &stats);
     std::printf("  batch %zu: %s\n", ++batch_no, stats.ToString().c_str());
   }
   // More deltas than batches: flush the rest of the stream.
-  for (; maintainer != nullptr && deltas_sent < num_deltas; ++deltas_sent) {
-    const auto delta =
-        MakeCornerDelta(deltas_sent, shared_index->num_topics());
-    auto receipt = maintainer->SubmitDelta(delta);
+  for (; s.maintainer != nullptr && deltas_sent < num_deltas; ++deltas_sent) {
+    const auto delta = MakeCornerDelta(deltas_sent, s.index->num_topics());
+    auto receipt = s.maintainer->SubmitDelta(delta);
     if (!receipt.ok()) return Fail(receipt.status());
     std::printf("  delta %s: %s (min divergence %.4f)\n", delta.id.c_str(),
                 core::DeltaOutcomeName(receipt.ValueOrDie().outcome),
@@ -200,20 +415,20 @@ int Run(ArgParser& args) {
   }
   const double wall_s = total.ElapsedSeconds();
 
-  const auto stats = engine.cumulative_stats();
+  const auto stats = s.engine->cumulative_stats();
   std::printf("served %zu requests in %.2f s -> %.0f QPS overall | "
               "hit rate %.1f%% | %zu failed | cache holds %zu entries\n",
               stats.num_requests, wall_s,
               static_cast<double>(stats.num_requests) / wall_s,
               100.0 * stats.hit_rate(), stats.num_failed,
-              engine.cache().size());
+              s.engine->cache().size());
 
-  if (maintainer != nullptr) {
-    maintainer->Drain();
-    const auto mstats = maintainer->stats();
+  if (s.maintainer != nullptr) {
+    s.maintainer->Drain();
+    const auto mstats = s.maintainer->stats();
     std::printf("maintenance summary: %s | engine epoch %llu\n",
                 mstats.ToString().c_str(),
-                static_cast<unsigned long long>(engine.index_epoch()));
+                static_cast<unsigned long long>(s.engine->index_epoch()));
     if (mstats.admitted == 0 || mstats.failed != 0) {
       std::fprintf(stderr,
                    "error: delta demo expected >=1 admission and no "
@@ -222,6 +437,28 @@ int Run(ArgParser& args) {
     }
   }
   return stats.num_failed == 0 ? 0 : 1;
+}
+
+int Run(ArgParser& args) {
+  auto connect = args.GetInt("connect", -1);
+  auto listen = args.GetInt("listen", -1);
+  for (const auto* r : {&connect, &listen}) {
+    if (!r->ok()) return Fail(r->status());
+  }
+  if (connect.ValueOrDie() >= 0) {
+    return RunClient(args, static_cast<uint16_t>(connect.ValueOrDie()));
+  }
+
+  const std::string data_dir = args.GetString("data", "");
+  const std::string index_path = args.GetString("index", "");
+  if (data_dir.empty() || index_path.empty()) {
+    return Fail(Status::InvalidArgument("--data and --index are required"));
+  }
+  if (listen.ValueOrDie() >= 0) {
+    return RunDaemon(args, static_cast<uint16_t>(listen.ValueOrDie()),
+                     data_dir, index_path);
+  }
+  return RunReplay(args, data_dir, index_path);
 }
 
 }  // namespace
