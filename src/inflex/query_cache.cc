@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <functional>
+#include <thread>
 #include <type_traits>
 
 #include "util/timer.h"
@@ -13,12 +13,19 @@ namespace core {
 
 namespace {
 
-/// FNV-1a over raw bytes; used to fold the query options into the cache key.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+// Independent second lane: a different odd offset/multiplier pair so the two
+// 64-bit halves of the key never cancel the same way.
+constexpr uint64_t kLane2Offset = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kLane2Prime = 0xc2b2ae3d27d4eb4fULL;
+
+/// FNV-1a over raw bytes.
 uint64_t FnvMix(uint64_t h, const void* data, size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
   for (size_t i = 0; i < n; ++i) {
     h ^= p[i];
-    h *= 0x100000001b3ULL;
+    h *= kFnvPrime;
   }
   return h;
 }
@@ -29,13 +36,27 @@ uint64_t FnvMixPod(uint64_t h, const T& value) {
   return FnvMix(h, &value, sizeof(value));
 }
 
+/// Streaming two-lane hash; word-at-a-time so the per-query key costs a few
+/// multiplies per topic instead of a heap allocation plus two byte-wise
+/// string hashes.
+struct KeyHasher {
+  uint64_t lo = kFnvOffset;
+  uint64_t hi = kLane2Offset;
+  void Mix64(uint64_t v) {
+    lo = (lo ^ v) * kFnvPrime;
+    lo ^= lo >> 29;
+    hi = (hi ^ v) * kLane2Prime;
+    hi ^= hi >> 31;
+  }
+};
+
 /// Fingerprints every answer-shaping field of QueryOptions. Two option sets
 /// with different fingerprints never share a cache entry — in particular a
 /// segment-restricted query can never be answered from an unrestricted one
 /// (or from a different segment), and knn_k / max_leaves / search and
 /// weighting parameters all key separately.
 uint64_t OptionsFingerprint(const QueryOptions& o) {
-  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  uint64_t h = kFnvOffset;
   h = FnvMixPod(h, static_cast<uint32_t>(o.strategy));
   h = FnvMixPod(h, static_cast<uint64_t>(o.knn_k));
   h = FnvMixPod(h, static_cast<uint64_t>(o.max_leaves));
@@ -62,9 +83,19 @@ uint64_t OptionsFingerprint(const QueryOptions& o) {
   return h;
 }
 
+/// Stable per-thread stripe index; hashes the thread id once per thread.
+size_t ThreadStripe(size_t num_stripes) {
+  static thread_local const size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripe % num_stripes;
+}
+
 }  // namespace
 
-QueryCache::QueryCache(const Options& options) : options_(options) {
+QueryCache::QueryCache(const Options& options)
+    : options_(options),
+      hit_stripes_(kCounterStripes),
+      miss_stripes_(kCounterStripes) {
   INFLEX_CHECK_GT(options_.capacity, 0u);
   INFLEX_CHECK_GE(options_.quantization, 0.0);
   const size_t num_shards =
@@ -76,32 +107,51 @@ QueryCache::QueryCache(const Options& options) : options_(options) {
   }
 }
 
-std::string QueryCache::MakeKey(const simplex::TopicDistribution& item,
-                                size_t k, const QueryOptions& query_options,
-                                uint64_t epoch) const {
-  std::string key;
-  key.reserve(item.num_topics() * sizeof(uint32_t) + 32);
+QueryCache::CacheKey QueryCache::MakeKey(const simplex::TopicDistribution& item,
+                                         size_t k,
+                                         const QueryOptions& query_options,
+                                         uint64_t epoch) const {
+  KeyHasher h;
   if (options_.quantization > 0.0) {
     for (double p : item.probs()) {
-      const auto cell =
-          static_cast<uint32_t>(std::lround(p / options_.quantization));
-      key.append(reinterpret_cast<const char*>(&cell), sizeof(cell));
+      h.Mix64(static_cast<uint64_t>(
+          static_cast<uint32_t>(std::lround(p / options_.quantization))));
     }
   } else {
     for (double p : item.probs()) {
-      key.append(reinterpret_cast<const char*>(&p), sizeof(p));
+      uint64_t bits;
+      std::memcpy(&bits, &p, sizeof(bits));
+      h.Mix64(bits);
     }
   }
-  const auto k64 = static_cast<uint64_t>(k);
-  const uint64_t fp = OptionsFingerprint(query_options);
-  key.append(reinterpret_cast<const char*>(&k64), sizeof(k64));
-  key.append(reinterpret_cast<const char*>(&fp), sizeof(fp));
-  key.append(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
-  return key;
+  // Topic-count guard: without it, [a, b] and [a, b, 0-cells...] could
+  // collide once the zero cells mix to identity-like values.
+  h.Mix64(static_cast<uint64_t>(item.num_topics()));
+  h.Mix64(static_cast<uint64_t>(k));
+  h.Mix64(OptionsFingerprint(query_options));
+  h.Mix64(epoch);
+  return CacheKey{h.lo, h.hi};
 }
 
-QueryCache::Shard& QueryCache::ShardFor(const std::string& key) {
-  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+size_t QueryCache::ShardIndexForTesting(const simplex::TopicDistribution& item,
+                                        size_t k,
+                                        const QueryOptions& query_options,
+                                        uint64_t epoch) const {
+  const CacheKey key = MakeKey(item, k, query_options, epoch);
+  return (key.lo >> 48) % shards_.size();
+}
+
+void QueryCache::BumpStripe(std::vector<CounterStripe>& stripes) {
+  stripes[ThreadStripe(stripes.size())].value.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+uint64_t QueryCache::SumStripes(const std::vector<CounterStripe>& stripes) {
+  uint64_t total = 0;
+  for (const auto& s : stripes) {
+    total += s.value.load(std::memory_order_acquire);
+  }
+  return total;
 }
 
 Result<QueryResult> QueryCache::Query(const InflexIndex& index,
@@ -110,13 +160,13 @@ Result<QueryResult> QueryCache::Query(const InflexIndex& index,
                                       const QueryOptions& query_options,
                                       uint64_t epoch) {
   Timer timer;
-  const std::string key = MakeKey(item, k, query_options, epoch);
+  const CacheKey key = MakeKey(item, k, query_options, epoch);
   Shard& shard = ShardFor(key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      BumpStripe(hit_stripes_);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       QueryResult result = it->second->result;
       // This answer skipped the search/aggregation stages entirely: report
@@ -133,7 +183,7 @@ Result<QueryResult> QueryCache::Query(const InflexIndex& index,
   // Miss: run the index outside the shard lock so a slow query does not
   // serialize the shard. Concurrent misses on one key may duplicate work;
   // the answers are identical, so whichever insert lands last wins.
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  BumpStripe(miss_stripes_);
   INFLEX_ASSIGN_OR_RETURN(QueryResult result,
                           index.Query(item, k, query_options));
   {
@@ -173,15 +223,15 @@ size_t QueryCache::size() const {
 }
 
 QueryCache::CounterSnapshot QueryCache::counters() const {
-  uint64_t h = hits_.load(std::memory_order_acquire);
+  uint64_t h = hits();
   for (int attempt = 0; attempt < 4; ++attempt) {
-    const uint64_t m = misses_.load(std::memory_order_acquire);
-    const uint64_t h2 = hits_.load(std::memory_order_acquire);
+    const uint64_t m = misses();
+    const uint64_t h2 = hits();
     if (h2 == h) return {h, m};
     h = h2;
   }
   // Counters moving too fast to bracket — return the freshest pair.
-  return {h, misses_.load(std::memory_order_acquire)};
+  return {h, misses()};
 }
 
 }  // namespace core

@@ -6,7 +6,6 @@
 #include <list>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -34,10 +33,20 @@ namespace core {
 /// entries age out through per-shard LRU eviction). Callers that mutate an
 /// index in place without an epoch scheme should still Clear().
 ///
+/// Key representation: one streaming pass over the quantized mixture + the
+/// options fingerprint produces a 128-bit hash (two independently mixed
+/// 64-bit lanes). That hash IS the key — no per-query std::string is
+/// allocated, the shard index comes from the high bits and the map bucket
+/// from the low bits, so each lookup hashes the query exactly once. A
+/// 128-bit accidental collision (~2^-64 per pair) is far below the rate of
+/// any other failure mode; inputs are not adversarial here.
+///
 /// Concurrency: safe for concurrent Query/Clear/size from any number of
 /// threads. Entries are striped across `num_shards` independent LRU shards
 /// (shard = key hash), each behind its own mutex, so concurrent queries only
-/// contend when they land on the same shard; hit/miss counters are atomic.
+/// contend when they land on the same shard; hit/miss counters are striped
+/// relaxed atomics (one stripe per cache line) summed at read, so the
+/// counters themselves never bounce one cache line between serving threads.
 /// On a miss the index query runs outside any lock — two threads missing on
 /// the same key may both compute the answer (last writer wins), which is
 /// benign because answers are deterministic functions of the key.
@@ -80,8 +89,8 @@ class QueryCache {
 
   /// Total entries across shards (a point-in-time sum under concurrency).
   size_t size() const;
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return SumStripes(hit_stripes_); }
+  uint64_t misses() const { return SumStripes(miss_stripes_); }
 
   /// One hit/miss pair sampled together.
   struct CounterSnapshot {
@@ -92,7 +101,7 @@ class QueryCache {
   /// Samples both counters as a pair: the hit count is re-read until it is
   /// stable across the miss read (bounded retries), so under a quiescent or
   /// slowly-moving cache the pair corresponds to one instant. The counters
-  /// are independent relaxed atomics on the serving hot path, so under heavy
+  /// are striped relaxed atomics on the serving hot path, so under heavy
   /// concurrent traffic the pair can still straddle a handful of in-flight
   /// requests — callers must treat derived epoch-scoped readouts as
   /// estimates and clamp subtractions (see QueryEngine::cumulative_stats).
@@ -100,9 +109,32 @@ class QueryCache {
 
   size_t num_shards() const { return shards_.size(); }
 
+  /// Shard index the given query would land on. Test seam: the satellite
+  /// regression suite pins shard selection as a stable function of
+  /// (item, k, options, epoch) across the single-pass key hash.
+  size_t ShardIndexForTesting(const simplex::TopicDistribution& item, size_t k,
+                              const QueryOptions& query_options,
+                              uint64_t epoch) const;
+
  private:
+  /// 128-bit streaming key hash (see class comment). `lo` doubles as the
+  /// unordered_map hash; `hi` exists to push accidental collisions below
+  /// any practical concern.
+  struct CacheKey {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    bool operator==(const CacheKey& other) const {
+      return lo == other.lo && hi == other.hi;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      return static_cast<size_t>(k.lo);
+    }
+  };
+
   struct Entry {
-    std::string key;
+    CacheKey key;
     QueryResult result;
   };
   /// One mutex-striped LRU segment; keys are assigned by hash.
@@ -110,18 +142,31 @@ class QueryCache {
     std::mutex mu;
     // LRU list, most recent at the front; map points into the list.
     std::list<Entry> lru;
-    std::unordered_map<std::string, std::list<Entry>::iterator> entries;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        entries;
   };
 
-  std::string MakeKey(const simplex::TopicDistribution& item, size_t k,
-                      const QueryOptions& query_options, uint64_t epoch) const;
-  Shard& ShardFor(const std::string& key);
+  /// One relaxed counter per cache line (see class comment).
+  struct alignas(64) CounterStripe {
+    std::atomic<uint64_t> value{0};
+  };
+  static constexpr size_t kCounterStripes = 16;
+  static void BumpStripe(std::vector<CounterStripe>& stripes);
+  static uint64_t SumStripes(const std::vector<CounterStripe>& stripes);
+
+  CacheKey MakeKey(const simplex::TopicDistribution& item, size_t k,
+                   const QueryOptions& query_options, uint64_t epoch) const;
+  Shard& ShardFor(const CacheKey& key) {
+    // High bits pick the shard; the map consumes the low bits, so shard and
+    // bucket selection stay decorrelated.
+    return *shards_[(key.lo >> 48) % shards_.size()];
+  }
 
   Options options_;
   size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
+  mutable std::vector<CounterStripe> hit_stripes_;
+  mutable std::vector<CounterStripe> miss_stripes_;
 };
 
 }  // namespace core

@@ -56,7 +56,13 @@ QueryEngine::QueryEngine(std::shared_ptr<const InflexIndex> index,
   generation_.store(
       std::make_shared<const Generation>(Generation{std::move(index), 0}),
       std::memory_order_release);
-  latency_reservoir_.reserve(kLatencyReservoirCapacity);
+  stats_stripes_.reserve(kStatsStripes);
+  for (size_t i = 0; i < kStatsStripes; ++i) {
+    auto stripe = std::make_unique<StatsStripe>();
+    stripe->reservoir.reserve(kStripeReservoirCapacity);
+    stripe->rng.Seed(0x1a7e9c5u + i);
+    stats_stripes_.push_back(std::move(stripe));
+  }
 }
 
 QueryEngine::QueryEngine(const InflexIndex* index,
@@ -94,6 +100,7 @@ std::vector<Result<QueryResult>> QueryEngine::QueryBatch(
   const uint64_t hits_before = cache_.hits();
   const uint64_t misses_before = cache_.misses();
 
+  BeginBatchSpan();
   Timer wall;
   ParallelFor(
       0, n,
@@ -103,6 +110,8 @@ std::vector<Result<QueryResult>> QueryEngine::QueryBatch(
         latencies_ms[i] = t.ElapsedMillis();
       },
       options_.pool);
+  const double batch_wall_ms = wall.ElapsedMillis();
+  EndBatchSpan();
 
   ServingStats batch;
   batch.num_requests = n;
@@ -115,10 +124,11 @@ std::vector<Result<QueryResult>> QueryEngine::QueryBatch(
   }
   batch.cache_hits = cache_.hits() - hits_before;
   batch.cache_misses = cache_.misses() - misses_before;
-  batch.wall_ms = wall.ElapsedMillis();
+  batch.wall_ms = batch_wall_ms;
   batch.qps = batch.wall_ms > 0.0
                   ? static_cast<double>(n) / (batch.wall_ms / 1e3)
                   : 0.0;
+  double latency_sum_ms = 0.0;
   if (n > 0) {
     batch.mean_ms = stats::Mean(latencies_ms);
     batch.p50_ms = stats::Percentile(latencies_ms, 0.50);
@@ -126,47 +136,66 @@ std::vector<Result<QueryResult>> QueryEngine::QueryBatch(
     batch.p99_ms = stats::Percentile(latencies_ms, 0.99);
     batch.max_ms = *std::max_element(latencies_ms.begin(), latencies_ms.end());
     batch.latency_samples = n;
+    latency_sum_ms = batch.mean_ms * static_cast<double>(n);
   }
   if (stats != nullptr) *stats = batch;
 
+  // Fold the whole batch into ONE stripe (dealt round-robin): concurrent
+  // batchers hit distinct stripe mutexes almost always, so the fold never
+  // serializes the serving plane the way a single engine-wide stats lock
+  // did. The merged view is recomputed at read (cumulative_stats).
+  StatsStripe& stripe = *stats_stripes_[stripe_rr_.fetch_add(
+                                            1, std::memory_order_relaxed) %
+                                        kStatsStripes];
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    // Exact running aggregates first.
-    const double prev_total =
-        cumulative_.mean_ms * static_cast<double>(cumulative_.num_requests);
-    cumulative_.num_requests += batch.num_requests;
-    cumulative_.num_ok += batch.num_ok;
-    cumulative_.num_failed += batch.num_failed;
-    cumulative_.cache_hits += batch.cache_hits;
-    cumulative_.cache_misses += batch.cache_misses;
-    cumulative_.wall_ms += batch.wall_ms;
-    cumulative_.qps = cumulative_.wall_ms > 0.0
-                          ? static_cast<double>(cumulative_.num_requests) /
-                                (cumulative_.wall_ms / 1e3)
-                          : 0.0;
-    if (cumulative_.num_requests > 0) {
-      cumulative_.mean_ms =
-          (prev_total + batch.mean_ms * static_cast<double>(n)) /
-          static_cast<double>(cumulative_.num_requests);
-    }
-    cumulative_.max_ms = std::max(cumulative_.max_ms, batch.max_ms);
-    // Fold every latency into the bounded reservoir (Algorithm R): each of
-    // the `latency_seen_` observations ends up in the reservoir with equal
-    // probability, so cumulative percentiles estimate the distribution over
-    // ALL requests served so far, not just the last batch.
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.num_requests += batch.num_requests;
+    stripe.num_ok += batch.num_ok;
+    stripe.num_failed += batch.num_failed;
+    stripe.cache_hits += batch.cache_hits;
+    stripe.cache_misses += batch.cache_misses;
+    stripe.latency_total_ms += latency_sum_ms;
+    stripe.latency_max_ms = std::max(stripe.latency_max_ms, batch.max_ms);
+    // Algorithm R over this stripe's share of the stream: each of the
+    // `seen` observations routed here ends up in the stripe reservoir with
+    // equal probability. Round-robin dealing keeps the shares near-equal,
+    // so concatenating the stripes at read approximates one uniform
+    // reservoir over all requests.
     for (double v : latencies_ms) {
-      ++latency_seen_;
-      if (latency_reservoir_.size() < kLatencyReservoirCapacity) {
-        latency_reservoir_.push_back(v);
+      ++stripe.seen;
+      if (stripe.reservoir.size() < kStripeReservoirCapacity) {
+        stripe.reservoir.push_back(v);
       } else {
-        const uint64_t j = reservoir_rng_.UniformInt(latency_seen_);
-        if (j < kLatencyReservoirCapacity) {
-          latency_reservoir_[static_cast<size_t>(j)] = v;
+        const uint64_t j = stripe.rng.UniformInt(stripe.seen);
+        if (j < kStripeReservoirCapacity) {
+          stripe.reservoir[static_cast<size_t>(j)] = v;
         }
       }
     }
   }
   return results;
+}
+
+void QueryEngine::BeginBatchSpan() {
+  std::lock_guard<std::mutex> lock(span_mu_);
+  if (active_batches_++ == 0) span_timer_.Reset();
+}
+
+void QueryEngine::EndBatchSpan() {
+  std::lock_guard<std::mutex> lock(span_mu_);
+  INFLEX_CHECK_GT(active_batches_, 0u);
+  if (--active_batches_ == 0) {
+    accumulated_span_ms_ += span_timer_.ElapsedMillis();
+  }
+}
+
+double QueryEngine::ServingWallMs() const {
+  std::lock_guard<std::mutex> lock(span_mu_);
+  double wall = accumulated_span_ms_;
+  // A busy period is still open: count its elapsed part so qps readouts
+  // taken mid-traffic stay finite and current.
+  if (active_batches_ > 0) wall += span_timer_.ElapsedMillis();
+  return wall;
 }
 
 uint64_t QueryEngine::PublishIndex(std::shared_ptr<const InflexIndex> next,
@@ -217,15 +246,40 @@ std::vector<double> QueryEngine::HitScores() const {
 }
 
 ServingStats QueryEngine::cumulative_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ServingStats out = cumulative_;
-  if (!latency_reservoir_.empty()) {
-    out.p50_ms = stats::Percentile(latency_reservoir_, 0.50);
-    out.p95_ms = stats::Percentile(latency_reservoir_, 0.95);
-    out.p99_ms = stats::Percentile(latency_reservoir_, 0.99);
-    out.latency_samples = latency_reservoir_.size();
+  ServingStats out;
+  // Merge the stripes: counts and mean/max are exact sums; the percentile
+  // estimate concatenates the per-stripe reservoirs (each a uniform sample
+  // of a near-equal share of the stream — see QueryBatch).
+  std::vector<double> samples;
+  samples.reserve(kLatencyReservoirCapacity);
+  double latency_total_ms = 0.0;
+  for (const auto& stripe : stats_stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    out.num_requests += stripe->num_requests;
+    out.num_ok += stripe->num_ok;
+    out.num_failed += stripe->num_failed;
+    out.cache_hits += stripe->cache_hits;
+    out.cache_misses += stripe->cache_misses;
+    latency_total_ms += stripe->latency_total_ms;
+    out.max_ms = std::max(out.max_ms, stripe->latency_max_ms);
+    samples.insert(samples.end(), stripe->reservoir.begin(),
+                   stripe->reservoir.end());
   }
+  if (out.num_requests > 0) {
+    out.mean_ms = latency_total_ms / static_cast<double>(out.num_requests);
+  }
+  if (!samples.empty()) {
+    out.p50_ms = stats::Percentile(samples, 0.50);
+    out.p95_ms = stats::Percentile(samples, 0.95);
+    out.p99_ms = stats::Percentile(samples, 0.99);
+    out.latency_samples = samples.size();
+  }
+  out.wall_ms = ServingWallMs();
+  out.qps = out.wall_ms > 0.0 ? static_cast<double>(out.num_requests) /
+                                    (out.wall_ms / 1e3)
+                              : 0.0;
   out.generation_swaps = generation_swaps_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stats_mu_);
   // Epoch-scoped counters: the baseline pair is coherent (stored together
   // under stats_mu_, which we hold); the live pair is sampled together.
   // Queries racing a publish may be attributed to either epoch — the

@@ -14,6 +14,7 @@
 #include "inflex/query_cache.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace inflex {
 namespace core {
@@ -185,11 +186,19 @@ class QueryEngine {
   /// when memory pressure matters more than hit rate.
   void InvalidateCache() { cache_.Clear(); }
 
-  /// Totals over every request served so far. Latency percentiles are
-  /// estimated from a bounded uniform reservoir (Vitter's Algorithm R,
-  /// kLatencyReservoirCapacity samples) over ALL batch-served requests —
-  /// true aggregates, not the most recent batch's; `latency_samples` reports
-  /// the reservoir occupancy. mean/max are exact running aggregates.
+  /// Totals over every request served so far. Counts and mean/max are exact
+  /// (merged from the stats stripes). Latency percentiles are estimated from
+  /// bounded per-stripe reservoirs (Vitter's Algorithm R) concatenated at
+  /// read — batches are dealt round-robin across stripes, so each stripe
+  /// samples a near-equal share of the request stream and the concatenation
+  /// approximates one uniform reservoir over ALL batch-served requests;
+  /// `latency_samples` reports the merged occupancy (≤
+  /// kLatencyReservoirCapacity). `wall_ms` is the engine-level serving span:
+  /// total wall time during which ≥1 batch was in flight (first-batch-start
+  /// to last-batch-end per busy period, summed over busy periods), so
+  /// `qps` = requests / busy-time stays honest when N server workers batch
+  /// concurrently — summing per-caller walls would count overlap N times and
+  /// understate throughput by ~N.
   ServingStats cumulative_stats() const;
 
   /// Per-index-point hit scores of the current generation (decayed history +
@@ -241,6 +250,43 @@ class QueryEngine {
   /// nullptr unless options_.enable_hit_accounting.
   std::unique_ptr<PointHitAccounting> hit_accounting_;
 
+  /// One stats stripe: each QueryBatch folds its whole batch into exactly
+  /// one stripe (dealt round-robin), so N concurrent batchers contend on a
+  /// stripe mutex only 1/kStatsStripes of the time instead of serializing on
+  /// one engine-wide lock per batch. Cache-line separated; the reservoir is
+  /// a per-stripe Algorithm-R sample of the stripe's share of the stream.
+  struct alignas(64) StatsStripe {
+    mutable std::mutex mu;
+    uint64_t num_requests = 0;
+    uint64_t num_ok = 0;
+    uint64_t num_failed = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    double latency_total_ms = 0.0;
+    double latency_max_ms = 0.0;
+    std::vector<double> reservoir;
+    uint64_t seen = 0;
+    Rng rng;
+  };
+  static constexpr size_t kStatsStripes = 16;
+  static constexpr size_t kStripeReservoirCapacity =
+      kLatencyReservoirCapacity / kStatsStripes;
+
+  /// Engine-level serving span bookkeeping (see cumulative_stats): a batch
+  /// entering when none was active starts the span clock; the last one out
+  /// banks the busy period.
+  void BeginBatchSpan();
+  void EndBatchSpan();
+  double ServingWallMs() const;
+
+  std::vector<std::unique_ptr<StatsStripe>> stats_stripes_;
+  std::atomic<uint64_t> stripe_rr_{0};
+
+  mutable std::mutex span_mu_;
+  size_t active_batches_ = 0;        // guarded by span_mu_
+  Timer span_timer_;                 // guarded by span_mu_
+  double accumulated_span_ms_ = 0.0;  // guarded by span_mu_
+
   mutable std::mutex stats_mu_;
   // Cache-counter baselines captured at the last publish: epoch-scoped hit
   // rate is (cache totals − baseline). Guarded as a PAIR by stats_mu_ so a
@@ -248,10 +294,6 @@ class QueryEngine {
   // baseline from another (lock order: publish_mu_ → stats_mu_).
   uint64_t epoch_hits_base_ = 0;    // guarded by stats_mu_
   uint64_t epoch_misses_base_ = 0;  // guarded by stats_mu_
-  ServingStats cumulative_;            // guarded by stats_mu_
-  std::vector<double> latency_reservoir_;  // guarded by stats_mu_
-  size_t latency_seen_ = 0;            // guarded by stats_mu_
-  Rng reservoir_rng_{0x1a7e9c5u};      // guarded by stats_mu_
   // Admission→publish latency aggregates (guarded by stats_mu_).
   uint64_t publishes_timed_ = 0;
   double publish_latency_total_ms_ = 0.0;

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -59,6 +60,8 @@ InflexServer::InflexServer(core::QueryEngine* engine,
                            const InflexServerOptions& options)
     : engine_(engine), options_(options) {
   INFLEX_CHECK(engine_ != nullptr);
+  if (options_.io_threads == 0) options_.io_threads = 1;
+  options_.io_threads = std::min(options_.io_threads, kMaxIoThreads);
   if (options_.num_workers == 0) options_.num_workers = 1;
   if (options_.max_worker_batch == 0) options_.max_worker_batch = 1;
   if (options_.queue_high_watermark == 0) options_.queue_high_watermark = 1;
@@ -72,59 +75,113 @@ InflexServer::InflexServer(core::QueryEngine* engine,
 
 InflexServer::~InflexServer() { Stop(); }
 
+Status InflexServer::OpenListenSocket(uint16_t port, bool reuse_port,
+                                      int* out_fd, uint16_t* out_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+    // Must be set before bind on EVERY socket sharing the port, including
+    // the first: the kernel only admits a second binder when the first also
+    // opted in.
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) < 0) {
+      Status s = Status::IOError(std::string("setsockopt(SO_REUSEPORT): ") +
+                                 std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string host = options_.bind_address;
+  if (host == "localhost" || host.empty()) host = "127.0.0.1";
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IOError(std::string("bind ") + host + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 128) < 0) {
+    Status s = Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0) {
+    *out_port = ntohs(addr.sin_port);
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  *out_fd = fd;
+  return Status::OK();
+}
+
 Status InflexServer::Start() {
   if (started_.exchange(true)) {
     return Status::FailedPrecondition("InflexServer::Start called twice");
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  const size_t num_loops = options_.io_threads;
+  const bool reuse_port = num_loops > 1;
+  io_loops_.reserve(num_loops);
+  auto cleanup = [this] {
+    for (auto& loop : io_loops_) {
+      if (loop->listen_fd >= 0) ::close(loop->listen_fd);
+      if (loop->wake_pipe[0] >= 0) ::close(loop->wake_pipe[0]);
+      if (loop->wake_pipe[1] >= 0) ::close(loop->wake_pipe[1]);
+    }
+    io_loops_.clear();
+  };
+  for (size_t i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<IoLoopState>();
+    loop->index = i;
+    // Loop 0 resolves the port (possibly ephemeral); the rest bind the same
+    // resolved port and the kernel shards accepts across the group.
+    const uint16_t bind_port = i == 0 ? options_.port : bound_port_;
+    uint16_t resolved_port = 0;
+    Status s = OpenListenSocket(bind_port, reuse_port, &loop->listen_fd,
+                                &resolved_port);
+    if (s.ok() && i == 0) bound_port_ = resolved_port;
+    if (!s.ok()) {
+      cleanup();
+      return s;
+    }
+    if (::pipe(loop->wake_pipe) != 0) {
+      Status ps = Status::IOError(std::string("pipe: ") + std::strerror(errno));
+      ::close(loop->listen_fd);
+      loop->listen_fd = -1;
+      io_loops_.push_back(std::move(loop));
+      cleanup();
+      return ps;
+    }
+    for (int end : {0, 1}) {
+      Status nb = SetNonBlocking(loop->wake_pipe[end]);
+      if (!nb.ok()) {
+        io_loops_.push_back(std::move(loop));
+        cleanup();
+        return nb;
+      }
+    }
+    io_loops_.push_back(std::move(loop));
   }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  std::string host = options_.bind_address;
-  if (host == "localhost" || host.empty()) host = "127.0.0.1";
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad bind address: " + host);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    Status s = Status::IOError(std::string("bind ") + host + ": " +
-                               std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return s;
-  }
-  if (::listen(listen_fd_, 128) < 0) {
-    Status s = Status::IOError(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return s;
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) == 0) {
-    bound_port_ = ntohs(addr.sin_port);
-  }
-  INFLEX_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
-
-  if (::pipe(wake_pipe_) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
-  }
-  INFLEX_RETURN_NOT_OK(SetNonBlocking(wake_pipe_[0]));
-  INFLEX_RETURN_NOT_OK(SetNonBlocking(wake_pipe_[1]));
 
   running_.store(true, std::memory_order_release);
-  io_thread_ = std::thread([this] { IoLoop(); });
+  for (auto& loop : io_loops_) {
+    IoLoopState* raw = loop.get();
+    raw->thread = std::thread([this, raw] { IoLoop(raw); });
+  }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -138,7 +195,7 @@ void InflexServer::Stop() {
 
   // 1. Stop accepting; new query/delta requests get kShuttingDown.
   draining_.store(true, std::memory_order_release);
-  WakeIo();
+  WakeAllLoops();
 
   // 2. Wait for the admission queue to drain and every worker to go idle —
   // in-flight requests complete with real answers.
@@ -152,24 +209,25 @@ void InflexServer::Stop() {
   for (auto& w : workers_) w.join();
   workers_.clear();
 
-  // 3. Bounded flush: wait for the IO thread to route every completion and
+  // 3. Bounded flush: wait for the IO loops to route every completion and
   // push the bytes out to (possibly slow) clients.
   Timer drain_timer;
   while (drain_timer.ElapsedMillis() < options_.drain_timeout_ms &&
          (responses_outstanding_.load(std::memory_order_acquire) > 0 ||
           pending_write_bytes_.load(std::memory_order_acquire) > 0)) {
-    WakeIo();
+    WakeAllLoops();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
-  // 4. Tear the IO thread down; it closes every socket on exit.
+  // 4. Tear the IO loops down; each closes its sockets on exit.
   io_stop_.store(true, std::memory_order_release);
-  WakeIo();
-  io_thread_.join();
-
-  ::close(wake_pipe_[0]);
-  ::close(wake_pipe_[1]);
-  wake_pipe_[0] = wake_pipe_[1] = -1;
+  WakeAllLoops();
+  for (auto& loop : io_loops_) {
+    loop->thread.join();
+    ::close(loop->wake_pipe[0]);
+    ::close(loop->wake_pipe[1]);
+    loop->wake_pipe[0] = loop->wake_pipe[1] = -1;
+  }
 
   // 5. Quiesce the maintenance plane last: every delta acknowledged over the
   // wire is published (or superseded) before Stop() returns.
@@ -179,17 +237,39 @@ void InflexServer::Stop() {
 }
 
 ServerStats InflexServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ServerStats out = stats_;
+  ServerStats out;
+  out.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  out.connections_closed =
+      counters_.connections_closed.load(std::memory_order_relaxed);
+  out.requests_received =
+      counters_.requests_received.load(std::memory_order_relaxed);
+  out.responses_sent = counters_.responses_sent.load(std::memory_order_relaxed);
+  out.queries_ok = counters_.queries_ok.load(std::memory_order_relaxed);
+  out.queries_failed = counters_.queries_failed.load(std::memory_order_relaxed);
+  out.deltas_submitted =
+      counters_.deltas_submitted.load(std::memory_order_relaxed);
+  out.shed = counters_.shed.load(std::memory_order_relaxed);
+  out.deltas_deferred =
+      counters_.deltas_deferred.load(std::memory_order_relaxed);
+  out.deadline_expired =
+      counters_.deadline_expired.load(std::memory_order_relaxed);
+  out.malformed = counters_.malformed.load(std::memory_order_relaxed);
+  out.rejected_draining =
+      counters_.rejected_draining.load(std::memory_order_relaxed);
   out.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   out.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
   return out;
 }
 
-void InflexServer::WakeIo() {
+void InflexServer::WakeLoop(IoLoopState* loop) {
   char b = 1;
   // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
-  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  [[maybe_unused]] ssize_t n = ::write(loop->wake_pipe[1], &b, 1);
+}
+
+void InflexServer::WakeAllLoops() {
+  for (auto& loop : io_loops_) WakeLoop(loop.get());
 }
 
 void InflexServer::PublishQueueDepth(size_t depth) {
@@ -202,31 +282,31 @@ void InflexServer::PublishQueueDepth(size_t depth) {
 }
 
 // ---------------------------------------------------------------------------
-// IO thread
+// IO loops
 // ---------------------------------------------------------------------------
 
-void InflexServer::IoLoop() {
+void InflexServer::IoLoop(IoLoopState* loop) {
   std::vector<pollfd> pfds;
   std::vector<uint64_t> pfd_conn;  // conn id per pollfd (0 = not a conn)
 
   while (!io_stop_.load(std::memory_order_acquire)) {
     pfds.clear();
     pfd_conn.clear();
-    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    pfds.push_back({loop->wake_pipe[0], POLLIN, 0});
     pfd_conn.push_back(0);
     const bool accepting = !draining_.load(std::memory_order_acquire);
-    if (!accepting && listen_fd_ >= 0) {
+    if (!accepting && loop->listen_fd >= 0) {
       // Close the listen socket the moment draining starts: connects must
       // fail fast instead of completing into the kernel backlog where no
       // one will ever read them.
-      ::close(listen_fd_);
-      listen_fd_ = -1;
+      ::close(loop->listen_fd);
+      loop->listen_fd = -1;
     }
     if (accepting) {
-      pfds.push_back({listen_fd_, POLLIN, 0});
+      pfds.push_back({loop->listen_fd, POLLIN, 0});
       pfd_conn.push_back(0);
     }
-    for (auto& [id, conn] : connections_) {
+    for (auto& [id, conn] : loop->connections) {
       short events = conn->saw_eof ? 0 : POLLIN;
       if (conn->woff < conn->wbuf.size()) events |= POLLOUT;
       pfds.push_back({conn->fd, events, 0});
@@ -237,21 +317,21 @@ void InflexServer::IoLoop() {
 
     if (pfds[0].revents & POLLIN) {
       char drain[256];
-      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      while (::read(loop->wake_pipe[0], drain, sizeof(drain)) > 0) {
       }
     }
 
-    DrainCompletions();
+    DrainCompletions(loop);
 
     size_t idx = 1;
     if (accepting) {
-      if (pfds[idx].revents & POLLIN) AcceptNew();
+      if (pfds[idx].revents & POLLIN) AcceptNew(loop);
       ++idx;
     }
     for (; idx < pfds.size(); ++idx) {
       uint64_t id = pfd_conn[idx];
-      auto it = connections_.find(id);
-      if (it == connections_.end()) continue;
+      auto it = loop->connections.find(id);
+      if (it == loop->connections.end()) continue;
       Connection* conn = it->second.get();
       if (pfds[idx].revents & (POLLERR | POLLNVAL)) conn->broken = true;
       if (!conn->broken && (pfds[idx].revents & (POLLIN | POLLHUP))) {
@@ -263,34 +343,34 @@ void InflexServer::IoLoop() {
     }
     // Sweep closures last so no helper above ever holds a dangling pointer.
     std::vector<uint64_t> to_close;
-    for (auto& [id, conn] : connections_) {
+    for (auto& [id, conn] : loop->connections) {
       if (conn->broken ||
           (conn->close_after_flush && conn->woff >= conn->wbuf.size() &&
            conn->parked.empty() && conn->next_seq_out == conn->next_seq_in)) {
         to_close.push_back(id);
       }
     }
-    for (uint64_t id : to_close) CloseConnection(id);
+    for (uint64_t id : to_close) CloseConnection(loop, id);
   }
 
   // Shutdown: route any last completions, attempt one final flush, close.
-  DrainCompletions();
+  DrainCompletions(loop);
   std::vector<uint64_t> ids;
-  ids.reserve(connections_.size());
-  for (auto& [id, conn] : connections_) {
+  ids.reserve(loop->connections.size());
+  for (auto& [id, conn] : loop->connections) {
     FlushConnection(conn.get());
     ids.push_back(id);
   }
-  for (uint64_t id : ids) CloseConnection(id);
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  for (uint64_t id : ids) CloseConnection(loop, id);
+  if (loop->listen_fd >= 0) {
+    ::close(loop->listen_fd);
+    loop->listen_fd = -1;
   }
 }
 
-void InflexServer::AcceptNew() {
+void InflexServer::AcceptNew(IoLoopState* loop) {
   while (true) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(loop->listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
       INFLEX_LOG(Warning) << "accept failed: " << std::strerror(errno);
@@ -304,17 +384,17 @@ void InflexServer::AcceptNew() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
-    conn->id = next_conn_id_++;
+    conn->id = (static_cast<uint64_t>(loop->index) << kConnIdLoopShift) |
+               loop->next_conn_id++;
     uint64_t id = conn->id;
-    connections_.emplace(id, std::move(conn));
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.connections_accepted;
+    loop->connections.emplace(id, std::move(conn));
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void InflexServer::CloseConnection(uint64_t conn_id) {
-  auto it = connections_.find(conn_id);
-  if (it == connections_.end()) return;
+void InflexServer::CloseConnection(IoLoopState* loop, uint64_t conn_id) {
+  auto it = loop->connections.find(conn_id);
+  if (it == loop->connections.end()) return;
   Connection* conn = it->second.get();
   // Whatever never made it to the socket is abandoned with the peer.
   size_t unsent = conn->wbuf.size() - conn->woff;
@@ -322,9 +402,8 @@ void InflexServer::CloseConnection(uint64_t conn_id) {
     pending_write_bytes_.fetch_sub(unsent, std::memory_order_acq_rel);
   }
   ::close(conn->fd);
-  connections_.erase(it);
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++stats_.connections_closed;
+  loop->connections.erase(it);
+  counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void InflexServer::ReadFrom(Connection* conn) {
@@ -354,10 +433,7 @@ void InflexServer::ReadFrom(Connection* conn) {
     Status peek = PeekFrame(rest, &frame_bytes);
     if (!peek.ok()) {
       // Length prefix itself is garbage: the stream cannot be resynced.
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.malformed;
-      }
+      counters_.malformed.fetch_add(1, std::memory_order_relaxed);
       WireResponse resp;
       resp.status = WireStatus::kMalformed;
       resp.message = peek.message();
@@ -378,17 +454,11 @@ void InflexServer::ReadFrom(Connection* conn) {
 void InflexServer::HandleFrame(Connection* conn,
                                std::span<const uint8_t> payload) {
   const uint64_t seq = conn->next_seq_in++;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.requests_received;
-  }
+  counters_.requests_received.fetch_add(1, std::memory_order_relaxed);
 
   Result<WireRequest> decoded = DecodeRequestPayload(payload);
   if (!decoded.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.malformed;
-    }
+    counters_.malformed.fetch_add(1, std::memory_order_relaxed);
     WireResponse resp;
     resp.status = WireStatus::kMalformed;
     resp.message = decoded.status().message();
@@ -406,10 +476,7 @@ void InflexServer::HandleFrame(Connection* conn,
   }
 
   if (draining_.load(std::memory_order_acquire)) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.rejected_draining;
-    }
+    counters_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
     WireResponse resp;
     resp.status = WireStatus::kShuttingDown;
     resp.message = "server is draining";
@@ -451,14 +518,9 @@ void InflexServer::HandleFrame(Connection* conn,
   const bool admitted = TryAdmit(std::move(pending), &expired);
 
   // Expired entries drained from the queue front may belong to any
-  // connection; route them like worker completions.
-  for (Completion& c : expired) {
-    auto it = connections_.find(c.conn_id);
-    if (it == connections_.end()) continue;
-    Connection* victim = it->second.get();
-    victim->parked.emplace(c.seq, std::move(c.frame));
-    FlushConnection(victim);
-  }
+  // connection on ANY loop; route them like worker completions (the owning
+  // loop drains them on its next wakeup — including this loop itself).
+  if (!expired.empty()) RouteCompletions(std::move(expired));
 
   if (!admitted) {
     WireResponse resp;
@@ -500,11 +562,9 @@ WireResponse InflexServer::HandleDelta(const WireRequest& request) {
     resp.status = WireStatus::kOverloaded;
     resp.retry_after_ms = options_.retry_after_ms;
     resp.message = "maintenance plane over high-water mark";
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.deltas_deferred;
+    counters_.deltas_deferred.fetch_add(1, std::memory_order_relaxed);
   } else {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.deltas_submitted;
+    counters_.deltas_submitted.fetch_add(1, std::memory_order_relaxed);
   }
   return resp;
 }
@@ -525,8 +585,7 @@ void InflexServer::FlushConnection(Connection* conn) {
                                    std::memory_order_acq_rel);
     conn->parked.erase(it);
     ++conn->next_seq_out;
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.responses_sent;
+    counters_.responses_sent.fetch_add(1, std::memory_order_relaxed);
   }
   // Push what the socket will take.
   while (conn->woff < conn->wbuf.size()) {
@@ -550,20 +609,53 @@ void InflexServer::FlushConnection(Connection* conn) {
   }
 }
 
-void InflexServer::DrainCompletions() {
+void InflexServer::DrainCompletions(IoLoopState* loop) {
   std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
-    batch.swap(completions_);
+    std::lock_guard<std::mutex> lock(loop->completions_mu);
+    batch.swap(loop->completions);
   }
   for (Completion& c : batch) {
-    auto it = connections_.find(c.conn_id);
-    if (it != connections_.end()) {
+    auto it = loop->connections.find(c.conn_id);
+    if (it != loop->connections.end()) {
       Connection* conn = it->second.get();
       conn->parked.emplace(c.seq, std::move(c.frame));
       FlushConnection(conn);
     }
     responses_outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void InflexServer::RouteCompletions(std::vector<Completion> completions) {
+  if (completions.empty()) return;
+  responses_outstanding_.fetch_add(completions.size(),
+                                   std::memory_order_acq_rel);
+  // One pass per loop that actually has traffic: the common case (a worker
+  // batch from a handful of connections) touches one or two loop queues.
+  const size_t num_loops = io_loops_.size();
+  for (size_t l = 0; l < num_loops; ++l) {
+    bool any = false;
+    {
+      std::lock_guard<std::mutex> lock(io_loops_[l]->completions_mu);
+      for (Completion& c : completions) {
+        if (!c.frame.empty() && LoopOf(c.conn_id) == l) {
+          io_loops_[l]->completions.push_back(std::move(c));
+          c.frame.clear();  // claimed marker
+          any = true;
+        }
+      }
+    }
+    if (any) WakeLoop(io_loops_[l].get());
+  }
+  // Completions addressed to an out-of-range loop cannot happen (conn ids
+  // are minted from loop indices), but keep the invariant airtight: drop
+  // any unclaimed entry and give its outstanding-count back.
+  size_t unclaimed = 0;
+  for (const Completion& c : completions) {
+    if (!c.frame.empty()) ++unclaimed;
+  }
+  if (unclaimed > 0) {
+    responses_outstanding_.fetch_sub(unclaimed, std::memory_order_acq_rel);
   }
 }
 
@@ -609,13 +701,12 @@ bool InflexServer::TryAdmit(PendingRequest pending,
   PublishQueueDepth(depth);
   if (expired_count > 0) {
     engine_->RecordDeadlineExpired(expired_count);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.deadline_expired += expired_count;
+    counters_.deadline_expired.fetch_add(expired_count,
+                                         std::memory_order_relaxed);
   }
   if (shed_this) {
     engine_->RecordLoadShed(1);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.shed;
+    counters_.shed.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   queue_cv_.notify_one();
@@ -686,8 +777,8 @@ void InflexServer::ServeBatch(std::vector<PendingRequest> batch) {
   }
   if (expired_count > 0) {
     engine_->RecordDeadlineExpired(expired_count);
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.deadline_expired += expired_count;
+    counters_.deadline_expired.fetch_add(expired_count,
+                                         std::memory_order_relaxed);
   }
 
   uint64_t ok = 0;
@@ -719,20 +810,12 @@ void InflexServer::ServeBatch(std::vector<PendingRequest> batch) {
                      EncodeResponseFrame(resp)});
     }
   }
-  if (ok + failed > 0) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.queries_ok += ok;
-    stats_.queries_failed += failed;
+  if (ok > 0) counters_.queries_ok.fetch_add(ok, std::memory_order_relaxed);
+  if (failed > 0) {
+    counters_.queries_failed.fetch_add(failed, std::memory_order_relaxed);
   }
 
-  if (!out.empty()) {
-    responses_outstanding_.fetch_add(out.size(), std::memory_order_acq_rel);
-    {
-      std::lock_guard<std::mutex> lock(completions_mu_);
-      for (Completion& c : out) completions_.push_back(std::move(c));
-    }
-    WakeIo();
-  }
+  RouteCompletions(std::move(out));
 }
 
 }  // namespace net

@@ -28,6 +28,12 @@ struct InflexServerOptions {
   std::string bind_address = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   uint16_t port = 0;
+  /// IO (poll) loops. 1 keeps the classic single-loop plane; N > 1 opens N
+  /// listen sockets on the same port with SO_REUSEPORT, so the kernel shards
+  /// incoming connections across loops and each loop owns its connections
+  /// exclusively — reads, decodes, and ordered flushes never cross loops.
+  /// Clamped to [1, 64].
+  size_t io_threads = 1;
   /// Worker threads draining the admission queue into QueryEngine::QueryBatch.
   size_t num_workers = 4;
   /// Upper bound on requests one worker drains into a single QueryBatch call
@@ -92,23 +98,31 @@ struct ServerStats {
 /// admission and load shedding.
 ///
 /// Architecture (three planes, no lock shared with the query hot path):
-///  - **IO thread**: one poll() loop owning every socket. Accepts
-///    connections, reassembles length-prefixed frames, decodes requests, and
-///    writes responses back. Responses to one connection always flush in
-///    request order (per-connection sequence numbers reorder worker
-///    completions), so pipelined clients stay coherent.
-///  - **Admission queue**: a bounded FIFO between the IO thread and the
+///  - **IO loops**: `io_threads` poll() loops, each owning a disjoint set of
+///    connections. With N > 1 loops every loop has its own listen socket on
+///    the shared port (SO_REUSEPORT) and the kernel shards accepts across
+///    them, so connection IO never takes a cross-loop lock. A connection's
+///    id encodes its owning loop; worker completions are routed back to that
+///    loop, so the seq-ordered flush logic stays single-threaded per
+///    connection exactly as in the one-loop design. Responses to one
+///    connection always flush in request order (per-connection sequence
+///    numbers reorder worker completions), so pipelined clients stay
+///    coherent.
+///  - **Admission queue**: a bounded FIFO between the IO loops and the
 ///    workers. Two watermarks with hysteresis: depth >= high starts
-///    shedding (kOverloaded + retry_after_ms, produced by the IO thread
+///    shedding (kOverloaded + retry_after_ms, produced by the IO loop
 ///    without touching a worker), and shedding stops once depth <= low.
 ///    Before shedding, expired-deadline entries are drained from the front
 ///    (kDeadlineExceeded) — the oldest waiting request is the one least
 ///    likely to still have a caller. Workers re-check deadlines at pop.
 ///  - **Workers**: drain up to max_worker_batch requests per iteration into
 ///    one QueryEngine::QueryBatch call (reusing the engine's pool fan-out,
-///    cache, and ServingStats), then hand encoded responses back to the IO
-///    thread. Queue depth / shed / expiry counters are mirrored into the
-///    engine's ServingStats so the serving dashboard sees overload.
+///    cache, and ServingStats), then hand encoded responses back to the
+///    owning IO loops. Queue depth / shed / expiry counters are mirrored
+///    into the engine's ServingStats so the serving dashboard sees overload.
+///
+/// Server counters are relaxed atomics (assembled into ServerStats at
+/// read), so the request path never touches a stats mutex.
 ///
 /// Graceful shutdown (Stop(), also run by the destructor): stop accepting
 /// connections, answer new requests kShuttingDown, wait until the admission
@@ -143,7 +157,7 @@ class InflexServer {
 
  private:
   /// A request admitted to the queue, waiting for a worker. The wire request
-  /// is already translated into engine terms (the IO thread validates the
+  /// is already translated into engine terms (the IO loop validates the
   /// mixture once at decode; workers never re-parse).
   struct PendingRequest {
     uint64_t conn_id = 0;
@@ -155,14 +169,14 @@ class InflexServer {
     uint32_t deadline_ms = 0;
   };
 
-  /// An encoded response traveling worker -> IO thread.
+  /// An encoded response traveling worker -> IO loop.
   struct Completion {
     uint64_t conn_id = 0;
     uint64_t seq = 0;
     std::vector<uint8_t> frame;
   };
 
-  /// Per-connection state, owned by the IO thread exclusively.
+  /// Per-connection state, owned by exactly one IO loop.
   struct Connection {
     int fd = -1;
     uint64_t id = 0;
@@ -188,33 +202,64 @@ class InflexServer {
     bool broken = false;
   };
 
-  void IoLoop();
+  /// One IO loop's world: its listen socket (same port, SO_REUSEPORT), wake
+  /// pipe, inbound completion queue, and the connections it exclusively
+  /// owns. Connection ids encode the loop index in the top 16 bits, so any
+  /// thread can route a Completion home without a registry lookup.
+  struct IoLoopState {
+    size_t index = 0;
+    int listen_fd = -1;
+    int wake_pipe[2] = {-1, -1};
+    std::thread thread;
+    /// Worker -> this loop handoff.
+    std::mutex completions_mu;
+    std::vector<Completion> completions;
+    /// Loop-thread-only state.
+    std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections;
+    uint64_t next_conn_id = 1;
+  };
+  static constexpr size_t kMaxIoThreads = 64;
+  static constexpr unsigned kConnIdLoopShift = 48;
+
+  static size_t LoopOf(uint64_t conn_id) { return conn_id >> kConnIdLoopShift; }
+
+  void IoLoop(IoLoopState* loop);
   void WorkerLoop();
 
-  /// IO-thread helpers.
-  void AcceptNew();
+  /// IO-loop helpers (each call runs on the loop's own thread).
+  void AcceptNew(IoLoopState* loop);
   void ReadFrom(Connection* conn);
   void HandleFrame(Connection* conn, std::span<const uint8_t> payload);
-  void CloseConnection(uint64_t conn_id);
-  /// Routes an IO-thread-generated response (shed, malformed, ping, delta
+  void CloseConnection(IoLoopState* loop, uint64_t conn_id);
+  /// Routes a loop-generated response (shed, malformed, ping, delta
   /// receipt, shutdown) through the ordered flush path.
   void RespondNow(Connection* conn, uint64_t seq, const WireResponse& resp);
   /// Appends every in-order parked response to wbuf and writes what the
   /// socket accepts.
   void FlushConnection(Connection* conn);
-  void DrainCompletions();
-  void WakeIo();
+  void DrainCompletions(IoLoopState* loop);
+  /// Hands completions (from any thread) to their owning loops and wakes
+  /// them. Bumps responses_outstanding_ per completion; the owning loop
+  /// decrements as it routes.
+  void RouteCompletions(std::vector<Completion> completions);
+  void WakeLoop(IoLoopState* loop);
+  void WakeAllLoops();
+
+  /// Opens one non-blocking listen socket on `port` (0 = ephemeral); with
+  /// `reuse_port`, peers sharing the port balance accepts in the kernel.
+  Status OpenListenSocket(uint16_t port, bool reuse_port, int* out_fd,
+                          uint16_t* out_port);
 
   /// Admission: true when enqueued, false when shed. Queue entries whose
   /// deadline expired while waiting are drained into `expired` (already
   /// encoded as kDeadlineExceeded completions) before the shed decision.
   bool TryAdmit(PendingRequest pending, std::vector<Completion>* expired);
-  /// Handles a kDelta request via the maintainer (IO thread; the admission
+  /// Handles a kDelta request via the maintainer (IO loop; the admission
   /// probe is a microsecond 1-NN lookup).
   WireResponse HandleDelta(const WireRequest& request);
 
   /// Worker-side: answers a popped batch through QueryEngine::QueryBatch and
-  /// hands the encoded responses to the IO thread.
+  /// hands the encoded responses back to the owning IO loops.
   void ServeBatch(std::vector<PendingRequest> batch);
 
   void PublishQueueDepth(size_t depth);
@@ -223,17 +268,16 @@ class InflexServer {
   InflexServerOptions options_;
   size_t low_watermark_ = 0;
 
-  int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
+  std::vector<std::unique_ptr<IoLoopState>> io_loops_;
   uint16_t bound_port_ = 0;
   std::atomic<bool> started_{false};
   std::atomic<bool> running_{false};
   /// Set by Stop(): no new connections, new requests get kShuttingDown.
   std::atomic<bool> draining_{false};
-  /// Set by Stop() after the queue drains: IO thread exits its loop.
+  /// Set by Stop() after the queue drains: IO loops exit.
   std::atomic<bool> io_stop_{false};
 
-  /// Admission queue (IO thread pushes, workers pop).
+  /// Admission queue (IO loops push, workers pop).
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;       // wakes workers
   std::condition_variable queue_drained_;  // wakes Stop()
@@ -242,29 +286,36 @@ class InflexServer {
   size_t busy_workers_ = 0;      // guarded by queue_mu_
   bool workers_stop_ = false;    // guarded by queue_mu_
 
-  /// Worker -> IO thread handoff.
-  std::mutex completions_mu_;
-  std::vector<Completion> completions_;
-
-  /// Worker completions pushed but not yet routed by the IO thread; Stop()
-  /// waits for this to reach zero before tearing the IO thread down.
+  /// Worker completions pushed but not yet routed by an IO loop; Stop()
+  /// waits for this to reach zero before tearing the IO loops down.
   std::atomic<uint64_t> responses_outstanding_{0};
   /// Bytes appended to connection write buffers but not yet accepted by the
-  /// sockets (IO thread updates; Stop() bounds its flush wait on it).
+  /// sockets (IO loops update; Stop() bounds its flush wait on it).
   std::atomic<size_t> pending_write_bytes_{0};
 
   std::atomic<size_t> queue_depth_{0};
   std::atomic<size_t> queue_depth_peak_{0};
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;  // guarded by stats_mu_ (except queue-depth atomics)
-
-  /// IO-thread-only state.
-  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
-  uint64_t next_conn_id_ = 1;
+  /// ServerStats counters as relaxed atomics: bumped on the request path by
+  /// IO loops and workers without any shared mutex; stats() assembles a
+  /// ServerStats from point-in-time loads.
+  struct Counters {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> requests_received{0};
+    std::atomic<uint64_t> responses_sent{0};
+    std::atomic<uint64_t> queries_ok{0};
+    std::atomic<uint64_t> queries_failed{0};
+    std::atomic<uint64_t> deltas_submitted{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> deltas_deferred{0};
+    std::atomic<uint64_t> deadline_expired{0};
+    std::atomic<uint64_t> malformed{0};
+    std::atomic<uint64_t> rejected_draining{0};
+  };
+  mutable Counters counters_;
 
   std::vector<std::thread> workers_;
-  std::thread io_thread_;
   std::mutex stop_mu_;  // serializes Stop()
 };
 

@@ -4,9 +4,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -18,6 +19,14 @@ namespace inflex {
 ///
 /// Tasks are plain std::function<void()>; Wait() blocks until every submitted
 /// task has finished.
+///
+/// Scalability: each worker owns its own task deque behind its own mutex;
+/// Submit() pushes to one worker's deque (round-robin) and idle workers steal
+/// from their siblings, so concurrent submitters and workers never serialize
+/// on a single pool-wide lock the way the original one-queue design did.
+/// Sleep/wake uses a shared condvar that is touched only when a worker has
+/// found the whole pool empty — on a busy pool, Submit() is one small
+/// uncontended lock plus an atomic increment, with no condvar signal at all.
 ///
 /// Re-entrancy contract: Submit() and ParallelFor() may be called from inside
 /// a task running on this pool. A nested submission executes inline on the
@@ -54,15 +63,42 @@ class ThreadPool {
   static ThreadPool& Global();
 
  private:
-  void WorkerLoop();
+  /// One worker's task deque. Cache-line separated so pushes to neighboring
+  /// queues never false-share; the mutex covers only push/pop of the deque.
+  struct alignas(64) WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  /// Pops from queue `q` (front). True on success.
+  bool PopFrom(size_t q, std::function<void()>* task);
+  /// Steals from any sibling of `self` (back, to stay off the owner's hot
+  /// end). True on success.
+  bool StealFrom(size_t self, std::function<void()>* task);
+  /// Wakes one sleeping worker if any worker is parked.
+  void WakeOne();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::atomic<size_t> next_queue_{0};
+
+  /// Queued-but-not-yet-popped tasks across all worker queues. Drives the
+  /// sleep predicate; each push strictly precedes its increment so a woken
+  /// worker that sees pending_ > 0 will find the task by scanning.
+  std::atomic<size_t> pending_{0};
+  /// Submitted-but-not-finished tasks; drives Wait().
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<bool> shutting_down_{false};
+
+  /// Sleep/wake plane — touched only when workers run dry.
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<size_t> num_sleepers_{0};
+
+  /// Wait() plane.
+  std::mutex wait_mu_;
   std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
 };
 
 /// Runs `fn(i)` for every i in [begin, end) across the given pool (or the
@@ -70,6 +106,14 @@ class ThreadPool {
 /// every iteration has finished. Falls back to a serial loop for tiny ranges
 /// and when invoked from a worker of the target pool (nested parallelism —
 /// the outer loop already owns the workers).
+///
+/// Dispatch is chunk-claiming: the range is cut into at most one chunk per
+/// worker (4x oversubscription only for large ranges, where per-item cost
+/// imbalance is worth extra claims), a handful of runner tasks are submitted,
+/// and the calling thread claims and executes chunks alongside them from a
+/// shared atomic cursor. A small batch therefore costs a few uncontended
+/// per-worker pushes — not one pool-wide lock round-trip per chunk — and the
+/// caller never blocks while there is work left to claim.
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& fn,
                  ThreadPool* pool = nullptr);

@@ -931,5 +931,142 @@ TEST_F(NetServingTest, LoopbackStormWithLivePublishingRepliesBitIdentical) {
   EXPECT_EQ(replayed, kClients * kPerClient);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-loop IO plane (SO_REUSEPORT sharding)
+// ---------------------------------------------------------------------------
+
+// io_threads=4: the kernel shards 8 clients across four poll loops, each
+// owning its connections exclusively. Answers must stay bit-identical to an
+// in-process reference, responses must stay request-ordered per connection
+// (pipelined bursts), and the per-loop counters must sum to the exact
+// request totals. Under TSan this is the gate on cross-loop completion
+// routing and the per-loop connection ownership model.
+TEST_F(NetServingTest, MultiLoopServerShardsConnectionsAndStaysCoherent) {
+  ThreadPool pool(4);
+  core::QueryEngineOptions eopts;
+  eopts.pool = &pool;
+  core::QueryEngine engine(index_, eopts);
+  core::QueryEngine reference(index_, eopts);
+
+  net::InflexServerOptions sopts;
+  sopts.io_threads = 4;
+  sopts.num_workers = 4;
+  net::InflexServer server(&engine, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kPerClient = 24;
+  std::atomic<size_t> transport_failures{0};
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      auto client = net::InflexClient::Connect("127.0.0.1", port, 20000);
+      if (!client.ok()) {
+        transport_failures.fetch_add(1);
+        return;
+      }
+      auto workload = MakeWorkload(kPerClient, 7000 + t);
+      for (const core::QueryRequest& request : workload) {
+        auto resp = client.ValueOrDie().Query(request);
+        if (!resp.ok()) {
+          transport_failures.fetch_add(1);
+          return;
+        }
+        const net::WireResponse& got = resp.ValueOrDie();
+        auto want = reference.Query(request);
+        if (!want.ok()) {
+          if (got.status != net::WireStatus::kQueryFailed) {
+            mismatches.fetch_add(1);
+          }
+          continue;
+        }
+        if (got.status != net::WireStatus::kOk ||
+            got.seeds != want.ValueOrDie().seeds) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  ASSERT_EQ(transport_failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  const net::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, kClients);
+  EXPECT_EQ(stats.connections_closed, stats.connections_accepted);
+  EXPECT_EQ(stats.requests_received, kClients * kPerClient);
+  EXPECT_EQ(stats.responses_sent, stats.requests_received);
+  EXPECT_EQ(stats.queries_ok + stats.queries_failed, kClients * kPerClient);
+  EXPECT_EQ(stats.malformed, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+// A pipelined burst against a multi-loop server: responses on one connection
+// must come back strictly in request order even though completions fan in
+// from several engine workers through the owning loop.
+TEST_F(NetServingTest, MultiLoopPipelinedBurstStaysOrdered) {
+  ThreadPool pool(2);
+  core::QueryEngineOptions eopts;
+  eopts.pool = &pool;
+  core::QueryEngine engine(index_, eopts);
+  core::QueryEngine reference(index_, eopts);
+
+  net::InflexServerOptions sopts;
+  sopts.io_threads = 3;
+  sopts.num_workers = 3;
+  sopts.max_worker_batch = 4;
+  net::InflexServer server(&engine, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.Connect(server.port()));
+  auto workload = MakeWorkload(20, 5150);
+  for (auto& r : workload) r.options.segment_mask.clear();
+  // Fire all requests before reading anything back.
+  for (const core::QueryRequest& request : workload) {
+    ASSERT_TRUE(
+        conn.Send(net::EncodeRequestFrame(net::MakeQueryRequest(request))));
+  }
+  // Responses must arrive positionally aligned with the pipelined requests.
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto resp = conn.ReadResponse();
+    ASSERT_TRUE(resp.ok()) << "response " << i << ": "
+                           << resp.status().ToString();
+    auto want = reference.Query(workload[i]);
+    ASSERT_TRUE(want.ok()) << "request " << i;
+    ASSERT_EQ(resp.ValueOrDie().status, net::WireStatus::kOk)
+        << "response " << i << ": " << resp.ValueOrDie().message;
+    EXPECT_EQ(resp.ValueOrDie().seeds, want.ValueOrDie().seeds)
+        << "response " << i << " out of order or wrong";
+  }
+  conn.Close();
+  server.Stop();
+}
+
+// io_threads=1 must behave exactly like the classic single-loop server (no
+// SO_REUSEPORT, same port semantics) — the default path taken by every
+// existing test, pinned here explicitly against the option plumbing.
+TEST_F(NetServingTest, SingleIoThreadRemainsDefault) {
+  ThreadPool pool(2);
+  core::QueryEngineOptions eopts;
+  eopts.pool = &pool;
+  core::QueryEngine engine(index_, eopts);
+  net::InflexServerOptions sopts;
+  sopts.io_threads = 0;  // 0 clamps to 1
+  net::InflexServer server(&engine, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = net::InflexClient::Connect("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(client.ok());
+  auto resp = client.ValueOrDie().Query(SimpleRequest());
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.ValueOrDie().status, net::WireStatus::kOk);
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace inflex

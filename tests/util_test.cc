@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <numeric>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "util/random.h"
 #include "util/serialize.h"
@@ -248,6 +250,57 @@ TEST(ThreadPoolTest, NestedParallelForCompletesOnSamePool) {
   }
   pool.Wait();
   EXPECT_EQ(outer_done.load(), 4);
+}
+
+// The per-worker-queue pool must serve many EXTERNAL threads running
+// ParallelFor on the same pool at once (exactly what N net-server workers do
+// with concurrent QueryBatch calls): every caller's range completes exactly
+// once, and no caller returns before its own iterations have all run.
+TEST(ThreadPoolTest, ParallelForManyConcurrentExternalCallers) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 8;
+  constexpr int kRounds = 20;
+  constexpr size_t kRange = 64;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<int> hits(kRange, 0);
+        ParallelFor(0, kRange, [&hits](size_t i) { hits[i]++; }, &pool);
+        // The call returned: every slot must already be exactly 1.
+        for (int h : hits) {
+          if (h != 1) {
+            failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Submissions racing Wait() from several threads: Wait() must only return
+// once every task submitted before it has run.
+TEST(ThreadPoolTest, ConcurrentSubmittersNeverLoseTasks) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr int kPerThread = 200;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kSubmitters * kPerThread);
 }
 
 TEST(ThreadPoolTest, OnWorkerThreadDistinguishesPools) {

@@ -53,6 +53,13 @@ def check_serving(path):
     d = json.loads(path.read_text())
     check(d.get("benchmark") == "serving_throughput", f"{path.name}: bad 'benchmark'")
 
+    host = d.get("host", {})
+    check(isinstance(host, dict) and is_num(host.get("hardware_concurrency"))
+          and host.get("hardware_concurrency", 0) >= 1,
+          f"{path.name}: missing host.hardware_concurrency (needed to scale "
+          "the throughput gates to the recording machine)")
+    hc = host.get("hardware_concurrency") if isinstance(host, dict) else None
+
     serial = d.get("serial", {})
     check(is_num(serial.get("qps")) and serial.get("qps", 0) > 0,
           f"{path.name}: serial.qps must be positive")
@@ -79,6 +86,41 @@ def check_serving(path):
             saw_uncached = True
             check(row["hit_rate"] == 0.0, f"{where}: uncached row reports cache hits")
     check(saw_cached and saw_uncached, f"{path.name}: need both cached and uncached rows")
+
+    # --- Scaling gates: uncached QPS must scale with cores (the serving
+    # plane is lock-free enough that threads add throughput, not contention).
+    # The expectation is keyed to the recording host: on an 8-core machine the
+    # max-thread row must reach >= 4x serial; fewer cores scale the bar down
+    # (0.5x per effective core), and a 1-core host skips with a loud warning
+    # instead of failing physics.
+    uncached_rows = {
+        row["threads"]: row
+        for row in (rows or [])
+        if isinstance(row, dict) and row.get("cached") is False
+        and is_num(row.get("threads")) and is_num(row.get("qps"))
+    }
+    if is_num(hc) and uncached_rows and is_num(serial.get("qps")):
+        top_threads = max(uncached_rows)
+        top = uncached_rows[top_threads]
+        eff = min(int(top_threads), int(hc))
+        if eff >= 2:
+            want = 0.5 * eff
+            check(top["qps"] >= want * serial["qps"],
+                  f"{path.name}: uncached {int(top_threads)}-thread qps "
+                  f"{top['qps']:.0f} must be >= {want:.1f}x serial "
+                  f"{serial['qps']:.0f} on a {int(hc)}-core host — the "
+                  "serving plane is serializing")
+            base = uncached_rows.get(1)
+            if base and is_num(base.get("p95_ms")) and is_num(top.get("p95_ms")) \
+                    and base["p95_ms"] > 0:
+                check(top["p95_ms"] <= 3.0 * base["p95_ms"],
+                      f"{path.name}: uncached {int(top_threads)}-thread p95 "
+                      f"{top['p95_ms']:.3f} ms blew past 3x the 1-thread p95 "
+                      f"{base['p95_ms']:.3f} ms — queueing under contention")
+        else:
+            print(f"WARNING: {path.name} recorded on a {int(hc)}-core host — "
+                  "thread-scaling gates skipped (re-record on a multi-core "
+                  "machine to enforce them)")
 
     # The churn scenario exercises the maintenance tentpole end to end: a
     # 100-delta burst must coalesce into a handful of generations, and the
@@ -146,6 +188,35 @@ def check_serving(path):
               f"{where}: latency percentiles must be ordered")
         check(is_num(row["shed_rate"]) and row["shed_rate"] == 0.0,
               f"{where}: the well-provisioned scaling rows must not shed")
+    check(is_num(net.get("io_threads")) and net.get("io_threads", 0) >= 1,
+          f"{path.name}: net.io_threads missing — the scaling rows must "
+          "record the IO plane width they ran against")
+
+    # Connection-scaling gate, host-scaled like the thread gate: on an 8-core
+    # host the max-connection row must reach >= 2.5x the 1-connection row;
+    # fewer cores shrink the bar proportionally (floor 1.0x — more
+    # connections must never make the sharded IO plane slower).
+    conn_rows = {
+        row["connections"]: row
+        for row in (net_rows or [])
+        if isinstance(row, dict) and is_num(row.get("connections"))
+        and is_num(row.get("qps"))
+    }
+    if is_num(hc) and len(conn_rows) >= 2 and 1 in conn_rows:
+        top_conns = max(conn_rows)
+        top = conn_rows[top_conns]
+        base = conn_rows[1]
+        eff = min(int(top_conns), int(hc))
+        if eff >= 2:
+            want = max(1.0, 2.5 * eff / 8.0)
+            check(top["qps"] >= want * base["qps"],
+                  f"{path.name}: net {int(top_conns)}-connection qps "
+                  f"{top['qps']:.0f} must be >= {want:.2f}x the 1-connection "
+                  f"{base['qps']:.0f} on a {int(hc)}-core host — the IO "
+                  "plane is serializing")
+        else:
+            print(f"WARNING: {path.name} net section recorded on a "
+                  f"{int(hc)}-core host — connection-scaling gate skipped")
     overload = net.get("overload")
     check(isinstance(overload, dict), f"{path.name}: missing net.overload")
     if isinstance(overload, dict) and require_keys(

@@ -28,7 +28,8 @@
 //                [--no-cache] [--seed S]
 //                [--deltas D] [--admission-threshold T] [--delta-snapshots S]
 //   inflex_serve --data data/ --index index.bin --listen PORT
-//                [--workers W] [--worker-batch B] [--queue-high H]
+//                [--io-threads N] [--workers W] [--worker-batch B]
+//                [--queue-high H]
 //                [--queue-low L] [--retry-after-ms R] [--deadline-ms D]
 //                [--pending-high P] [...engine/maintainer options above]
 //   inflex_serve --connect PORT [--host H] [--gamma P1,P2,...] [--count N]
@@ -270,14 +271,15 @@ Result<std::unique_ptr<ServingStack>> BuildStack(
 
 int RunDaemon(ArgParser& args, uint16_t port, const std::string& data_dir,
               const std::string& index_path) {
+  auto io_threads = args.GetInt("io-threads", 1);
   auto workers = args.GetInt("workers", 4);
   auto worker_batch = args.GetInt("worker-batch", 8);
   auto queue_high = args.GetInt("queue-high", 1024);
   auto queue_low = args.GetInt("queue-low", 0);
   auto retry_after = args.GetInt("retry-after-ms", 50);
   auto deadline = args.GetInt("deadline-ms", 0);
-  for (const auto* r : {&workers, &worker_batch, &queue_high, &queue_low,
-                        &retry_after, &deadline}) {
+  for (const auto* r : {&io_threads, &workers, &worker_batch, &queue_high,
+                        &queue_low, &retry_after, &deadline}) {
     if (!r->ok()) return Fail(r->status());
   }
 
@@ -289,6 +291,7 @@ int RunDaemon(ArgParser& args, uint16_t port, const std::string& data_dir,
 
   net::InflexServerOptions sopts;
   sopts.port = port;
+  sopts.io_threads = static_cast<size_t>(io_threads.ValueOrDie());
   sopts.num_workers = static_cast<size_t>(workers.ValueOrDie());
   sopts.max_worker_batch = static_cast<size_t>(worker_batch.ValueOrDie());
   sopts.queue_high_watermark = static_cast<size_t>(queue_high.ValueOrDie());
@@ -299,9 +302,9 @@ int RunDaemon(ArgParser& args, uint16_t port, const std::string& data_dir,
   net::InflexServer server(s.engine.get(), sopts);
   if (auto st = server.Start(); !st.ok()) return Fail(st);
 
-  std::printf("listening on %s:%u (%zu workers, queue high %zu)\n",
-              sopts.bind_address.c_str(), server.port(), sopts.num_workers,
-              sopts.queue_high_watermark);
+  std::printf("listening on %s:%u (%zu io loops, %zu workers, queue high %zu)\n",
+              sopts.bind_address.c_str(), server.port(), sopts.io_threads,
+              sopts.num_workers, sopts.queue_high_watermark);
   std::fflush(stdout);
 
   struct sigaction sa {};
