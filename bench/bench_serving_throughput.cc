@@ -19,8 +19,10 @@
 #include "common/evaluation.h"
 #include "common/testbed.h"
 #include "data/workload.h"
+#include "im/spread_estimator.h"
 #include "inflex/index_maintainer.h"
 #include "inflex/query_engine.h"
+#include "oracle/spread_oracle.h"
 #include "simplex/divergence.h"
 #include "simplex/sampling.h"
 #include "util/random.h"
@@ -87,9 +89,29 @@ struct ChurnSummary {
   std::vector<ChurnPhase> phases;
 };
 
+/// One backend's row of the oracle A/B scenario.
+struct OracleRow {
+  std::string backend;
+  double admit_to_publish_mean_ms = 0.0;
+  double admit_to_publish_max_ms = 0.0;
+  double precompute_mean_ms = 0.0;
+  double mean_spread = 0.0;
+  double quality_vs_celfpp = 0.0;
+  double speedup_vs_celfpp = 0.0;
+};
+
+/// Summary of the oracle A/B scenario (one maintainer per backend).
+struct OracleSummary {
+  bool quick = false;
+  size_t deltas = 0;
+  size_t k = 0;
+  std::vector<OracleRow> rows;
+};
+
 void WriteServingJson(double serial_qps, double serial_kl_per_query,
                       const std::vector<ServingRow>& rows,
-                      const ChurnSummary& churn) {
+                      const ChurnSummary& churn,
+                      const OracleSummary& oracle_summary) {
   const char* path = "BENCH_serving.json";
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -144,6 +166,29 @@ void WriteServingJson(double serial_qps, double serial_kl_per_query,
                  static_cast<unsigned long long>(p.points_evicted),
                  i + 1 < churn.phases.size() ? "," : "");
   }
+  std::fprintf(f, "    ]\n  },\n");
+  // The oracle A/B section: admission-time seed precompute per backend.
+  // (bench_net_throughput splices `net` in after this section, so it must
+  // stay inside the body written here.)
+  std::fprintf(f,
+               "  \"oracle\": {\n"
+               "    \"quick\": %s, \"deltas\": %zu, \"k\": %zu,\n"
+               "    \"rows\": [\n",
+               oracle_summary.quick ? "true" : "false", oracle_summary.deltas,
+               oracle_summary.k);
+  for (size_t i = 0; i < oracle_summary.rows.size(); ++i) {
+    const OracleRow& r = oracle_summary.rows[i];
+    std::fprintf(
+        f,
+        "      {\"backend\": \"%s\", \"admit_to_publish_mean_ms\": %.3f, "
+        "\"admit_to_publish_max_ms\": %.3f, \"precompute_mean_ms\": %.3f, "
+        "\"mean_spread\": %.2f, \"quality_vs_celfpp\": %.4f, "
+        "\"speedup_vs_celfpp\": %.2f}%s\n",
+        r.backend.c_str(), r.admit_to_publish_mean_ms,
+        r.admit_to_publish_max_ms, r.precompute_mean_ms, r.mean_spread,
+        r.quality_vs_celfpp, r.speedup_vs_celfpp,
+        i + 1 < oracle_summary.rows.size() ? "," : "");
+  }
   std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
@@ -181,9 +226,140 @@ std::vector<simplex::TopicDistribution> FarApartMixtures(
 /// serving continues. The phase rows land in BENCH_serving.json so a
 /// regression in batching (generations exploding) or eviction (index never
 /// shrinking) shows up in the committed artifact.
+/// The oracle A/B scenario: a burst of near-corner catalog deltas is fed —
+/// one delta at a time, coalescing disabled — through three maintainers
+/// that differ only in the spread-oracle backend of the stage-2 precompute.
+/// Per backend it reports the admit→publish latency (which the precompute
+/// dominates by construction) and the seed quality of the published lists,
+/// measured by one common Monte-Carlo referee on each delta's own IC
+/// instance and normalized by the CELF++ row. check_bench_json.py gates
+/// quality ≥ 0.95× and latency ≥ 10× below CELF++ (full runs).
+///
+/// The deltas are peaked on a primary topic like real catalog items
+/// (the generator draws items from a peaked Dirichlet): a near-corner
+/// mixture runs its community's arcs at full per-topic strength, the
+/// supercritical regime where cascades are large and a slow precompute
+/// actually gates catalog freshness. (Uniform-simplex mixtures would
+/// dilute every arc by ~1/num_topics and measure the backends on
+/// near-empty cascades instead.) Each corner is also maximally far from
+/// the data-driven index points, so the burst admits in full.
+OracleSummary RunOracleScenario(const Testbed& tb, bool quick) {
+  OracleSummary out;
+  out.quick = quick;
+  constexpr size_t kSeedK = 10;
+  out.k = kSeedK;
+  auto initial = std::make_shared<core::InflexIndex>(*tb.index);
+  const size_t num_topics = initial->num_topics();
+  std::vector<simplex::TopicDistribution> deltas;
+  for (size_t i = 0; i < (quick ? size_t{4} : size_t{8}); ++i) {
+    const double mass = i % 2 == 0 ? 0.9997 : 0.999;
+    std::vector<double> probs(
+        num_topics, (1.0 - mass) / static_cast<double>(num_topics - 1));
+    probs[i % num_topics] = mass;
+    deltas.push_back(
+        simplex::TopicDistribution::Create(std::move(probs)).ValueOrDie());
+  }
+  out.deltas = deltas.size();
+
+  // One referee for every backend: the paper's Monte-Carlo evaluator with a
+  // fixed seed, so quality ratios compare seed sets, not estimators.
+  im::MonteCarloOptions mc;
+  mc.num_simulations = quick ? 300 : 800;
+  mc.seed = 4242;
+  mc.parallel = false;
+
+  const oracle::OracleBackend backends[] = {oracle::OracleBackend::kCelfPp,
+                                            oracle::OracleBackend::kRis,
+                                            oracle::OracleBackend::kSketch};
+  std::printf("  %-8s %12s %12s %12s %10s %8s\n", "backend", "admit->pub",
+              "max ms", "precomp ms", "spread", "quality");
+  for (const oracle::OracleBackend backend : backends) {
+    core::QueryEngineOptions eopts;
+    eopts.enable_cache = false;
+    core::QueryEngine engine(initial, eopts);
+    core::IndexMaintainerOptions mopts;
+    // Production-shaped precompute: ℓ follows the index (testbed ℓ=50 ranked
+    // lists), CELF++ runs at the maintainer's default snapshot count. This
+    // is the configuration whose admit→publish latency actually gates
+    // catalog freshness, so it is what the A/B compares. --quick shrinks
+    // every backend for CI smoke; those numbers are shape-only.
+    mopts.seed_list_length = 0;
+    // Publish each delta the moment its precompute lands: admit→publish is
+    // then queueing + precompute + one-point publish, i.e. the quantity the
+    // backends actually differ in.
+    mopts.max_batch_delay_ms = 0.0;
+    mopts.oracle.backend = backend;
+    switch (backend) {
+      case oracle::OracleBackend::kCelfPp:
+        if (quick) mopts.oracle_snapshots = 20;
+        break;
+      case oracle::OracleBackend::kRis:
+        mopts.oracle.num_rr_sets = quick ? 8000 : 30000;
+        break;
+      case oracle::OracleBackend::kSketch:
+        mopts.oracle.sketch_instances = quick ? 16 : 40;
+        mopts.oracle.sketch_k = 16;
+        break;
+    }
+    core::IndexMaintainer maintainer(initial, &tb.graph(), &engine, mopts);
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      core::CatalogDelta d;
+      d.id = "oracle-" + std::to_string(i);
+      d.item = deltas[i];
+      const auto receipt = maintainer.SubmitDelta(d);
+      INFLEX_CHECK(receipt.ok());
+      INFLEX_CHECK(receipt.ValueOrDie().outcome ==
+                   core::DeltaOutcome::kAdmitted);
+      maintainer.Drain();
+    }
+
+    OracleRow row;
+    row.backend = oracle::OracleBackendName(backend);
+    const auto final_index = maintainer.current();
+    for (const auto& item : deltas) {
+      // The published point sits exactly at the delta's mixture, so the
+      // 1-NN probe recovers the backend's seed list for that delta.
+      const auto nn = final_index->tree().ExactKnn(item.probs(), 1).front();
+      const rank::RankedList& list = final_index->seed_list(nn.point_id);
+      const std::vector<graph::NodeId> seeds(
+          list.begin(), list.begin() + std::min(list.size(), kSeedK));
+      const auto est = im::EstimateSpread(
+          tb.graph(), tb.graph().ItemArcProbabilities(item), seeds, mc);
+      INFLEX_CHECK(est.ok());
+      row.mean_spread += est.ValueOrDie().mean;
+    }
+    row.mean_spread /= static_cast<double>(deltas.size());
+
+    const core::ServingStats stats = engine.cumulative_stats();
+    row.admit_to_publish_mean_ms = stats.admit_to_publish_mean_ms;
+    row.admit_to_publish_max_ms = stats.admit_to_publish_max_ms;
+    for (const auto& pre : stats.precompute) {
+      if (pre.backend == row.backend) row.precompute_mean_ms = pre.mean_ns() / 1e6;
+    }
+    if (!out.rows.empty()) {
+      const OracleRow& golden = out.rows.front();
+      row.quality_vs_celfpp =
+          golden.mean_spread > 0.0 ? row.mean_spread / golden.mean_spread : 0.0;
+      row.speedup_vs_celfpp =
+          row.admit_to_publish_mean_ms > 0.0
+              ? golden.admit_to_publish_mean_ms / row.admit_to_publish_mean_ms
+              : 0.0;
+    } else {
+      row.quality_vs_celfpp = 1.0;
+      row.speedup_vs_celfpp = 1.0;
+    }
+    std::printf("  %-8s %12.3f %12.3f %12.3f %10.2f %7.3fx\n",
+                row.backend.c_str(), row.admit_to_publish_mean_ms,
+                row.admit_to_publish_max_ms, row.precompute_mean_ms,
+                row.mean_spread, row.quality_vs_celfpp);
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
 ChurnSummary RunChurnScenario(const Testbed& tb,
                               const std::vector<core::QueryRequest>& trace,
-                              bool quick) {
+                              bool quick, oracle::OracleBackend churn_backend) {
   ChurnSummary out;
   auto initial = std::make_shared<core::InflexIndex>(*tb.index);
   out.index_points_initial = initial->num_index_points();
@@ -204,6 +380,13 @@ ChurnSummary RunChurnScenario(const Testbed& tb,
   // publication/eviction machinery, not CELF++ runtime.
   mopts.seed_list_length = quick ? 6 : 10;
   mopts.oracle_snapshots = quick ? 4 : 8;
+  // The churn scenario exercises the publication/eviction machinery under
+  // whichever precompute backend --oracle selects (CI smokes it with ris).
+  // Precompute cost is scaled down to match the snapshot counts above: the
+  // scenario measures publication, not seed selection.
+  mopts.oracle.backend = churn_backend;
+  mopts.oracle.num_rr_sets = quick ? 4000 : 12000;
+  mopts.oracle.sketch_instances = quick ? 8 : 16;
   mopts.max_batch = 32;
   // A wide window: the batch cap and the in-flight gate close it, so the
   // burst drains in ceil(100/32) = 4 generations; the timeout is only a
@@ -325,11 +508,20 @@ double MeanKlEvaluations(const std::vector<Result<core::QueryResult>>& results) 
 
 int main(int argc, char** argv) {
   bool quick = false;
+  oracle::OracleBackend churn_backend = oracle::OracleBackend::kCelfPp;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strncmp(argv[i], "--oracle=", 9) == 0) {
+      auto parsed = oracle::ParseOracleBackend(argv[i] + 9);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 2;
+      }
+      churn_backend = parsed.ValueOrDie();
     } else {
-      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--oracle=celfpp|ris|sketch]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -418,8 +610,10 @@ int main(int argc, char** argv) {
           row.kl_evals_per_query);
     }
   }
-  std::printf("\nChurn + decay: 100-delta burst, then eviction sweeps\n");
-  const ChurnSummary churn = RunChurnScenario(tb, trace, quick);
+  std::printf("\nChurn + decay: 100-delta burst, then eviction sweeps "
+              "(oracle: %s)\n",
+              oracle::OracleBackendName(churn_backend));
+  const ChurnSummary churn = RunChurnScenario(tb, trace, quick, churn_backend);
   std::printf(
       "  burst: %llu/%zu admitted -> %llu generations (%llu coalesced), "
       "index %zu -> %zu; sweeps: %llu evicted, final %zu points\n",
@@ -430,7 +624,11 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(churn.points_evicted),
       churn.phases.empty() ? 0 : churn.phases.back().index_points);
 
-  WriteServingJson(serial_qps, serial_kl_per_query, rows, churn);
+  std::printf("\nOracle A/B: admission-time precompute per backend\n");
+  const OracleSummary oracle_summary = RunOracleScenario(tb, quick);
+
+  WriteServingJson(serial_qps, serial_kl_per_query, rows, churn,
+                   oracle_summary);
 
   std::printf(
       "\nShape to expect: uncached QPS grows with threads up to the physical "

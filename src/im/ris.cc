@@ -63,7 +63,14 @@ Result<SeedSelectionResult> SelectSeedsRis(
   for (size_t v = 0; v < n; ++v) degree[v] = sets_of_node[v].size();
 
   using Entry = std::pair<size_t, graph::NodeId>;  // (coverage, node)
-  std::priority_queue<Entry> heap;
+  // Max-heap on coverage with ties broken toward the smaller node id, so
+  // selection among exact ties is deterministic (replay tests depend on it).
+  const auto heap_less = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(heap_less)> heap(
+      heap_less);
   for (size_t v = 0; v < n; ++v) {
     heap.push({degree[v], static_cast<graph::NodeId>(v)});
   }

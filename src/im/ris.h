@@ -25,6 +25,11 @@ struct RisOptions {
 /// On the same instance, RIS and CELF++ must agree on spread within Monte-
 /// Carlo noise (asserted by tests), though the seed sets may differ among
 /// near-ties.
+///
+/// Exact coverage ties in the greedy phase break toward the smaller node id,
+/// making the selection fully deterministic in (graph, arc_probs, options) —
+/// the property the maintenance plane's bit-identical replay tests rely on
+/// when the RIS backend does admission-time precompute.
 Result<SeedSelectionResult> SelectSeedsRis(
     const graph::TopicGraph& g, const graph::ArcProbabilities& arc_probs,
     size_t k, const RisOptions& options = {});

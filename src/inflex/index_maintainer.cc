@@ -6,7 +6,6 @@
 #include <limits>
 #include <utility>
 
-#include "inflex/baselines.h"
 #include "simplex/divergence.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -60,6 +59,20 @@ IndexMaintainer::IndexMaintainer(std::shared_ptr<const InflexIndex> initial,
   INFLEX_CHECK_GT(options_.admission_threshold, 0.0);
   INFLEX_CHECK_GT(options_.oracle_snapshots, 0u);
   options_.max_batch = std::max<size_t>(options_.max_batch, 1);
+  // Zero-valued oracle seed/snapshots inherit the maintainer's own, so the
+  // default configuration reproduces the historical CELF++ path exactly
+  // (same snapshot seed per ticket, same snapshot count).
+  if (options_.oracle.seed == 0) options_.oracle.seed = options_.seed;
+  if (options_.oracle.num_snapshots == 0) {
+    options_.oracle.num_snapshots = options_.oracle_snapshots;
+  }
+  auto oracle_result = oracle::MakeSpreadOracle(graph_, options_.oracle);
+  INFLEX_CHECK(oracle_result.ok());  // misconfiguration is a programming error
+  oracle_ = std::move(oracle_result).ValueOrDie();
+  // Warm the backend's shared state (the sketch universe) at setup time so
+  // the one-time build never lands inside the first delta's admit→publish
+  // window. A no-op for the CELF++ and RIS backends.
+  INFLEX_CHECK(oracle_->Prepare().ok());
   options_.min_index_points = std::max<size_t>(options_.min_index_points, 1);
   if (options_.pool == nullptr) {
     owned_pool_ = std::make_unique<ThreadPool>(1);
@@ -147,7 +160,7 @@ Result<DeltaReceipt> IndexMaintainer::SubmitDelta(const CatalogDelta& delta) {
 
 void IndexMaintainer::PrecomputeAdmitted(CatalogDelta delta, uint64_t ticket,
                                          Timer admitted_at) {
-  // Stage 2: the expensive CELF++ precompute, against the graph only — no
+  // Stage 2: the expensive seed precompute, against the graph only — no
   // lock held, no generation pinned; serving proceeds untouched.
   size_t ell = options_.seed_list_length;
   if (ell == 0) {
@@ -155,16 +168,15 @@ void IndexMaintainer::PrecomputeAdmitted(CatalogDelta delta, uint64_t ticket,
     ell = current_->seed_list_length();
   }
 
-  OfflineImOptions oopts;
-  oopts.num_snapshots = options_.oracle_snapshots;
-  // Per-ticket seed: deterministic given the admission order, decorrelated
-  // across deltas.
-  oopts.seed = options_.seed + ticket;
-  // This task may share a pool with other maintenance work; nested
-  // parallelism inside CELF++ would run inline anyway (pool re-entrancy
-  // contract), so ask for the serial first iteration explicitly.
-  oopts.selection.parallel_first_iteration = false;
-  auto seeds = OfflineTicSeeds(*graph_, delta.item, ell, oopts);
+  // The ticket is the oracle's salt: deterministic given the admission
+  // order, decorrelated across deltas (the sketch backend ignores it by
+  // design — shared randomness is what makes its universe amortizable).
+  Timer precompute_timer;
+  auto seeds = oracle_->SelectSeeds(delta.item, ell, ticket);
+  if (engine_ != nullptr) {
+    engine_->RecordPrecompute(oracle_->name(),
+                              precompute_timer.ElapsedMillis() * 1e6);
+  }
 
   // Hand off to the publisher: the delta stays `pending` until its batch is
   // published (Drain covers the whole pipeline, not just the precompute).

@@ -13,6 +13,7 @@
 
 #include "inflex/inflex_index.h"
 #include "inflex/query_engine.h"
+#include "oracle/spread_oracle.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -29,8 +30,9 @@ struct CatalogDelta {
 
 /// \brief What happened to a submitted delta.
 enum class DeltaOutcome {
-  /// The delta passed the KL-coverage test: a background CELF++ seed
-  /// precompute was scheduled and a new index generation will be published.
+  /// The delta passed the KL-coverage test: a background seed precompute
+  /// (through the configured spread oracle) was scheduled and a new index
+  /// generation will be published.
   kAdmitted,
   /// An existing index point already covers the item (its divergence is
   /// within the admission threshold, so by the Fig. 4 KL↔Kendall coupling
@@ -102,9 +104,17 @@ struct IndexMaintainerOptions {
   /// ℓ of the precomputed seed list for admitted points (0 = the current
   /// index's seed_list_length()).
   size_t seed_list_length = 0;
-  /// Live-edge snapshots behind each background CELF++ run.
+  /// Live-edge snapshots behind each CELF++ precompute (the default oracle
+  /// backend; equals `oracle.num_snapshots` when that is left 0).
   size_t oracle_snapshots = 150;
   uint64_t seed = 101;
+  /// Which spread oracle runs the stage-2 seed precompute, and its tuning.
+  /// Zero-valued `oracle.seed` / `oracle.num_snapshots` inherit `seed` /
+  /// `oracle_snapshots` above, so the default configuration reproduces the
+  /// historical hard-coded CELF++ path bit-for-bit. Switch `oracle.backend`
+  /// to kRis or kSketch for orders-of-magnitude cheaper admission-time
+  /// precompute at ≥ 0.95× seed quality (bench-gated; see DESIGN.md §14).
+  oracle::SpreadOracleOptions oracle;
   /// Publish-time tree-quality gate: when the batch's inserts/removals push
   /// the clone's tree degradation() to this, the new generation is produced
   /// by a full §3.2 rebuild instead (Compact()) — once per batch, not per
@@ -152,7 +162,7 @@ struct IndexMaintainerOptions {
   /// (the pre-back-pressure behavior).
   size_t pending_high_watermark = 0;
 
-  /// Dedicated background pool for the CELF++ precompute; the serving path
+  /// Dedicated background pool for the seed precompute; the serving path
   /// never blocks on it. nullptr = the maintainer creates a private
   /// single-thread pool.
   ThreadPool* pool = nullptr;
@@ -174,11 +184,13 @@ struct IndexMaintainerOptions {
 ///     min_i D_KL(γ_i ‖ γ_new). Deltas inside the threshold are already
 ///     covered — the nearest point's precomputed list serves them — and are
 ///     dropped.
-///  2. **Seed precompute** (background, the expensive part): CELF++ over a
-///     live-edge snapshot oracle on the item-specific IC instance (Eq. 1),
-///     exactly the per-point offline computation of InflexIndex::Build, run
-///     on the dedicated maintenance pool. Finished precomputes are handed to
-///     the publisher as *ready deltas*.
+///  2. **Seed precompute** (background, the expensive part): the configured
+///     SpreadOracle on the item-specific IC instance (Eq. 1), run on the
+///     dedicated maintenance pool. The default CELF++ backend is exactly
+///     the per-point offline computation of InflexIndex::Build; the RIS and
+///     sketch backends trade that golden path for orders-of-magnitude lower
+///     admit→publish latency (DESIGN.md §14). Finished precomputes are
+///     handed to the publisher as *ready deltas*.
 ///  3. **Coalesced publication** (dedicated publisher thread): ready deltas
 ///     are drained in admission-ticket order into ONE clone of the latest
 ///     generation — re-checking coverage against the *evolving* clone, so a
@@ -261,7 +273,8 @@ class IndexMaintainer {
     uint32_t point_id = 0;
   };
 
-  /// Background stage 2: CELF++ precompute, then hand off to the publisher.
+  /// Background stage 2: seed precompute through the configured spread
+  /// oracle, then hand off to the publisher.
   void PrecomputeAdmitted(CatalogDelta delta, uint64_t ticket,
                           Timer admitted_at);
 
@@ -285,6 +298,12 @@ class IndexMaintainer {
   const graph::TopicGraph* graph_;
   QueryEngine* engine_;  // may be null
   IndexMaintainerOptions options_;
+  /// The stage-2 seed-precompute backend. Thread-safe: pool workers call
+  /// SelectSeeds concurrently; the sketch backend's shared universe is
+  /// built lazily on the first precompute (on the maintenance pool, inside
+  /// the pending-tracked stage, so Drain() covers it) and published
+  /// RCU-style.
+  std::unique_ptr<oracle::SpreadOracle> oracle_;
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;  // options_.pool or owned_pool_.get()
 

@@ -39,7 +39,16 @@ std::string ServingStats::ToString() const {
                 admission_queue_peak,
                 static_cast<unsigned long long>(shed_count),
                 static_cast<unsigned long long>(deadline_expired_count));
-  return buf;
+  std::string out = buf;
+  for (const OraclePrecompute& row : precompute) {
+    std::snprintf(buf, sizeof(buf),
+                  " | precompute[%s] %llu x mean %.2f ms max %.2f ms",
+                  row.backend.c_str(),
+                  static_cast<unsigned long long>(row.count),
+                  row.mean_ns() / 1e6, row.max_ns / 1e6);
+    out += buf;
+  }
+  return out;
 }
 
 QueryEngine::QueryEngine(std::shared_ptr<const InflexIndex> index,
@@ -234,6 +243,24 @@ void QueryEngine::RecordPublishLatency(double ms) {
   publish_latency_max_ms_ = std::max(publish_latency_max_ms_, ms);
 }
 
+void QueryEngine::RecordPrecompute(const std::string& backend, double ns) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (ServingStats::OraclePrecompute& row : precompute_) {
+    if (row.backend == backend) {
+      ++row.count;
+      row.total_ns += ns;
+      row.max_ns = std::max(row.max_ns, ns);
+      return;
+    }
+  }
+  ServingStats::OraclePrecompute row;
+  row.backend = backend;
+  row.count = 1;
+  row.total_ns = ns;
+  row.max_ns = ns;
+  precompute_.push_back(std::move(row));
+}
+
 std::shared_ptr<const InflexIndex> QueryEngine::index_snapshot() const {
   return PinGeneration()->index;
 }
@@ -297,6 +324,7 @@ ServingStats QueryEngine::cumulative_stats() const {
           ? publish_latency_total_ms_ / static_cast<double>(publishes_timed_)
           : 0.0;
   out.admit_to_publish_max_ms = publish_latency_max_ms_;
+  out.precompute = precompute_;
   out.admission_queue_depth =
       admission_queue_depth_.load(std::memory_order_relaxed);
   out.admission_queue_peak =

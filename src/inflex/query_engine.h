@@ -61,6 +61,21 @@ struct ServingStats {
   uint64_t publishes_timed = 0;
   double admit_to_publish_mean_ms = 0.0;
   double admit_to_publish_max_ms = 0.0;
+  /// \brief Seed-precompute cost attributed to one oracle backend (filled by
+  /// cumulative_stats(); empty for per-batch stats). One row per backend that
+  /// ran at least one admitted-delta precompute on this engine — normally a
+  /// single row, but an A/B bench driving two maintainers at one engine gets
+  /// one row each.
+  struct OraclePrecompute {
+    std::string backend;
+    uint64_t count = 0;
+    double total_ns = 0.0;
+    double max_ns = 0.0;
+    double mean_ns() const {
+      return count > 0 ? total_ns / static_cast<double>(count) : 0.0;
+    }
+  };
+  std::vector<OraclePrecompute> precompute;
   /// Network-front-end overload visibility (filled by cumulative_stats();
   /// zero for per-batch stats and when no InflexServer feeds the engine):
   /// the admission queue's current depth and high-water mark, and how many
@@ -167,6 +182,12 @@ class QueryEngine {
   /// maintenance stats (called by IndexMaintainer when a generation it
   /// prepared goes live; the clock starts at delta admission). Thread-safe.
   void RecordPublishLatency(double ms);
+
+  /// Folds one seed-precompute duration into the per-backend attribution
+  /// rows of cumulative_stats() (called by IndexMaintainer's precompute
+  /// stage; `backend` is the oracle's name, e.g. "celfpp"/"ris"/"sketch").
+  /// Thread-safe.
+  void RecordPrecompute(const std::string& backend, double ns);
 
   /// Admission-control visibility hooks (called by the network front end;
   /// all thread-safe, lock-free). The engine never sheds by itself — these
@@ -298,6 +319,9 @@ class QueryEngine {
   uint64_t publishes_timed_ = 0;
   double publish_latency_total_ms_ = 0.0;
   double publish_latency_max_ms_ = 0.0;
+  // Per-backend precompute attribution (guarded by stats_mu_). A handful of
+  // entries at most, so linear lookup beats a map.
+  std::vector<ServingStats::OraclePrecompute> precompute_;
 };
 
 }  // namespace core

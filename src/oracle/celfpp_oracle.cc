@@ -1,0 +1,27 @@
+#include "oracle/celfpp_oracle.h"
+
+#include "im/celfpp.h"
+#include "im/snapshot_oracle.h"
+
+namespace inflex {
+namespace oracle {
+
+Result<im::SeedSelectionResult> CelfPpOracle::SelectSeeds(
+    const simplex::TopicDistribution& weights, size_t k, uint64_t salt) {
+  INFLEX_RETURN_NOT_OK(ValidateRequest(weights, k));
+  const graph::ArcProbabilities probs = graph().ItemArcProbabilities(weights);
+  im::SnapshotSpreadOracle::Options oopts;
+  oopts.num_snapshots = options().num_snapshots;
+  oopts.seed = options().seed + salt;
+  INFLEX_ASSIGN_OR_RETURN(
+      im::SnapshotSpreadOracle snapshots,
+      im::SnapshotSpreadOracle::Create(graph(), probs, oopts));
+  im::SeedSelectionOptions sel;
+  // Precomputes already run one-per-pool-worker; keep each serial so a batch
+  // of admitted deltas parallelizes across items, not within one.
+  sel.parallel_first_iteration = false;
+  return im::SelectSeedsCelfPp(&snapshots, k, sel);
+}
+
+}  // namespace oracle
+}  // namespace inflex

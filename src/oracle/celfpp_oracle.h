@@ -1,0 +1,32 @@
+#ifndef INFLEX_ORACLE_CELFPP_ORACLE_H_
+#define INFLEX_ORACLE_CELFPP_ORACLE_H_
+
+#include "oracle/spread_oracle.h"
+
+namespace inflex {
+namespace oracle {
+
+/// \brief The golden-reference backend: materialize Eq. 1 arc probabilities,
+/// sample `num_snapshots` live-edge subgraphs, run CELF++ — exactly the
+/// sequence `core::OfflineTicSeeds` performs and InflexIndex::Build trusts.
+/// It stays the referee for the cheaper backends: snapshot averaging is an
+/// unbiased σ estimator with no sketch/sampling shortcuts, so RIS and sketch
+/// quality are always measured against it (check_bench_json.py enforces the
+/// ratio). Every call samples fresh snapshots; nothing is shared or cached.
+class CelfPpOracle final : public SpreadOracle {
+ public:
+  CelfPpOracle(const graph::TopicGraph* graph,
+               const SpreadOracleOptions& options)
+      : SpreadOracle(graph, options) {}
+
+  OracleBackend backend() const override { return OracleBackend::kCelfPp; }
+
+  Result<im::SeedSelectionResult> SelectSeeds(
+      const simplex::TopicDistribution& weights, size_t k,
+      uint64_t salt) override;
+};
+
+}  // namespace oracle
+}  // namespace inflex
+
+#endif  // INFLEX_ORACLE_CELFPP_ORACLE_H_

@@ -1,0 +1,19 @@
+#include "oracle/ris_oracle.h"
+
+#include "im/ris.h"
+
+namespace inflex {
+namespace oracle {
+
+Result<im::SeedSelectionResult> RisOracle::SelectSeeds(
+    const simplex::TopicDistribution& weights, size_t k, uint64_t salt) {
+  INFLEX_RETURN_NOT_OK(ValidateRequest(weights, k));
+  const graph::ArcProbabilities probs = graph().ItemArcProbabilities(weights);
+  im::RisOptions ropts;
+  ropts.num_rr_sets = options().num_rr_sets;  // 0: SelectSeedsRis picks 64·n
+  ropts.seed = options().seed + salt;
+  return im::SelectSeedsRis(graph(), probs, k, ropts);
+}
+
+}  // namespace oracle
+}  // namespace inflex

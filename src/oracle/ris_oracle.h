@@ -1,0 +1,30 @@
+#ifndef INFLEX_ORACLE_RIS_ORACLE_H_
+#define INFLEX_ORACLE_RIS_ORACLE_H_
+
+#include "oracle/spread_oracle.h"
+
+namespace inflex {
+namespace oracle {
+
+/// \brief RIS/TIM backend: materialize Eq. 1 arc probabilities for the item's
+/// topic mixture, then SelectSeedsRis — RR-set sampling plus lazy greedy
+/// maximum coverage with deterministic near-tie ordering (coverage ties break
+/// toward the smaller node id, so admission replays are bit-identical).
+/// Stateless across calls; `salt` shifts the sampling seed per admission
+/// ticket.
+class RisOracle final : public SpreadOracle {
+ public:
+  RisOracle(const graph::TopicGraph* graph, const SpreadOracleOptions& options)
+      : SpreadOracle(graph, options) {}
+
+  OracleBackend backend() const override { return OracleBackend::kRis; }
+
+  Result<im::SeedSelectionResult> SelectSeeds(
+      const simplex::TopicDistribution& weights, size_t k,
+      uint64_t salt) override;
+};
+
+}  // namespace oracle
+}  // namespace inflex
+
+#endif  // INFLEX_ORACLE_RIS_ORACLE_H_

@@ -25,9 +25,9 @@ cmake -B "$BUILD" -S "$SRC" \
   -DINFLEX_BUILD_TOOLS=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 
-echo "== build (serving_test maintenance_test util_test net_test)"
-cmake --build "$BUILD" --target serving_test maintenance_test util_test \
-  net_test -j "$(nproc)" > /dev/null
+echo "== build (serving_test maintenance_test oracle_test util_test net_test)"
+cmake --build "$BUILD" --target serving_test maintenance_test oracle_test \
+  util_test net_test -j "$(nproc)" > /dev/null
 
 echo "== run serving stress + thread-pool tests under TSan"
 # halt_on_error: any reported race is a hard failure, not a log line.
@@ -44,6 +44,16 @@ echo "== run live-maintenance stress under TSan"
 # serially against its pinned generation and requires bit-identity.
 TSAN_OPTIONS="halt_on_error=1 suppressions=$SRC/tests/tsan.supp ${TSAN_OPTIONS:-}" \
   "$BUILD/tests/maintenance_test"
+
+echo "== run per-backend oracle admission storms under TSan"
+# For each spread-oracle backend (CELF++, RIS, sketch) a serving storm runs
+# against concurrent multi-worker precompute; the sketch backend's RCU
+# universe (atomic shared_ptr publish, lock-free readers) is exactly the
+# kind of sharing TSan exists to vet. Published lists must additionally be
+# bit-identical to a serial replay.
+TSAN_OPTIONS="halt_on_error=1 suppressions=$SRC/tests/tsan.supp ${TSAN_OPTIONS:-}" \
+  "$BUILD/tests/oracle_test" \
+  --gtest_filter='OracleTest.ConcurrentStormMatchesSerialReplayPerBackend:OracleTest.Sketch*'
 
 echo "== run network loopback storm under TSan"
 # The TCP front end's three planes (IO thread, admission queue, workers)

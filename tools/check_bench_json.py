@@ -165,6 +165,68 @@ def check_serving(path):
             check(sweeps[-1]["index_points"] < churn["index_points_peak"],
                   f"{path.name}: sweeps must shrink the index below its burst peak")
 
+    # The oracle A/B section is the contract of the spread-oracle subsystem:
+    # the pluggable RIS/sketch backends must match the CELF++ golden
+    # reference's seed quality (>= 0.95x by a common Monte-Carlo referee)
+    # while publishing admitted deltas >= 10x faster (full runs; --quick
+    # runs are shape-only smoke, so they only gate a loose quality floor and
+    # the latency *ordering*).
+    oracle = d.get("oracle")
+    check(isinstance(oracle, dict), f"{path.name}: missing 'oracle' section")
+    if isinstance(oracle, dict) and require_keys(
+            oracle, ("quick", "deltas", "k", "rows"), f"{path.name} oracle"):
+        quick = oracle["quick"] is True
+        check(is_num(oracle["deltas"]) and oracle["deltas"] >= (4 if quick else 8),
+              f"{path.name}: oracle A/B needs >= {4 if quick else 8} deltas")
+        orows = oracle["rows"]
+        by_backend = {}
+        if isinstance(orows, list):
+            for i, row in enumerate(orows):
+                where = f"{path.name} oracle.rows[{i}]"
+                if not require_keys(
+                        row, ("backend", "admit_to_publish_mean_ms",
+                              "admit_to_publish_max_ms", "precompute_mean_ms",
+                              "mean_spread", "quality_vs_celfpp",
+                              "speedup_vs_celfpp"), where):
+                    continue
+                check(is_num(row["admit_to_publish_mean_ms"])
+                      and row["admit_to_publish_mean_ms"] > 0,
+                      f"{where}: bad admit_to_publish_mean_ms")
+                check(is_num(row["precompute_mean_ms"])
+                      and 0 < row["precompute_mean_ms"]
+                      <= row["admit_to_publish_mean_ms"],
+                      f"{where}: precompute must be positive and inside the "
+                      "admit->publish window")
+                check(is_num(row["mean_spread"]) and row["mean_spread"] > 0,
+                      f"{where}: bad mean_spread")
+                by_backend[row.get("backend")] = row
+        for backend in ("celfpp", "ris", "sketch"):
+            check(backend in by_backend,
+                  f"{path.name}: oracle section missing the '{backend}' row")
+        golden = by_backend.get("celfpp")
+        if golden:
+            check(golden.get("quality_vs_celfpp") == 1.0,
+                  f"{path.name}: celfpp is its own quality reference")
+            quality_floor = 0.8 if quick else 0.95
+            for backend in ("ris", "sketch"):
+                row = by_backend.get(backend)
+                if not row:
+                    continue
+                where = f"{path.name} oracle '{backend}'"
+                check(is_num(row.get("quality_vs_celfpp"))
+                      and row["quality_vs_celfpp"] >= quality_floor,
+                      f"{where}: seed quality {row.get('quality_vs_celfpp')} "
+                      f"below the {quality_floor}x CELF++ floor")
+                check(row["admit_to_publish_mean_ms"]
+                      < golden["admit_to_publish_mean_ms"],
+                      f"{where}: must publish faster than CELF++")
+                if not quick:
+                    check(is_num(row.get("speedup_vs_celfpp"))
+                          and row["speedup_vs_celfpp"] >= 10.0,
+                          f"{where}: admit->publish speedup "
+                          f"{row.get('speedup_vs_celfpp')} below the 10x gate "
+                          "the subsystem exists to deliver")
+
     # The net section (spliced in by bench_net_throughput) measures the TCP
     # front end: closed-loop scaling rows plus an overload scenario where the
     # bounded admission queue must shed instead of queueing unboundedly.

@@ -27,6 +27,7 @@
 //                [--cache-capacity C] [--shards S] [--quantization Q]
 //                [--no-cache] [--seed S]
 //                [--deltas D] [--admission-threshold T] [--delta-snapshots S]
+//                [--oracle celfpp|ris|sketch]
 //   inflex_serve --data data/ --index index.bin --listen PORT
 //                [--io-threads N] [--workers W] [--worker-batch B]
 //                [--queue-high H]
@@ -50,6 +51,7 @@
 #include "inflex/index_maintainer.h"
 #include "inflex/query_engine.h"
 #include "net/client.h"
+#include "oracle/spread_oracle.h"
 #include "net/server.h"
 #include "util/args.h"
 #include "util/random.h"
@@ -216,6 +218,13 @@ Result<std::unique_ptr<ServingStack>> BuildStack(
   auto admission = args.GetDouble("admission-threshold", 0.05);
   auto delta_snapshots = args.GetInt("delta-snapshots", 30);
   auto pending_high = args.GetInt("pending-high", 0);
+  // --oracle picks the stage-2 seed-precompute backend; celfpp (the
+  // default) reproduces the historical snapshot-CELF++ path bit-for-bit.
+  // Validated up front so a typo fails fast even in replay mode (which
+  // never builds a maintainer).
+  INFLEX_ASSIGN_OR_RETURN(
+      const oracle::OracleBackend oracle_backend,
+      oracle::ParseOracleBackend(args.GetString("oracle", "celfpp")));
   const bool no_cache = args.HasFlag("no-cache");
   for (const auto* r :
        {&threads, &capacity, &shards, &seed, &delta_snapshots, &pending_high}) {
@@ -248,6 +257,7 @@ Result<std::unique_ptr<ServingStack>> BuildStack(
     core::IndexMaintainerOptions mopts;
     mopts.admission_threshold = admission.ValueOrDie();
     mopts.oracle_snapshots = static_cast<size_t>(delta_snapshots.ValueOrDie());
+    mopts.oracle.backend = oracle_backend;
     mopts.seed = static_cast<uint64_t>(seed.ValueOrDie()) + 100;
     mopts.pending_high_watermark =
         static_cast<size_t>(pending_high.ValueOrDie());
