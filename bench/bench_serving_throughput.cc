@@ -24,6 +24,7 @@
 #include "inflex/query_engine.h"
 #include "oracle/spread_oracle.h"
 #include "simplex/divergence.h"
+#include "simplex/kl_kernel_simd.h"
 #include "simplex/sampling.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -121,8 +122,17 @@ void WriteServingJson(double serial_qps, double serial_kl_per_query,
   std::fprintf(f, "{\n  \"benchmark\": \"serving_throughput\",\n");
   // The host record lets the checker scale its expectations: "8 threads must
   // beat serial" is physics on an 8-core box and fiction on a 1-core one.
-  std::fprintf(f, "  \"host\": {\"hardware_concurrency\": %u},\n",
-               std::thread::hardware_concurrency());
+  // The simd subrecord states which KL kernel variant served the run, so a
+  // scalar-host (or forced-scalar) artifact is distinguishable from a SIMD
+  // regression.
+  std::fprintf(f,
+               "  \"host\": {\"hardware_concurrency\": %u, "
+               "\"simd\": {\"detected\": \"%s\", \"active\": \"%s\", "
+               "\"forced_scalar\": %s}},\n",
+               std::thread::hardware_concurrency(),
+               inflex::simplex::DetectedSimdName(),
+               inflex::simplex::ActiveKernelOps().name,
+               inflex::simplex::ActiveKernelsForcedScalar() ? "true" : "false");
   std::fprintf(f, "  \"serial\": {\"qps\": %.0f, \"kl_evaluations_per_query\": %.1f},\n",
                serial_qps, serial_kl_per_query);
   std::fprintf(f, "  \"rows\": [\n");

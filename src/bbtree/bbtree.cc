@@ -122,7 +122,10 @@ class BbTreeBuilder {
 void BbTree::FinalizeKernelData(
     const std::vector<simplex::TopicVector>& input) {
   const size_t n = input.size();
-  point_data_.assign(n * dim_, 0.0);
+  // Cache-line padded rows in a 64B-aligned buffer: every row starts on a
+  // line boundary, the zero-filled tail is never read by the kernels.
+  row_stride_ = util::AlignedRowStride(dim_);
+  point_data_.assign(n * row_stride_, 0.0);
   point_negent_.assign(n, 0.0);
   row_of_id_.assign(n, 0);
   id_of_row_.assign(n, 0);
@@ -134,7 +137,7 @@ void BbTree::FinalizeKernelData(
     for (uint32_t id : node.point_ids) {
       const uint32_t row = next_row++;
       std::copy(input[id].begin(), input[id].end(),
-                point_data_.begin() + static_cast<size_t>(row) * dim_);
+                point_data_.begin() + static_cast<size_t>(row) * row_stride_);
       point_negent_[row] = simplex::NegativeEntropy(input[id].data(), dim_);
       row_of_id_[id] = row;
       id_of_row_[row] = id;
@@ -147,12 +150,12 @@ void BbTree::FinalizeKernelData(
     if (node.is_leaf()) continue;
     const size_t m = node.children.size();
     max_children_ = std::max(max_children_, m);
-    node.child_centers.resize(m * dim_);
+    node.child_centers.assign(m * row_stride_, 0.0);
     node.child_center_negent.resize(m);
     for (size_t c = 0; c < m; ++c) {
       const BregmanBall& ball = nodes_[node.children[c]].ball;
       std::copy(ball.center().begin(), ball.center().end(),
-                node.child_centers.begin() + c * dim_);
+                node.child_centers.begin() + c * row_stride_);
       node.child_center_negent[c] = ball.center_neg_entropy();
     }
   }
@@ -218,8 +221,8 @@ Result<uint32_t> BbTree::Insert(simplex::TopicVector point) {
     const size_t m = node.children.size();
     child_divs.resize(m);
     simplex::KlBatch(node.child_centers.data(),
-                     node.child_center_negent.data(), m, dim_, kq.log_query(),
-                     child_divs.data());
+                     node.child_center_negent.data(), m, dim_, row_stride_,
+                     kq.log_query(), child_divs.data());
     size_t best = 0;
     for (size_t c = 1; c < m; ++c) {
       if (child_divs[c] < child_divs[best]) best = c;
@@ -228,7 +231,9 @@ Result<uint32_t> BbTree::Insert(simplex::TopicVector point) {
   }
 
   const auto id = static_cast<uint32_t>(num_points());
-  point_data_.insert(point_data_.end(), point.begin(), point.end());
+  // Append one stride-padded row (the resize zero-fills the padding tail).
+  point_data_.resize(point_data_.size() + row_stride_, 0.0);
+  std::copy(point.begin(), point.end(), point_data_.end() - row_stride_);
   point_negent_.push_back(simplex::NegativeEntropy(point.data(), dim_));
   row_of_id_.push_back(id);  // appended rows coincide with appended ids
   id_of_row_.push_back(id);
@@ -268,7 +273,7 @@ Status BbTree::RemovePoints(std::span<const uint32_t> ids) {
   // Physically compact the SoA rows in row order: surviving leaf runs stay
   // contiguous, so leaf scans remain sequential sweeps.
   const size_t survivors = n - r;
-  std::vector<double> data(survivors * dim_);
+  util::AlignedVector<double> data(survivors * row_stride_);
   std::vector<double> negent(survivors);
   std::vector<uint32_t> row_of(survivors);
   std::vector<uint32_t> id_of(survivors);
@@ -276,8 +281,10 @@ Status BbTree::RemovePoints(std::span<const uint32_t> ids) {
   for (uint32_t row = 0; row < n; ++row) {
     const uint32_t old_id = id_of_row_[row];
     if (removed[old_id]) continue;
-    std::copy_n(point_data_.data() + static_cast<size_t>(row) * dim_, dim_,
-                data.data() + static_cast<size_t>(next_row) * dim_);
+    // Full-stride copy: the zero padding travels with the row.
+    std::copy_n(point_data_.data() + static_cast<size_t>(row) * row_stride_,
+                row_stride_,
+                data.data() + static_cast<size_t>(next_row) * row_stride_);
     negent[next_row] = point_negent_[row];
     id_of[next_row] = new_id[old_id];
     row_of[new_id[old_id]] = next_row;

@@ -9,6 +9,7 @@
 #include "bbtree/bregman_ball.h"
 #include "simplex/kl_kernel.h"
 #include "simplex/topic_distribution.h"
+#include "util/aligned.h"
 #include "util/status.h"
 
 namespace inflex {
@@ -57,6 +58,24 @@ struct InflexSearchOptions {
   /// Disable the AD early stop (the paper's leaf-count-only `approxKNN`
   /// search sets this false).
   bool use_ad_early_stop = true;
+  /// Compute the Eq. 5 screen D_KL(q ‖ μ) for all bypassed siblings of a
+  /// descent in one batched kernel sweep at enqueue time instead of one
+  /// scalar evaluation per CanPrune call at dequeue time (DESIGN.md §10).
+  /// The screen depends only on (query, ball), never on δ, so the pruning
+  /// decisions — and therefore the result set — are bit-identical either
+  /// way; only when the evaluations happen changes. Off = the pre-batching
+  /// code path (kept for A/B tests and the equivalence suite).
+  bool batched_screen = true;
+};
+
+/// \brief One queued (bypassed, not yet descended) subtree of a search:
+/// the heap key plus the batched-screen value D_KL(q ‖ μ) when one was
+/// precomputed for the ball (negative = no screen yet; the pruning test
+/// then evaluates it on demand, exactly as before batching).
+struct QueuedSubtree {
+  double key = 0.0;
+  uint32_t node = 0;
+  double screen = -1.0;
 };
 
 /// \brief Result of the INFLEX similarity search.
@@ -87,12 +106,14 @@ class SearchContext {
   SearchContext() = default;
 
   /// Total retained scratch capacity in doubles (ops/testing visibility;
-  /// sibling-pair entries count as one double each).
+  /// sibling/screen-id entries count as one double each).
   size_t retained_capacity() const {
     return kl_.retained_capacity() + bisect_.x.capacity() +
            bisect_.u.capacity() + siblings_.capacity() +
            child_divs_.capacity() + leaf_divs_.capacity() + mean_.capacity() +
-           direction_.capacity() + sample_.capacity();
+           direction_.capacity() + sample_.capacity() +
+           screen_rows_.capacity() + screen_divs_.capacity() +
+           screen_ids_.capacity();
   }
 
  private:
@@ -107,7 +128,13 @@ class SearchContext {
   simplex::KlQueryContext kl_;
   BisectionScratch bisect_;
   /// Bypassed siblings of one descent, hoisted out of the per-level loop.
-  std::vector<std::pair<double, uint32_t>> siblings_;
+  std::vector<QueuedSubtree> siblings_;
+  /// Batched-screen gather scratch (BbTree::ScreenBalls): the queued balls'
+  /// log-centers as stride-padded 64B-aligned rows, the node ids gathered,
+  /// and the screen divergences the one-sweep kernel writes.
+  util::AlignedVector<double> screen_rows_;
+  std::vector<uint32_t> screen_ids_;
+  std::vector<double> screen_divs_;
   /// Per-level child divergences (was `evaluated`, reallocated per level).
   std::vector<double> child_divs_;
   /// Leaf-scan batch output, aligned with the leaf's point ids.
@@ -129,10 +156,14 @@ class SearchContext {
 /// buffer ordered so that each built leaf occupies a contiguous block of
 /// rows, with per-row precomputed negative entropies and an id↔row
 /// indirection (ids are stable positions in the input; rows are the physical
-/// layout). Every internal node mirrors its children's ball centers in a
-/// contiguous child matrix. All searches evaluate D_KL through the
-/// factorized kernel (simplex/kl_kernel.h): one clamped log transform per
-/// query, one dot product per evaluation.
+/// layout). Rows are padded to row_stride() doubles (the next cache-line
+/// multiple) and the buffer is 64-byte aligned, so every row starts on a
+/// cache-line boundary and a SIMD load never straddles two lines; padding is
+/// zero-filled and never read by the kernels. Every internal node mirrors
+/// its children's ball centers in a contiguous child matrix with the same
+/// stride. All searches evaluate D_KL through the factorized kernel
+/// (simplex/kl_kernel.h): one clamped log transform per query, one dot
+/// product per evaluation.
 class BbTree {
  public:
   /// Creates an empty tree; usable only as a move-assignment target.
@@ -185,16 +216,20 @@ class BbTree {
   size_t num_leaves() const { return num_leaves_; }
   size_t depth() const { return depth_; }
   size_t dim() const { return dim_; }
+  /// Physical row length of the SoA buffers in doubles: dim() rounded up to
+  /// the next cache-line multiple (util::AlignedRowStride).
+  size_t row_stride() const { return row_stride_; }
 
   /// A copy of the indexed point with the given id (ids are positions in the
   /// input). The backing storage is the flat SoA buffer; use point_span()
   /// for copy-free access.
   simplex::TopicVector point(uint32_t id) const;
 
-  /// Copy-free view of the indexed point's row in the SoA buffer.
+  /// Copy-free view of the indexed point's row in the SoA buffer (the dim()
+  /// real values; the row's alignment padding is not part of the span).
   std::span<const double> point_span(uint32_t id) const {
     const size_t row = row_of_id_[id];
-    return {point_data_.data() + row * dim_, dim_};
+    return {point_data_.data() + row * row_stride_, dim_};
   }
 
   /// Precomputed Σ p_z·log p_z (= −H(p)) of the indexed point.
@@ -205,9 +240,15 @@ class BbTree {
   /// Exact K nearest neighbors under D_KL(point ‖ query), by best-first
   /// branch-and-bound with the Eq. 5 bound (used by the paper's `exactKNN`
   /// baseline; also the ground truth for recall experiments).
+  /// `batched_screen` mirrors InflexSearchOptions::batched_screen: child
+  /// lower bounds start from one batched screen sweep per expanded node
+  /// instead of a scalar evaluation per child. Results, pruning decisions
+  /// and kl_evaluations counts are identical either way (the sweep performs
+  /// exactly the per-child screen evaluations it replaces).
   std::vector<Neighbor> ExactKnn(const simplex::TopicVector& query, size_t k,
                                  SearchStats* stats = nullptr,
-                                 SearchContext* ctx = nullptr) const;
+                                 SearchContext* ctx = nullptr,
+                                 bool batched_screen = true) const;
 
   /// Approximate K-NN bounded by a maximum number of visited leaves
   /// (the paper's `approxKNN` baseline; with max_leaves = num_leaves() it
@@ -238,12 +279,12 @@ class BbTree {
     std::vector<uint32_t> children;
     /// Point ids stored here (leaves only).
     std::vector<uint32_t> point_ids;
-    /// SoA mirror of the children's ball centers (children.size() × dim,
-    /// row-major) with their negative entropies: the per-level descent
-    /// evaluation is one contiguous batch-kernel sweep. Filled by
-    /// FinalizeKernelData; centers never change afterwards (Insert only
-    /// enlarges radii), so no maintenance is needed.
-    std::vector<double> child_centers;
+    /// SoA mirror of the children's ball centers (children.size() rows of
+    /// row_stride() doubles, 64B-aligned) with their negative entropies: the
+    /// per-level descent evaluation is one contiguous batch-kernel sweep.
+    /// Filled by FinalizeKernelData; centers never change afterwards (Insert
+    /// only enlarges radii), so no maintenance is needed.
+    util::AlignedVector<double> child_centers;
     std::vector<double> child_center_negent;
     bool is_leaf() const { return children.empty(); }
   };
@@ -274,18 +315,30 @@ class BbTree {
   void ScanLeaf(const Node& leaf, SearchContext& ctx,
                 SearchStats* stats) const;
 
+  /// The batched bisection screen (DESIGN.md §10): gathers the log-centers
+  /// of the given nodes' balls into ctx.screen_rows_ (stride-padded aligned
+  /// rows) and computes every screen divergence D_KL(q ‖ μ_i) in one
+  /// KlBatchTargets sweep into ctx.screen_divs_ (aligned with node_ids).
+  /// Each entry is bit-identical to what KlQueryContext::KlOfQueryAgainst
+  /// would return for that ball, so downstream pruning decisions are
+  /// unchanged by batching.
+  void ScreenBalls(const uint32_t* node_ids, size_t m, SearchContext& ctx,
+                   SearchStats* stats) const;
+
   /// The `similar_enough` AD test of Algorithm 1 over a leaf population.
   bool SimilarEnough(const std::vector<uint32_t>& leaf_ids, SearchContext& ctx,
                      double ad_alpha) const;
 
   const double* row_ptr(uint32_t row) const {
-    return point_data_.data() + static_cast<size_t>(row) * dim_;
+    return point_data_.data() + static_cast<size_t>(row) * row_stride_;
   }
 
   // Flat SoA point storage: rows are leaf-contiguous after Build (inserted
-  // points append), ids are stable input positions.
+  // points append), ids are stable input positions. Rows are row_stride_
+  // doubles (cache-line padded, zero-filled tail) in a 64B-aligned buffer.
   size_t dim_ = 0;
-  std::vector<double> point_data_;      // num_points × dim_, row-major
+  size_t row_stride_ = 0;  // util::AlignedRowStride(dim_), set by Finalize
+  util::AlignedVector<double> point_data_;  // num_points × row_stride_
   std::vector<double> point_negent_;    // per row: Σ p_z·log p_z
   std::vector<uint32_t> row_of_id_;
   std::vector<uint32_t> id_of_row_;

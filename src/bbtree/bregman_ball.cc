@@ -57,15 +57,33 @@ bool BregmanBall::Contains(const simplex::TopicVector& x, double slack) const {
   return simplex::KlDivergence(x, center_) <= radius_ + slack;
 }
 
+// The unscreened entry points evaluate the screen D_KL(q ‖ μ) themselves and
+// hand off to the *Screened refinements below; a batched search precomputes
+// the same value for a whole frontier in one kernel sweep instead. Either
+// way the refinement sees a bit-identical div_q_center (same dispatched dot
+// product over the same operands), so decisions and bounds cannot diverge.
+
 double BregmanBall::MinDivergenceFrom(const simplex::KlQueryContext& query,
                                       BisectionScratch* scratch,
                                       SearchStats* stats) const {
   INFLEX_CHECK_EQ(query.dim(), center_.size());
   Timer timer;
+  const double div_q_center = query.KlOfQueryAgainst(log_center_.data());
+  if (stats != nullptr) {
+    stats->kl_evaluations += 1;
+    stats->kl_ns += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  }
+  return MinDivergenceScreened(query, div_q_center, scratch, stats);
+}
+
+double BregmanBall::MinDivergenceScreened(const simplex::KlQueryContext& query,
+                                          double div_q_center,
+                                          BisectionScratch* scratch,
+                                          SearchStats* stats) const {
+  INFLEX_CHECK_EQ(query.dim(), center_.size());
+  Timer timer;
   size_t evals = 0;
   const double* log_q = query.log_query();
-  const double div_q_center = query.KlOfQueryAgainst(log_center_.data());
-  ++evals;
   double bound = 0.0;
   if (div_q_center > radius_) {
     // Bisect λ for the boundary crossing: D_KL(x_λ ‖ μ) decreases from
@@ -110,10 +128,23 @@ bool BregmanBall::CanPrune(const simplex::KlQueryContext& query, double delta,
   INFLEX_CHECK_EQ(query.dim(), center_.size());
   if (delta == std::numeric_limits<double>::infinity()) return false;
   Timer timer;
+  const double div_q_center = query.KlOfQueryAgainst(log_center_.data());
+  if (stats != nullptr) {
+    stats->kl_evaluations += 1;
+    stats->kl_ns += static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+  }
+  return CanPruneScreened(query, div_q_center, delta, scratch, stats);
+}
+
+bool BregmanBall::CanPruneScreened(const simplex::KlQueryContext& query,
+                                   double div_q_center, double delta,
+                                   BisectionScratch* scratch,
+                                   SearchStats* stats) const {
+  INFLEX_CHECK_EQ(query.dim(), center_.size());
+  if (delta == std::numeric_limits<double>::infinity()) return false;
+  Timer timer;
   size_t evals = 0;
   const double* log_q = query.log_query();
-  const double div_q_center = query.KlOfQueryAgainst(log_center_.data());
-  ++evals;
   bool prune = false;
   if (div_q_center > radius_) {
     const size_t n = center_.size();

@@ -82,6 +82,23 @@ class BregmanBall {
   bool CanPrune(const simplex::KlQueryContext& query, double delta,
                 BisectionScratch* scratch, SearchStats* stats = nullptr) const;
 
+  /// Both pruning primitives split into a *screen* — the single evaluation
+  /// D_KL(q ‖ μ); if it is ≤ R the query is inside the ball and the bound is
+  /// 0 — and a per-ball geodesic-bisection *refinement*. The screen depends
+  /// only on (query, ball), so a search can precompute it for a whole
+  /// frontier in one batched kernel sweep (BbTree::ScreenBalls) and pass it
+  /// here via `div_q_center`. With a screen value bit-equal to
+  /// query.KlOfQueryAgainst(log_center()), these return exactly what the
+  /// unscreened methods return; only the screen evaluation itself (already
+  /// counted by the batch sweep) is skipped here.
+  double MinDivergenceScreened(const simplex::KlQueryContext& query,
+                               double div_q_center, BisectionScratch* scratch,
+                               SearchStats* stats = nullptr) const;
+  bool CanPruneScreened(const simplex::KlQueryContext& query,
+                        double div_q_center, double delta,
+                        BisectionScratch* scratch,
+                        SearchStats* stats = nullptr) const;
+
   /// Convenience overloads building a context/scratch per call (tests and
   /// cold paths; the searches pass their per-query context instead).
   double MinDivergenceFrom(const simplex::TopicVector& q,

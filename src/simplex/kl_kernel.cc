@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "simplex/kl_kernel_simd.h"
+
 namespace inflex {
 namespace simplex {
 
@@ -13,33 +15,36 @@ double NegativeEntropy(const double* p, size_t n) {
   return s;
 }
 
+// The public kernels route through the process-wide dispatch table
+// (kl_kernel_simd.h): resolved once from cpuid + INFLEX_FORCE_SCALAR, and
+// every variant reproduces the scalar fixed-order reduction bit-for-bit, so
+// call sites keep the determinism guarantees they had when these were plain
+// scalar loops.
+
 void ClampedLog(const double* v, size_t n, double eps, double* out) {
-  for (size_t z = 0; z < n; ++z) {
-    out[z] = std::log(std::max(v[z], eps));
-  }
+  ActiveKernelOps().clamped_log(v, n, eps, out);
 }
 
 double DotProduct(const double* a, const double* b, size_t n) {
-  // Four independent partial sums: the summation order is fixed by the
-  // source (bit-identical results at every call site, no -ffast-math
-  // needed), yet the chains are independent enough to pipeline/vectorize.
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t z = 0;
-  for (; z + 4 <= n; z += 4) {
-    s0 += a[z] * b[z];
-    s1 += a[z + 1] * b[z + 1];
-    s2 += a[z + 2] * b[z + 2];
-    s3 += a[z + 3] * b[z + 3];
-  }
-  for (; z < n; ++z) s0 += a[z] * b[z];
-  return (s0 + s1) + (s2 + s3);
+  return ActiveKernelOps().dot(a, b, n);
 }
 
 void KlBatch(const double* rows, const double* neg_entropies, size_t m,
              size_t n, const double* log_q, double* out) {
-  for (size_t i = 0; i < m; ++i) {
-    out[i] = KlFactorized(neg_entropies[i], rows + i * n, log_q, n);
-  }
+  ActiveKernelOps().kl_batch(rows, neg_entropies, m, n, n, log_q, out);
+}
+
+void KlBatch(const double* rows, const double* neg_entropies, size_t m,
+             size_t n, size_t row_stride, const double* log_q, double* out) {
+  ActiveKernelOps().kl_batch(rows, neg_entropies, m, n, row_stride, log_q,
+                             out);
+}
+
+void KlBatchTargets(const double* q, double q_neg_entropy,
+                    const double* log_targets, size_t m, size_t n,
+                    size_t row_stride, double* out) {
+  ActiveKernelOps().kl_batch_targets(q, q_neg_entropy, log_targets, m, n,
+                                     row_stride, out);
 }
 
 void KlQueryContext::Reset(const double* query, size_t n, double eps) {

@@ -33,13 +33,15 @@ namespace simplex {
 double NegativeEntropy(const double* p, size_t n);
 
 /// out[z] = log(max(v[z], eps)) — the per-query (or per-center) clamped log
-/// transform of the factorization.
+/// transform of the factorization. Dispatched (kl_kernel_simd.h): the clamp
+/// vectorizes, the log calls stay scalar libm for bit-identity.
 void ClampedLog(const double* v, size_t n, double eps, double* out);
 
-/// Plain dot product ⟨a, b⟩ with four independent accumulators (fixed
-/// summation order — deterministic across call sites — but enough
-/// instruction-level parallelism for the compiler to keep FMA units busy
-/// without -ffast-math reassociation).
+/// Plain dot product ⟨a, b⟩ with four independent partial sums in a fixed
+/// summation order — deterministic across call sites AND across the
+/// scalar/AVX2/AVX-512 variants behind the runtime dispatch
+/// (kl_kernel_simd.h): every variant reproduces the same reduction
+/// bit-for-bit, so swapping ISAs never moves a cached answer.
 double DotProduct(const double* a, const double* b, size_t n);
 
 /// The factorized kernel: max(p_neg_entropy − ⟨p, log_q⟩, 0).
@@ -52,6 +54,20 @@ inline double KlFactorized(double p_neg_entropy, const double* p,
 /// `rows` (m rows × n columns) with its precomputed negative entropy.
 void KlBatch(const double* rows, const double* neg_entropies, size_t m,
              size_t n, const double* log_q, double* out);
+
+/// Strided batch kernel for 64-byte-aligned padded row storage: row i starts
+/// at rows + i·row_stride (row_stride ≥ n; the padding is never read, so it
+/// can hold anything). The dense overload above is row_stride == n.
+void KlBatch(const double* rows, const double* neg_entropies, size_t m,
+             size_t n, size_t row_stride, const double* log_q, double* out);
+
+/// Reverse-direction batch (the batched bisection screen, DESIGN.md §10):
+/// out[i] = max(q_neg_entropy − ⟨q, log_targets + i·row_stride⟩, 0)
+///        = D_KL(q ‖ target_i) for targets with precomputed clamped logs.
+/// Bit-identical to KlQueryContext::KlOfQueryAgainst per row.
+void KlBatchTargets(const double* q, double q_neg_entropy,
+                    const double* log_targets, size_t m, size_t n,
+                    size_t row_stride, double* out);
 
 /// \brief Per-query evaluation context: owns a copy of the query, its
 /// clamped log transform, and its negative entropy. Reset() once per query,

@@ -1,0 +1,66 @@
+#ifndef INFLEX_UTIL_ALIGNED_H_
+#define INFLEX_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace inflex {
+namespace util {
+
+/// \brief Minimal std::allocator replacement that over-aligns every
+/// allocation to `Alignment` bytes (default: one cache line). The KL kernel
+/// layer's SoA buffers (BbTree::point_data_, per-node child-center matrices,
+/// the batched-screen gather scratch) use it together with row strides padded
+/// to a multiple of Alignment/sizeof(T), so every row starts on a cache-line
+/// boundary and a vector load never straddles two lines.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return false;
+  }
+};
+
+/// A std::vector whose data() is 64-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+/// Rounds a row length up so consecutive rows of a row-major matrix each
+/// start 64-byte aligned (for double rows: the next multiple of 8).
+constexpr std::size_t AlignedRowStride(std::size_t n,
+                                       std::size_t elem_size = sizeof(double)) {
+  const std::size_t per_line = 64 / elem_size;
+  return (n + per_line - 1) / per_line * per_line;
+}
+
+}  // namespace util
+}  // namespace inflex
+
+#endif  // INFLEX_UTIL_ALIGNED_H_

@@ -1,0 +1,34 @@
+#ifndef INFLEX_UTIL_CPU_FEATURES_H_
+#define INFLEX_UTIL_CPU_FEATURES_H_
+
+namespace inflex {
+namespace util {
+
+/// \brief SIMD capabilities of the executing CPU relevant to the KL kernel
+/// layer (simplex/kl_kernel_simd.*). Detection goes through the compiler's
+/// cpuid support (__builtin_cpu_supports), which also checks OS state
+/// (OSXSAVE/XCR0) before reporting a vector extension as usable; on non-x86
+/// targets everything is false and the scalar kernels serve every call.
+struct CpuSimdFeatures {
+  bool avx2 = false;
+  bool avx512f = false;
+};
+
+/// Queries the executing CPU once per call (callers cache the result; the
+/// kernel dispatch does so behind a function-local static).
+CpuSimdFeatures DetectCpuSimd();
+
+/// True when `value` (the content of INFLEX_FORCE_SCALAR, or nullptr when
+/// the variable is unset) requests the scalar kernels. Any non-empty value
+/// other than "0" forces scalar — the escape hatch must err toward honoring
+/// the operator's intent.
+bool ForceScalarRequested(const char* value);
+
+/// Reads INFLEX_FORCE_SCALAR from the environment and applies
+/// ForceScalarRequested.
+bool ForceScalarFromEnv();
+
+}  // namespace util
+}  // namespace inflex
+
+#endif  // INFLEX_UTIL_CPU_FEATURES_H_

@@ -108,6 +108,32 @@ TEST(BregmanBallTest, InfiniteDeltaNeverPrunes) {
       ball.CanPrune({0.9, 0.1}, std::numeric_limits<double>::infinity()));
 }
 
+TEST(BregmanBallTest, ScreenedPrimitivesMatchUnscreenedExactly) {
+  // The batched searches precompute the screen D_KL(q ‖ μ) and pass it to
+  // the *Screened refinements; with a screen bit-equal to what the
+  // unscreened methods compute themselves (guaranteed: same dispatched
+  // kernel over the same operands), bounds and decisions must be identical.
+  Rng rng(471);
+  simplex::KlQueryContext ctx;
+  BisectionScratch scratch;
+  for (int t = 0; t < 50; ++t) {
+    const TopicVector center = simplex::SampleUniformSimplex(6, &rng);
+    BregmanBall ball(center, rng.Uniform(0.005, 0.3));
+    const TopicVector q = simplex::SampleUniformSimplex(6, &rng);
+    ctx.Reset(q);
+    const double screen = ctx.KlOfQueryAgainst(ball.log_center().data());
+    EXPECT_DOUBLE_EQ(ball.MinDivergenceScreened(ctx, screen, &scratch),
+                     ball.MinDivergenceFrom(ctx, &scratch));
+    const double bound = ball.MinDivergenceFrom(ctx, &scratch);
+    for (double delta : {bound * 0.5, bound, bound + 1e-6, bound + 0.5,
+                         std::numeric_limits<double>::infinity()}) {
+      EXPECT_EQ(ball.CanPruneScreened(ctx, screen, delta, &scratch),
+                ball.CanPrune(ctx, delta, &scratch))
+          << "t=" << t << " delta=" << delta;
+    }
+  }
+}
+
 // ------------------------------------------------------------- tree build ---
 
 TEST(BbTreeBuildTest, RejectsBadInput) {
@@ -341,6 +367,69 @@ TEST(InflexSearchTest, PruningDoesNotChangeVisitedLeafResults) {
     ASSERT_FALSE(b.neighbors.empty());
     // The closest retrieved neighbor must agree.
     EXPECT_NEAR(a.neighbors[0].divergence, b.neighbors[0].divergence, 1e-9);
+  }
+}
+
+// --------------------------------------------------------- batched screens ---
+
+TEST(BatchedScreenTest, InflexSearchTraversalIdenticalWithAndWithoutBatching) {
+  // The batched screen only moves WHEN the screen evaluations happen (one
+  // sweep at enqueue vs one scalar eval at dequeue); the values are
+  // bit-identical, so the result set and every traversal decision must
+  // match exactly.
+  const auto points = ClusteredPoints(500, 8, 481);
+  BbTreeOptions bopts;
+  bopts.max_leaf_size = 8;  // deep tree: the pruning heap actually works
+  auto tree = BbTree::Build(points, bopts).ValueOrDie();
+  Rng rng(482);
+  for (int t = 0; t < 20; ++t) {
+    const TopicVector q = simplex::SampleUniformSimplex(8, &rng);
+    InflexSearchOptions batched;
+    batched.use_ad_early_stop = false;
+    batched.max_leaves = 24;
+    batched.batched_screen = true;
+    InflexSearchOptions unbatched = batched;
+    unbatched.batched_screen = false;
+    const auto a = tree.InflexSearch(q, batched);
+    const auto b = tree.InflexSearch(q, unbatched);
+    ASSERT_EQ(a.neighbors.size(), b.neighbors.size()) << "t=" << t;
+    for (size_t i = 0; i < a.neighbors.size(); ++i) {
+      EXPECT_EQ(a.neighbors[i].point_id, b.neighbors[i].point_id);
+      EXPECT_DOUBLE_EQ(a.neighbors[i].divergence, b.neighbors[i].divergence);
+    }
+    EXPECT_EQ(a.epsilon_exact, b.epsilon_exact);
+    // Identical pruning decisions → identical traversal counters. (The
+    // kl_evaluations totals may legitimately differ: batching screens every
+    // queued sibling, the scalar path only the ones whose pruning test
+    // runs.)
+    EXPECT_EQ(a.stats.subtrees_pruned, b.stats.subtrees_pruned) << "t=" << t;
+    EXPECT_EQ(a.stats.leaves_visited, b.stats.leaves_visited) << "t=" << t;
+    EXPECT_EQ(a.stats.nodes_visited, b.stats.nodes_visited) << "t=" << t;
+  }
+}
+
+TEST(BatchedScreenTest, ExactKnnIdenticalIncludingEvaluationCounts) {
+  // For ExactKnn the batched sweep performs exactly the per-child screen
+  // evaluations it replaces, so even kl_evaluations must be equal.
+  const auto points = ClusteredPoints(400, 10, 483);
+  auto tree = BbTree::Build(points).ValueOrDie();
+  Rng rng(484);
+  for (size_t k : {1u, 5u, 20u}) {
+    for (int t = 0; t < 8; ++t) {
+      const TopicVector q = simplex::SampleUniformSimplex(10, &rng);
+      SearchStats on, off;
+      const auto a = tree.ExactKnn(q, k, &on, nullptr, true);
+      const auto b = tree.ExactKnn(q, k, &off, nullptr, false);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].point_id, b[i].point_id) << "k=" << k << " t=" << t;
+        EXPECT_DOUBLE_EQ(a[i].divergence, b[i].divergence);
+      }
+      EXPECT_EQ(on.kl_evaluations, off.kl_evaluations) << "k=" << k;
+      EXPECT_EQ(on.subtrees_pruned, off.subtrees_pruned) << "k=" << k;
+      EXPECT_EQ(on.nodes_visited, off.nodes_visited) << "k=" << k;
+      EXPECT_EQ(on.leaves_visited, off.leaves_visited) << "k=" << k;
+    }
   }
 }
 
@@ -593,18 +682,39 @@ TEST(SearchContextTest, RetainedCapacityIsBoundedAfterWorstCaseSearch) {
   BbTreeOptions one_leaf;
   one_leaf.max_leaf_size = 600;
   auto big_r = BbTree::Build(ClusteredPoints(500, 8, 452), one_leaf);
+  // A deep wide tree of larger dimension inflates the other scratch family:
+  // the batched-screen gather rows (frontier × stride doubles) plus the
+  // sibling queue, which the one-leaf tree never touches.
+  BbTreeOptions deep_opts;
+  deep_opts.max_leaf_size = 4;
+  auto deep_r = BbTree::Build(ClusteredPoints(400, 16, 454), deep_opts);
   ASSERT_TRUE(small_r.ok());
   ASSERT_TRUE(big_r.ok());
+  ASSERT_TRUE(deep_r.ok());
   const BbTree& small = small_r.ValueOrDie();
   const BbTree& big = big_r.ValueOrDie();
+  const BbTree& deep = deep_r.ValueOrDie();
 
   SearchContext ctx;
   Rng rng(453);
+  // Phase 1 — batched screens on (the default): every descent's bypassed
+  // frontier of the deep tree is gathered into ctx's screen rows.
+  for (int t = 0; t < 3; ++t) {
+    InflexSearchOptions explore;
+    explore.use_ad_early_stop = false;
+    explore.max_leaves = 32;
+    deep.InflexSearch(simplex::SampleUniformSimplex(16, &rng), explore, &ctx);
+    deep.ExactKnn(simplex::SampleUniformSimplex(16, &rng), 10, nullptr, &ctx);
+  }
+  const size_t after_deep = ctx.retained_capacity();
+  ASSERT_GT(after_deep, 0u);  // includes the screen gather rows
+  // Phase 2 — the one-leaf tree inflates the leaf-scan scratch on top (its
+  // dim-8 bind keeps phase 1's screen scratch: not "far beyond" its needs).
   for (int t = 0; t < 3; ++t) {
     big.ExactKnn(simplex::SampleUniformSimplex(8, &rng), 10, nullptr, &ctx);
   }
   const size_t inflated = ctx.retained_capacity();
-  ASSERT_GT(inflated, 0u);
+  ASSERT_GT(inflated, after_deep);
 
   // Re-binding to the small tree must release the far-oversized buffers
   // instead of pinning the high-water mark forever.

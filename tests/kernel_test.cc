@@ -7,15 +7,20 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "bbtree/bbtree.h"
 #include "bbtree/bregman_ball.h"
 #include "simplex/divergence.h"
 #include "simplex/kl_kernel.h"
+#include "simplex/kl_kernel_simd.h"
 #include "simplex/sampling.h"
 #include "stats/dirichlet.h"
+#include "util/aligned.h"
+#include "util/cpu_features.h"
 #include "util/random.h"
 
 namespace inflex {
@@ -157,6 +162,171 @@ TEST(KlKernelTest, KlBatchMatchesScalarKernelExactly) {
     // Bit-exact: the batch form must run the identical per-row kernel.
     EXPECT_DOUBLE_EQ(out[i], ctx.Kl(rows.data() + i * dim, negent[i])) << i;
   }
+}
+
+// --------------------------------------------- SIMD dispatch & bit-identity --
+
+// Every kernel variant the executing host can run: scalar always, plus the
+// SIMD variants that are both compiled in and supported by cpuid. On a
+// non-AVX2 host the list degenerates to {scalar} and the identity tests
+// pass trivially — CI's forced-scalar matrix leg covers that shape
+// explicitly.
+std::vector<const KlKernelOps*> HostVariants() {
+  std::vector<const KlKernelOps*> variants = {&ScalarKernelOps()};
+  const util::CpuSimdFeatures cpu = util::DetectCpuSimd();
+  if (cpu.avx2 && Avx2KernelOps() != nullptr) variants.push_back(Avx2KernelOps());
+  if (cpu.avx512f && Avx512KernelOps() != nullptr) {
+    variants.push_back(Avx512KernelOps());
+  }
+  return variants;
+}
+
+uint64_t Bits(double v) { return std::bit_cast<uint64_t>(v); }
+
+// Mixture-like vector of length n that exercises every hazard at once:
+// exact zeros (whose log the clamp replaces by log(eps)), a subnormal entry,
+// and ordinary mixture mass — the inputs the tree feeds these kernels.
+std::vector<double> HazardMixture(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = rng->Uniform(0.0, 1.0);
+    sum += v[i];
+  }
+  for (double& x : v) x /= sum;
+  if (n >= 2) v[1] = 0.0;                 // exact zero → eps clamp
+  if (n >= 3) v[n - 1] = 4.9406564584124654e-324;  // smallest subnormal
+  return v;
+}
+
+// The dims the bit-identity contract is validated on: odd/tail lengths
+// around the 4- and 8-lane boundaries plus the bench dims.
+const size_t kIdentityDims[] = {1, 2, 3, 4, 7, 8, 13, 50};
+
+TEST(SimdKernelTest, DotProductBitIdenticalAcrossVariants) {
+  Rng rng(101);
+  const auto variants = HostVariants();
+  for (size_t n : kIdentityDims) {
+    const std::vector<double> a = HazardMixture(n, &rng);
+    std::vector<double> b(n);
+    ClampedLog(HazardMixture(n, &rng).data(), n, kKlSmoothingEps, b.data());
+    const double want = ScalarKernelOps().dot(a.data(), b.data(), n);
+    for (const KlKernelOps* ops : variants) {
+      const double got = ops->dot(a.data(), b.data(), n);
+      EXPECT_EQ(Bits(got), Bits(want)) << ops->name << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelTest, KlBatchBitIdenticalAcrossVariantsStrided) {
+  Rng rng(103);
+  const auto variants = HostVariants();
+  for (size_t n : kIdentityDims) {
+    const size_t m = 13;
+    const size_t stride = util::AlignedRowStride(n);
+    util::AlignedVector<double> rows(m * stride, 0.0);
+    std::vector<double> negent(m);
+    for (size_t i = 0; i < m; ++i) {
+      const std::vector<double> p = HazardMixture(n, &rng);
+      std::copy(p.begin(), p.end(), rows.begin() + i * stride);
+      negent[i] = NegativeEntropy(p.data(), n);
+    }
+    std::vector<double> log_q(n);
+    ClampedLog(HazardMixture(n, &rng).data(), n, kKlSmoothingEps,
+               log_q.data());
+    std::vector<double> want(m), got(m);
+    ScalarKernelOps().kl_batch(rows.data(), negent.data(), m, n, stride,
+                               log_q.data(), want.data());
+    for (const KlKernelOps* ops : variants) {
+      ops->kl_batch(rows.data(), negent.data(), m, n, stride, log_q.data(),
+                    got.data());
+      for (size_t i = 0; i < m; ++i) {
+        EXPECT_EQ(Bits(got[i]), Bits(want[i]))
+            << ops->name << " n=" << n << " row=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, KlBatchTargetsBitIdenticalAcrossVariants) {
+  Rng rng(107);
+  const auto variants = HostVariants();
+  for (size_t n : kIdentityDims) {
+    const size_t m = 9;
+    const size_t stride = util::AlignedRowStride(n);
+    const std::vector<double> q = HazardMixture(n, &rng);
+    const double q_negent = NegativeEntropy(q.data(), n);
+    util::AlignedVector<double> log_targets(m * stride, 0.0);
+    for (size_t i = 0; i < m; ++i) {
+      ClampedLog(HazardMixture(n, &rng).data(), n, kKlSmoothingEps,
+                 log_targets.data() + i * stride);
+    }
+    std::vector<double> want(m), got(m);
+    ScalarKernelOps().kl_batch_targets(q.data(), q_negent, log_targets.data(),
+                                       m, n, stride, want.data());
+    for (const KlKernelOps* ops : variants) {
+      ops->kl_batch_targets(q.data(), q_negent, log_targets.data(), m, n,
+                            stride, got.data());
+      for (size_t i = 0; i < m; ++i) {
+        EXPECT_EQ(Bits(got[i]), Bits(want[i]))
+            << ops->name << " n=" << n << " row=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ClampedLogBitIdenticalAcrossVariants) {
+  Rng rng(109);
+  const auto variants = HostVariants();
+  for (size_t n : kIdentityDims) {
+    std::vector<double> v = HazardMixture(n, &rng);
+    if (n >= 4) v[2] = 1e-15;  // sub-eps but normal: clamped
+    std::vector<double> want(n), got(n);
+    ScalarKernelOps().clamped_log(v.data(), n, kKlSmoothingEps, want.data());
+    for (const KlKernelOps* ops : variants) {
+      ops->clamped_log(v.data(), n, kKlSmoothingEps, got.data());
+      for (size_t z = 0; z < n; ++z) {
+        EXPECT_EQ(Bits(got[z]), Bits(want[z]))
+            << ops->name << " n=" << n << " z=" << z;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ResolveForcedScalarAlwaysPicksScalar) {
+  EXPECT_STREQ(ResolveKernelOps(true).name, "scalar");
+  // Unforced resolution picks the best supported variant and never invents
+  // capability the CPU lacks.
+  const util::CpuSimdFeatures cpu = util::DetectCpuSimd();
+  const char* resolved = ResolveKernelOps(false).name;
+  if (cpu.avx512f) {
+    EXPECT_STREQ(resolved, "avx512");
+  } else if (cpu.avx2) {
+    EXPECT_STREQ(resolved, "avx2");
+  } else {
+    EXPECT_STREQ(resolved, "scalar");
+  }
+  EXPECT_STREQ(DetectedSimdName(), resolved);
+}
+
+TEST(SimdKernelTest, ActiveOpsHonorTheEscapeHatch) {
+  // The process-wide table must agree with a fresh resolution under the
+  // escape-hatch state captured at startup — this is the invariant the CI
+  // matrix leg exercises under INFLEX_FORCE_SCALAR=1.
+  EXPECT_STREQ(ActiveKernelOps().name,
+               ResolveKernelOps(ActiveKernelsForcedScalar()).name);
+  if (ActiveKernelsForcedScalar()) {
+    EXPECT_STREQ(ActiveKernelOps().name, "scalar");
+  }
+}
+
+TEST(SimdKernelTest, ForceScalarRequestedParsesTheEnvContract) {
+  EXPECT_FALSE(util::ForceScalarRequested(nullptr));  // unset
+  EXPECT_FALSE(util::ForceScalarRequested(""));
+  EXPECT_FALSE(util::ForceScalarRequested("0"));
+  EXPECT_TRUE(util::ForceScalarRequested("1"));
+  EXPECT_TRUE(util::ForceScalarRequested("true"));
+  EXPECT_TRUE(util::ForceScalarRequested("yes"));
 }
 
 // -------------------------------------------------------- tree integration --

@@ -79,4 +79,11 @@ echo "== run KL kernel + SoA search tests under ASan+UBSan"
 ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" \
   "$BUILD_ASAN/tests/kernel_test"
 
-echo "ASan kernel tests: OK"
+echo "== re-run under ASan+UBSan with INFLEX_FORCE_SCALAR=1"
+# The runtime-dispatched SIMD variants dominate the first run on AVX2
+# hosts; forcing scalar makes ASan walk the fixed-order reference kernels'
+# own pointer arithmetic (including the strided-row tails) too.
+ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}" INFLEX_FORCE_SCALAR=1 \
+  "$BUILD_ASAN/tests/kernel_test"
+
+echo "ASan kernel tests: OK (dispatched + forced-scalar)"

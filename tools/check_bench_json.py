@@ -33,20 +33,77 @@ def require_keys(obj, keys, where):
     return all(k in obj for k in keys)
 
 
+SIMD_NAMES = ("scalar", "avx2", "avx512")
+
+
+def check_simd_record(host, where):
+    """Validates the host.simd record (which KL kernel variant ran) and
+    returns it, or None when it is missing/malformed."""
+    simd = host.get("simd") if isinstance(host, dict) else None
+    check(isinstance(simd, dict),
+          f"{where}: missing host.simd record (detected/active kernel "
+          "variant — needed to decide whether SIMD gates apply)")
+    if not isinstance(simd, dict):
+        return None
+    check(simd.get("detected") in SIMD_NAMES,
+          f"{where}: host.simd.detected must be one of {SIMD_NAMES}")
+    check(simd.get("active") in SIMD_NAMES,
+          f"{where}: host.simd.active must be one of {SIMD_NAMES}")
+    check(isinstance(simd.get("forced_scalar"), bool),
+          f"{where}: host.simd.forced_scalar must be a bool")
+    if simd.get("forced_scalar") is True:
+        check(simd.get("active") == "scalar",
+              f"{where}: forced_scalar artifact must record active=scalar")
+    return simd
+
+
 def check_kernels(path):
     d = json.loads(path.read_text())
     check(d.get("benchmark") == "kl_kernel_leaf_scan", f"{path.name}: bad 'benchmark'")
     check(d.get("unit") == "ns_per_eval", f"{path.name}: bad 'unit'")
+    quick = d.get("quick") is True
+    simd = check_simd_record(d.get("host", {}), path.name)
     rows = d.get("rows")
     check(isinstance(rows, list) and rows, f"{path.name}: 'rows' empty or missing")
     for i, row in enumerate(rows or []):
         where = f"{path.name} rows[{i}]"
-        if not require_keys(row, ("z", "batch", "reference", "kernel", "speedup"), where):
+        if not require_keys(row, ("z", "batch", "reference", "scalar_kernel",
+                                  "kernel", "speedup", "simd_speedup"), where):
             continue
         check(is_num(row["reference"]) and row["reference"] > 0, f"{where}: bad reference")
+        check(is_num(row["scalar_kernel"]) and row["scalar_kernel"] > 0,
+              f"{where}: bad scalar_kernel")
         check(is_num(row["kernel"]) and row["kernel"] > 0, f"{where}: bad kernel")
-        check(is_num(row["speedup"]) and row["speedup"] > 1.0,
+        check(is_num(row["speedup"]) and row["speedup"] > (1.0 if not quick else 0.0),
               f"{where}: vectorized kernel must beat the scalar reference")
+        check(is_num(row["simd_speedup"]) and row["simd_speedup"] > 0,
+              f"{where}: bad simd_speedup")
+
+    # --- SIMD-speedup gate: with an explicit SIMD variant active, the
+    # dispatched KlBatch must beat the auto-vectorized fixed-order scalar
+    # kernel by >= 1.5x per eval at the bench dims Z=8 and Z=50 (full runs
+    # only; --quick measurements are too short to gate). On a host whose
+    # dispatch fell back to scalar — no AVX2, or INFLEX_FORCE_SCALAR — the
+    # gate is physics-free, so it skips loudly instead of failing (mirroring
+    # the 1-core thread-scaling skip).
+    active = simd.get("active") if isinstance(simd, dict) else None
+    if active in ("avx2", "avx512") and not quick:
+        for z in (8, 50):
+            zrows = [r for r in (rows or [])
+                     if isinstance(r, dict) and r.get("z") == z
+                     and is_num(r.get("simd_speedup"))]
+            check(bool(zrows), f"{path.name}: need a Z={z} row for the SIMD gate")
+            for r in zrows:
+                check(r["simd_speedup"] >= 1.5,
+                      f"{path.name} Z={z} batch={r.get('batch')}: SIMD "
+                      f"kl_batch speedup {r['simd_speedup']}x below the 1.5x "
+                      f"gate the {active} variant exists to deliver")
+    else:
+        reason = "a --quick smoke run" if quick else \
+            f"'{active}' kernels (no AVX2, or forced scalar)"
+        print(f"WARNING: {path.name} recorded with {reason} — SIMD-speedup "
+              "gate skipped (re-record a full run on an AVX2-capable host "
+              "to enforce it)")
 
 
 def check_serving(path):
@@ -58,6 +115,7 @@ def check_serving(path):
           and host.get("hardware_concurrency", 0) >= 1,
           f"{path.name}: missing host.hardware_concurrency (needed to scale "
           "the throughput gates to the recording machine)")
+    check_simd_record(host, path.name)
     hc = host.get("hardware_concurrency") if isinstance(host, dict) else None
 
     serial = d.get("serial", {})
