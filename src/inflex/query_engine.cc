@@ -274,11 +274,19 @@ std::vector<double> QueryEngine::HitScores() const {
 
 ServingStats QueryEngine::cumulative_stats() const {
   ServingStats out;
-  // Merge the stripes: counts and mean/max are exact sums; the percentile
-  // estimate concatenates the per-stripe reservoirs (each a uniform sample
-  // of a near-equal share of the stream — see QueryBatch).
+  // Merge the stripes: counts and mean/max are exact sums. The percentile
+  // estimate merges the per-stripe reservoirs WEIGHTED by each stripe's
+  // observed count: a reservoir of |R_i| samples stands in for seen_i
+  // observations, so each sample carries weight seen_i / |R_i|. A plain
+  // concatenation would give every sample equal weight, letting a
+  // lightly-loaded stripe (small seen_i, reservoir not yet thinned) skew
+  // the merged p50/p95/p99 toward its own latency regime — round-robin
+  // dealing keeps stripe loads near-equal under steady load, but bursty or
+  // skewed arrival patterns do not deal evenly.
   std::vector<double> samples;
+  std::vector<double> weights;
   samples.reserve(kLatencyReservoirCapacity);
+  weights.reserve(kLatencyReservoirCapacity);
   double latency_total_ms = 0.0;
   for (const auto& stripe : stats_stripes_) {
     std::lock_guard<std::mutex> lock(stripe->mu);
@@ -289,16 +297,21 @@ ServingStats QueryEngine::cumulative_stats() const {
     out.cache_misses += stripe->cache_misses;
     latency_total_ms += stripe->latency_total_ms;
     out.max_ms = std::max(out.max_ms, stripe->latency_max_ms);
-    samples.insert(samples.end(), stripe->reservoir.begin(),
-                   stripe->reservoir.end());
+    if (!stripe->reservoir.empty()) {
+      const double per_sample = static_cast<double>(stripe->seen) /
+                                static_cast<double>(stripe->reservoir.size());
+      samples.insert(samples.end(), stripe->reservoir.begin(),
+                     stripe->reservoir.end());
+      weights.insert(weights.end(), stripe->reservoir.size(), per_sample);
+    }
   }
   if (out.num_requests > 0) {
     out.mean_ms = latency_total_ms / static_cast<double>(out.num_requests);
   }
   if (!samples.empty()) {
-    out.p50_ms = stats::Percentile(samples, 0.50);
-    out.p95_ms = stats::Percentile(samples, 0.95);
-    out.p99_ms = stats::Percentile(samples, 0.99);
+    out.p50_ms = stats::WeightedPercentile(samples, weights, 0.50);
+    out.p95_ms = stats::WeightedPercentile(samples, weights, 0.95);
+    out.p99_ms = stats::WeightedPercentile(samples, weights, 0.99);
     out.latency_samples = samples.size();
   }
   out.wall_ms = ServingWallMs();

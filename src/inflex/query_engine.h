@@ -209,10 +209,11 @@ class QueryEngine {
 
   /// Totals over every request served so far. Counts and mean/max are exact
   /// (merged from the stats stripes). Latency percentiles are estimated from
-  /// bounded per-stripe reservoirs (Vitter's Algorithm R) concatenated at
-  /// read — batches are dealt round-robin across stripes, so each stripe
-  /// samples a near-equal share of the request stream and the concatenation
-  /// approximates one uniform reservoir over ALL batch-served requests;
+  /// bounded per-stripe reservoirs (Vitter's Algorithm R) merged at read
+  /// with each sample weighted by its stripe's observed count
+  /// (seen_i / |R_i|), so the merge estimates one uniform reservoir over
+  /// ALL batch-served requests even when the round-robin dealing left the
+  /// stripes unevenly loaded (bursty arrivals, few large batches);
   /// `latency_samples` reports the merged occupancy (≤
   /// kLatencyReservoirCapacity). `wall_ms` is the engine-level serving span:
   /// total wall time during which ≥1 batch was in flight (first-batch-start

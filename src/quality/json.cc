@@ -1,0 +1,463 @@
+#include "quality/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace inflex {
+namespace quality {
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) {
+  kind_ = Kind::kArray;
+  array_.push_back(std::move(value));
+}
+
+Result<double> JsonValue::GetNumber(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument("'" + key + "': expected a number");
+  }
+  return v->number_value();
+}
+
+Result<bool> JsonValue::GetBool(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_bool()) {
+    return Status::InvalidArgument("'" + key + "': expected a bool");
+  }
+  return v->bool_value();
+}
+
+Result<std::string> JsonValue::GetString(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument("'" + key + "': expected a string");
+  }
+  return v->string_value();
+}
+
+Result<const JsonValue*> JsonValue::GetArray(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Status::InvalidArgument("'" + key + "': expected an array");
+  }
+  return v;
+}
+
+Result<const JsonValue*> JsonValue::GetObject(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_object()) {
+    return Status::InvalidArgument("'" + key + "': expected an object");
+  }
+  return v;
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double d, std::string* out) {
+  // Integral values print without an exponent or trailing ".0" so node-id
+  // lists and counts stay readable; everything else is shortest round-trip.
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    char buf[32];
+    const auto [end, ec] =
+        std::to_chars(buf, buf + sizeof(buf), static_cast<int64_t>(d));
+    out->append(buf, end);
+    return;
+  }
+  char buf[40];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  out->append(buf, end);
+}
+
+void Indent(std::string* out, int n) { out->append(static_cast<size_t>(n) * 2, ' '); }
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      AppendNumber(number_, out);
+      return;
+    case Kind::kString:
+      AppendEscaped(string_, out);
+      return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      // Scalar-only arrays (mixtures, seed lists) render on one line.
+      bool scalar = true;
+      for (const JsonValue& v : array_) {
+        if (v.is_array() || v.is_object()) {
+          scalar = false;
+          break;
+        }
+      }
+      if (scalar) {
+        *out += "[";
+        for (size_t i = 0; i < array_.size(); ++i) {
+          if (i > 0) *out += ", ";
+          array_[i].DumpTo(out, indent);
+        }
+        *out += "]";
+        return;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        Indent(out, indent + 1);
+        array_[i].DumpTo(out, indent + 1);
+        if (i + 1 < array_.size()) *out += ",";
+        *out += "\n";
+      }
+      Indent(out, indent);
+      *out += "]";
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        Indent(out, indent + 1);
+        AppendEscaped(object_[i].first, out);
+        *out += ": ";
+        object_[i].second.DumpTo(out, indent + 1);
+        if (i + 1 < object_.size()) *out += ",";
+        *out += "\n";
+      }
+      Indent(out, indent);
+      *out += "}";
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out += "\n";
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    INFLEX_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing garbage after the JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(const std::string& msg) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        INFLEX_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::MakeString(std::move(s));
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::MakeBool(true));
+      case 'f':
+        return ParseLiteral("false", JsonValue::MakeBool(false));
+      case 'n':
+        return ParseLiteral("null", JsonValue());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseLiteral(const std::string& lit, JsonValue value) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) {
+      return Fail("invalid literal");
+    }
+    pos_ += lit.size();
+    return value;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    double d = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      return Fail("malformed number");
+    }
+    return JsonValue::MakeNumber(d);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Fail("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+            unsigned cp = 0;
+            const auto [ptr, ec] = std::from_chars(
+                text_.data() + pos_, text_.data() + pos_ + 4, cp, 16);
+            if (ec != std::errc() || ptr != text_.data() + pos_ + 4) {
+              return Fail("malformed \\u escape");
+            }
+            pos_ += 4;
+            // The corpus is ASCII; encode BMP code points as UTF-8 and
+            // reject surrogate pairs (nothing we write needs them).
+            if (cp >= 0xD800 && cp <= 0xDFFF) {
+              return Fail("surrogate \\u escapes are not supported");
+            }
+            if (cp < 0x80) {
+              out.push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Fail("expected '['");
+    JsonValue out = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) return out;
+    while (true) {
+      SkipWhitespace();
+      INFLEX_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      out.Append(std::move(v));
+      SkipWhitespace();
+      if (Consume(']')) return out;
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Fail("expected '{'");
+    JsonValue out = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) return out;
+    while (true) {
+      SkipWhitespace();
+      INFLEX_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWhitespace();
+      INFLEX_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      out.Set(key, std::move(v));
+      SkipWhitespace();
+      if (Consume('}')) return out;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+Result<JsonValue> LoadJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto parsed = ParseJson(ss.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Status SaveJsonFile(const JsonValue& value, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot write " + path);
+  out << value.Dump();
+  out.close();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace quality
+}  // namespace inflex

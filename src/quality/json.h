@@ -1,0 +1,99 @@
+#ifndef INFLEX_QUALITY_JSON_H_
+#define INFLEX_QUALITY_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace inflex {
+namespace quality {
+
+/// \brief Minimal JSON document model for the relevance corpus and the
+/// quality report — the two version-controlled artifacts of the CI quality
+/// gate (DESIGN.md §15).
+///
+/// The repo deliberately has no third-party JSON dependency (bench binaries
+/// emit JSON by hand), but the corpus must be *read* back, so this is the
+/// one place a parser lives. Scope is exactly RFC 8259 minus extensions:
+/// objects keep insertion order (committed artifacts diff cleanly), numbers
+/// are doubles serialized with shortest-round-trip formatting
+/// (std::to_chars), so Parse(Dump(x)) == x bit-for-bit — the property the
+/// scorer's determinism contract ("same corpus + salts → bit-identical
+/// report") rests on.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  std::vector<JsonValue>& array_items() { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object_items() const {
+    return object_;
+  }
+
+  /// Object field lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Sets (or replaces) an object field, preserving first-insertion order.
+  void Set(const std::string& key, JsonValue value);
+
+  /// Appends to an array.
+  void Append(JsonValue value);
+
+  /// Typed accessors that fail loudly with the offending path, so corpus
+  /// loading errors read like "queries[3].k: expected number", not a crash.
+  Result<double> GetNumber(const std::string& key) const;
+  Result<bool> GetBool(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+  Result<const JsonValue*> GetArray(const std::string& key) const;
+  Result<const JsonValue*> GetObject(const std::string& key) const;
+
+  /// Serializes with 2-space indentation and '\n' line ends. Deterministic:
+  /// object order is insertion order and doubles use shortest-round-trip
+  /// formatting, so equal documents serialize to equal bytes.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected). Fails with a byte-offset diagnostic on malformed input.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// File convenience wrappers.
+Result<JsonValue> LoadJsonFile(const std::string& path);
+Status SaveJsonFile(const JsonValue& value, const std::string& path);
+
+}  // namespace quality
+}  // namespace inflex
+
+#endif  // INFLEX_QUALITY_JSON_H_

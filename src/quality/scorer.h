@@ -1,0 +1,126 @@
+#ifndef INFLEX_QUALITY_SCORER_H_
+#define INFLEX_QUALITY_SCORER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "inflex/inflex_index.h"
+#include "oracle/spread_oracle.h"
+#include "quality/corpus.h"
+#include "quality/json.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace quality {
+
+/// \brief The rebuilt corpus world: the synthetic dataset and the base index
+/// every scoring run reconstructs bit-identically from the corpus's
+/// committed seeds. The dataset is heap-pinned because the index (and every
+/// oracle) holds a raw pointer into its graph.
+struct CorpusWorld {
+  std::unique_ptr<data::SyntheticDataset> dataset;
+  std::shared_ptr<const core::InflexIndex> base_index;
+
+  const graph::TopicGraph& graph() const { return dataset->graph; }
+};
+
+/// Rebuilds the world from `corpus.world` (GenerateSyntheticDataset +
+/// InflexIndex::Build). Deterministic: same config → same graph, catalog,
+/// index points, and seed lists.
+Result<CorpusWorld> BuildCorpusWorld(const RelevanceCorpus& corpus);
+
+/// \brief One scored query of one backend run.
+struct QueryScore {
+  std::string id;
+  std::string category;
+  /// The indexed pipeline's answer (post-scenario QueryEngine).
+  std::vector<graph::NodeId> seeds;
+  /// σ_MC(answer) under the corpus referee.
+  double indexed_spread = 0.0;
+  /// σ_MC(golden) as committed in the corpus.
+  double golden_spread = 0.0;
+  /// indexed_spread / golden_spread.
+  double spread_ratio = 0.0;
+  /// |answer ∩ golden| / |golden|.
+  double seed_overlap = 0.0;
+  bool epsilon_exact = false;
+  bool from_cache = false;
+};
+
+/// \brief Per-category aggregation against the corpus floors.
+struct CategoryScore {
+  std::string category;
+  size_t num_queries = 0;
+  double mean_spread_ratio = 0.0;
+  double min_spread_ratio = 0.0;
+  double mean_seed_overlap = 0.0;
+  CategoryThreshold threshold;
+  bool passed = false;
+};
+
+/// \brief The result of replaying the scenario + corpus through one oracle
+/// backend.
+struct BackendReport {
+  std::string backend;
+  std::vector<QueryScore> queries;
+  std::vector<CategoryScore> categories;
+  /// Scenario replay accounting: the corpus encodes how many deltas must be
+  /// admitted and how many points the decay sweep must evict; a mismatch
+  /// means the maintenance plane drifted and the category labels no longer
+  /// describe what was measured, so it fails the gate by itself.
+  uint64_t deltas_admitted = 0;
+  uint64_t points_evicted = 0;
+  size_t final_index_points = 0;
+  bool scenario_ok = false;
+  /// scenario_ok AND every category passed.
+  bool passed = false;
+};
+
+/// \brief The full quality report (tools/score_relevance output,
+/// QUALITY_report.json when committed as the regression baseline).
+struct QualityReport {
+  std::string corpus_name;
+  int corpus_version = 0;
+  std::vector<BackendReport> backends;
+  bool passed = false;
+};
+
+/// Replays the maintenance scenario (churn → heat trace → decay sweep) on a
+/// fresh QueryEngine + IndexMaintainer wired to `backend`, then runs every
+/// corpus query and referees it against the goldens. `index_override`
+/// replaces the base index (same graph) — the deliberate-degradation test's
+/// seam; nullptr = world.base_index.
+Result<BackendReport> ScoreBackend(
+    const CorpusWorld& world, const RelevanceCorpus& corpus,
+    oracle::OracleBackend backend,
+    std::shared_ptr<const core::InflexIndex> index_override = nullptr);
+
+/// Scores every backend in `backends` and assembles the report.
+Result<QualityReport> ScoreCorpus(const CorpusWorld& world,
+                                  const RelevanceCorpus& corpus,
+                                  std::span<const oracle::OracleBackend> backends);
+
+/// Builds a fresh corpus from the default world config: derives the scenario
+/// deltas and the query fixture (all five categories) deterministically from
+/// the world itself — mixtures are drawn from the synthetic catalog by their
+/// KL geometry against the base index, never from an RNG — and leaves the
+/// goldens zeroed for RegenerateGoldens. Used by `score_relevance --init`.
+Result<RelevanceCorpus> GenerateCorpus();
+
+/// Recomputes every query's golden seed set (exact CELF++ on the query's own
+/// IC instance, candidate-masked for segment queries) and its MC-refereed
+/// spread. Used by `--init` / `--regen`; scoring never calls this.
+Status RegenerateGoldens(const CorpusWorld& world, RelevanceCorpus* corpus);
+
+/// Deterministic JSON rendering of a report: no timestamps, no durations,
+/// insertion-ordered keys, shortest-round-trip doubles — byte-identical
+/// across runs of the same corpus on the same host.
+JsonValue ReportToJson(const QualityReport& report);
+
+}  // namespace quality
+}  // namespace inflex
+
+#endif  // INFLEX_QUALITY_SCORER_H_

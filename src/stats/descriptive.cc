@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "stats/special_functions.h"
 #include "util/check.h"
@@ -37,6 +38,39 @@ double Percentile(const std::vector<double>& v, double q) {
   if (lo + 1 >= sorted.size()) return sorted.back();
   const double frac = pos - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double WeightedPercentile(const std::vector<double>& v,
+                          const std::vector<double>& w, double q) {
+  INFLEX_CHECK(!v.empty());
+  INFLEX_CHECK_EQ(v.size(), w.size());
+  INFLEX_CHECK_GE(q, 0.0);
+  INFLEX_CHECK_LE(q, 1.0);
+  std::vector<std::pair<double, double>> sorted(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    INFLEX_CHECK_GT(w[i], 0.0);
+    sorted[i] = {v[i], w[i]};
+  }
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (const auto& [value, weight] : sorted) total += weight;
+  // Midpoint cumulative position of each sample; the quantile interpolates
+  // linearly between the two samples bracketing q.
+  double cum = 0.0;
+  double prev_pos = 0.0;
+  double prev_value = sorted.front().first;
+  for (const auto& [value, weight] : sorted) {
+    const double pos = (cum + weight / 2.0) / total;
+    if (q <= pos) {
+      if (pos == prev_pos) return value;
+      const double frac = (q - prev_pos) / (pos - prev_pos);
+      return prev_value * (1.0 - frac) + value * frac;
+    }
+    cum += weight;
+    prev_pos = pos;
+    prev_value = value;
+  }
+  return sorted.back().first;
 }
 
 Result<double> PearsonCorrelation(const std::vector<double>& x,

@@ -24,6 +24,20 @@ double StdDev(const std::vector<double>& v);
 /// serving-latency percentiles (p50/p95/p99).
 double Percentile(const std::vector<double>& v, double q);
 
+/// The q-quantile of a WEIGHTED sample: sample i stands in for `w[i]`
+/// observations of value `v[i]`. Uses midpoint cumulative positions
+/// p_i = (cum_i − w_i/2) / W with linear interpolation between adjacent
+/// samples (clamped at the extremes) — the standard weighted estimator
+/// (matches numpy's "inverted_cdf"-with-averaging family; equal weights
+/// recover an unweighted estimate up to interpolation convention). Built
+/// for merging per-stripe
+/// latency reservoirs whose observed counts differ: each reservoir sample
+/// carries weight seen_i / |R_i|, so a lightly-loaded stripe no longer
+/// drowns out a heavily-loaded one (the unweighted-concatenation bias).
+/// Requires equal non-zero lengths, weights > 0, q in [0, 1].
+double WeightedPercentile(const std::vector<double>& v,
+                          const std::vector<double>& w, double q);
+
 /// Pearson correlation coefficient of two equal-length samples.
 /// Fails on mismatched lengths, n < 2, or a zero-variance side.
 Result<double> PearsonCorrelation(const std::vector<double>& x,

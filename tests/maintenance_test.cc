@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "data/synthetic.h"
+#include "inflex/hit_accounting.h"
 #include "inflex/index_maintainer.h"
 #include "inflex/inflex_index.h"
 #include "inflex/query_engine.h"
@@ -697,6 +698,111 @@ TEST_F(MaintenanceTest, DecaySweepEvictsColdPointsAndRetiresTheirItems) {
   EXPECT_EQ(again.ValueOrDie().outcome, core::DeltaOutcome::kAdmitted)
       << "evicting a point must retire its item";
   m.Drain();
+}
+
+// Post-eviction staleness window (the corpus's post-eviction category seed):
+// an eviction publish renumbers index points, so cached answers minted under
+// the old epoch carry neighbors_used ids in the OLD numbering. Those entries
+// must (a) never be served again — the epoch-tagged cache key makes them
+// unreachable — and (b) never feed PointHitAccounting under the new epoch:
+// Record() drops epoch-mismatched observations, and the publish-time Fold
+// remaps in-flight old-epoch tallies through old_to_new. A regression in
+// either direction would mis-credit hit scores and steer later sweeps at the
+// wrong points.
+TEST_F(MaintenanceTest, PostEvictionStaleCacheNeverFeedsHitAccounting) {
+  auto initial = InitialGeneration();
+  core::QueryEngineOptions eopts;
+  eopts.enable_cache = true;
+  eopts.enable_hit_accounting = true;
+  core::QueryEngine engine(initial, eopts);
+  auto mopts = FastOptions();
+  mopts.min_point_age_generations = 1;
+  mopts.min_index_points = 4;
+  core::IndexMaintainer m(initial, &dataset_->graph, &engine, mopts);
+
+  // Two publishes append corner points 16 and 17.
+  ASSERT_TRUE(m.SubmitDelta(CornerDelta(0)).ok());
+  m.Drain();
+  ASSERT_TRUE(m.SubmitDelta(CornerDelta(1)).ok());
+  m.Drain();
+  ASSERT_EQ(m.stats().index_points, 18u);
+  const uint64_t pre_sweep_epoch = engine.index_epoch();
+
+  // Warm the cache at the corner mixtures: these entries reference the
+  // corner points (ids 16/17) under the pre-sweep epoch...
+  const auto gen = m.current();
+  for (size_t corner = 0; corner < 2; ++corner) {
+    core::QueryRequest req;
+    req.item = CornerDelta(corner).item;
+    req.k = 6;
+    auto r = engine.Query(req);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.ValueOrDie().epsilon_exact);
+    ASSERT_GE(r.ValueOrDie().neighbors_used.front().point_id, 16u);
+  }
+  // ...and heat every point EXCEPT base point 3, so the sweep evicts a
+  // low-numbered point and the survivors above it really renumber.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint32_t id = 0; id < 18; ++id) {
+      if (id == 3) continue;
+      core::QueryRequest req;
+      req.item =
+          simplex::TopicDistribution::Create(gen->index_point(id)).ValueOrDie();
+      req.k = 6;
+      ASSERT_TRUE(engine.Query(req).ok());
+    }
+  }
+
+  m.RequestDecaySweep();
+  m.Drain();
+  ASSERT_EQ(m.stats().points_evicted, 1u);
+  ASSERT_EQ(m.current()->num_index_points(), 17u);
+  ASSERT_GT(engine.index_epoch(), pre_sweep_epoch);
+
+  // The fold followed the renumbering: scores exist for exactly the 17
+  // survivors, and the heated ex-17 corner point (now id 16) kept a warm
+  // score while no phantom score survived for the evicted row.
+  const std::vector<double> scores = engine.HitScores();
+  ASSERT_EQ(scores.size(), 17u);
+  EXPECT_GT(scores[16], 0.0) << "surviving corner point lost its history";
+
+  // Re-asking a corner query under the new epoch must MISS (the stale entry
+  // with old point ids is unreachable) and recompute against the renumbered
+  // generation, crediting valid point ids only.
+  for (size_t corner = 0; corner < 2; ++corner) {
+    core::QueryRequest req;
+    req.item = CornerDelta(corner).item;
+    req.k = 6;
+    auto r = engine.Query(req);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.ValueOrDie().from_cache)
+        << "stale pre-eviction cache entry served under the new epoch";
+    EXPECT_EQ(r.ValueOrDie().generation, engine.index_epoch());
+    for (const auto& n : r.ValueOrDie().neighbors_used) {
+      EXPECT_LT(n.point_id, 17u)
+          << "answer references a renumbered-away point id";
+    }
+  }
+
+  // Direct stale-epoch probe at the accounting layer: an observation tagged
+  // with the pre-sweep epoch (as a late Record() racing the publish would
+  // be) is dropped, not credited to whatever now occupies those row ids.
+  core::PointHitAccounting accounting(18);
+  std::vector<bbtree::Neighbor> stale = {{17u, 0.0}};
+  accounting.Record(0, stale);  // live epoch: credited
+  std::vector<uint32_t> old_to_new(18);
+  for (uint32_t id = 0; id < 18; ++id) {
+    old_to_new[id] = id < 3 ? id
+                   : id == 3 ? core::kDroppedIndexPoint
+                             : id - 1;
+  }
+  accounting.Fold(1, 17, old_to_new);
+  ASSERT_EQ(accounting.HitScores().size(), 17u);
+  const double folded = accounting.HitScores()[16];
+  EXPECT_GT(folded, 0.0) << "pre-fold credit must follow the remap (17->16)";
+  accounting.Record(0, stale);  // stale epoch, old id: must be dropped
+  EXPECT_EQ(accounting.HitScores()[16], folded)
+      << "stale-epoch observation leaked into the renumbered tally";
 }
 
 // With retire_admitted_items=false the maintainer keeps vouching coverage

@@ -330,10 +330,11 @@ TEST_F(OracleTest, MaintainerAttributesPrecomputePerBackend) {
   }
 }
 
-TEST_F(OracleTest, DefaultMaintainerOptionsReproduceCelfPpPath) {
+TEST_F(OracleTest, DefaultMaintainerOptionsReproduceRisPath) {
   // A maintainer with untouched oracle options must publish bit-identical
-  // seed lists to one explicitly configured for the CELF++ backend — the
-  // "no flag, no behavior change" guarantee of the subsystem.
+  // seed lists to one explicitly configured for the RIS backend — RIS is
+  // the default since it cleared the golden-corpus quality gate, and
+  // "untouched options" must keep meaning exactly one reproducible path.
   const auto delta = CornerDelta(3);
   std::vector<rank::RankedList> lists;
   for (const bool explicit_backend : {false, true}) {
@@ -341,7 +342,7 @@ TEST_F(OracleTest, DefaultMaintainerOptionsReproduceCelfPpPath) {
     core::IndexMaintainerOptions mopts;
     mopts.oracle_snapshots = 20;
     mopts.admission_threshold = 0.05;
-    if (explicit_backend) mopts.oracle.backend = OracleBackend::kCelfPp;
+    if (explicit_backend) mopts.oracle.backend = OracleBackend::kRis;
     core::IndexMaintainer m(initial, &dataset_->graph, nullptr, mopts);
     auto receipt = m.SubmitDelta(delta);
     ASSERT_TRUE(receipt.ok());

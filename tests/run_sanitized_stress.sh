@@ -25,9 +25,9 @@ cmake -B "$BUILD" -S "$SRC" \
   -DINFLEX_BUILD_TOOLS=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 
-echo "== build (serving_test maintenance_test oracle_test util_test net_test)"
+echo "== build (serving_test maintenance_test oracle_test util_test net_test quality_test)"
 cmake --build "$BUILD" --target serving_test maintenance_test oracle_test \
-  util_test net_test -j "$(nproc)" > /dev/null
+  util_test net_test quality_test -j "$(nproc)" > /dev/null
 
 echo "== run serving stress + thread-pool tests under TSan"
 # halt_on_error: any reported race is a hard failure, not a log line.
@@ -54,6 +54,13 @@ echo "== run per-backend oracle admission storms under TSan"
 TSAN_OPTIONS="halt_on_error=1 suppressions=$SRC/tests/tsan.supp ${TSAN_OPTIONS:-}" \
   "$BUILD/tests/oracle_test" \
   --gtest_filter='OracleTest.ConcurrentStormMatchesSerialReplayPerBackend:OracleTest.Sketch*'
+
+echo "== run relevance scorer golden replay under TSan"
+# The scorer drives the full serving + maintenance pipeline (admission,
+# background precompute, decay sweep, epoch-keyed cache) per backend; under
+# TSan it must still reproduce the committed report byte-for-byte.
+TSAN_OPTIONS="halt_on_error=1 suppressions=$SRC/tests/tsan.supp ${TSAN_OPTIONS:-}" \
+  "$BUILD/tests/quality_test"
 
 echo "== run network loopback storm under TSan"
 # The TCP front end's three planes (IO thread, admission queue, workers)

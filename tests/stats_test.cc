@@ -270,6 +270,44 @@ TEST(DescriptiveTest, PercentileInterpolatesOrderStatistics) {
   EXPECT_NEAR(Percentile({3.5}, 0.99), 3.5, 1e-12);
 }
 
+TEST(DescriptiveTest, WeightedPercentileBasics) {
+  // Equal weights behave like an unweighted estimate: the median of
+  // {1,2,3} is 2, extremes clamp to the extreme samples.
+  const std::vector<double> v = {3.0, 1.0, 2.0};  // unsorted on purpose
+  const std::vector<double> w = {1.0, 1.0, 1.0};
+  EXPECT_NEAR(WeightedPercentile(v, w, 0.5), 2.0, 1e-12);
+  EXPECT_NEAR(WeightedPercentile(v, w, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(WeightedPercentile(v, w, 1.0), 3.0, 1e-12);
+  EXPECT_NEAR(WeightedPercentile({7.0}, {2.5}, 0.95), 7.0, 1e-12);
+}
+
+TEST(DescriptiveTest, WeightedPercentileSkewedLoadMergeBias) {
+  // The striped-reservoir merge scenario (QueryEngine::cumulative_stats):
+  // a hot stripe observed 9900 fast requests (reservoir: 100 samples of
+  // 1 ms, each standing in for 99 observations) and a cold stripe observed
+  // 100 slow requests (reservoir: 100 samples of 1000 ms, weight 1 each).
+  // 99% of real traffic was 1 ms, so p50 and even p95 must be 1 ms.
+  std::vector<double> samples;
+  std::vector<double> weights;
+  std::vector<double> unweighted;
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back(1.0);
+    weights.push_back(99.0);
+    samples.push_back(1000.0);
+    weights.push_back(1.0);
+    unweighted.push_back(1.0);
+    unweighted.push_back(1000.0);
+  }
+  // The old unweighted concatenation reported the tail of the COLD stripe:
+  // half the merged samples are 1000 ms, so p95 looked like 1000 ms.
+  EXPECT_GT(Percentile(unweighted, 0.95), 999.0);
+  // Weighted by observed counts, the estimate follows the true stream.
+  EXPECT_NEAR(WeightedPercentile(samples, weights, 0.50), 1.0, 1e-9);
+  EXPECT_NEAR(WeightedPercentile(samples, weights, 0.95), 1.0, 1e-9);
+  // The true p99+ tail is still visible at the right quantile.
+  EXPECT_GT(WeightedPercentile(samples, weights, 0.999), 500.0);
+}
+
 TEST(DescriptiveTest, PearsonPerfectCorrelation) {
   const std::vector<double> x = {1, 2, 3, 4, 5};
   const std::vector<double> y = {2, 4, 6, 8, 10};

@@ -218,13 +218,15 @@ Result<std::unique_ptr<ServingStack>> BuildStack(
   auto admission = args.GetDouble("admission-threshold", 0.05);
   auto delta_snapshots = args.GetInt("delta-snapshots", 30);
   auto pending_high = args.GetInt("pending-high", 0);
-  // --oracle picks the stage-2 seed-precompute backend; celfpp (the
-  // default) reproduces the historical snapshot-CELF++ path bit-for-bit.
-  // Validated up front so a typo fails fast even in replay mode (which
-  // never builds a maintainer).
+  // --oracle picks the stage-2 seed-precompute backend; ris (the default,
+  // quality-gate-verified against exact-CELF++ goldens — DESIGN.md §15)
+  // gives the cheap admission-time precompute, --oracle celfpp reproduces
+  // the historical snapshot-CELF++ path bit-for-bit. Validated up front so
+  // a typo fails fast even in replay mode (which never builds a
+  // maintainer).
   INFLEX_ASSIGN_OR_RETURN(
       const oracle::OracleBackend oracle_backend,
-      oracle::ParseOracleBackend(args.GetString("oracle", "celfpp")));
+      oracle::ParseOracleBackend(args.GetString("oracle", "ris")));
   const bool no_cache = args.HasFlag("no-cache");
   for (const auto* r :
        {&threads, &capacity, &shards, &seed, &delta_snapshots, &pending_high}) {
