@@ -7,6 +7,9 @@
 //
 // Note: QPS scales with *physical* cores. On a single-core host the threaded
 // rows collapse to ~1x and only the cache rows show gains.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
@@ -26,6 +29,8 @@
 #include "simplex/divergence.h"
 #include "simplex/kl_kernel_simd.h"
 #include "simplex/sampling.h"
+#include "tenant/tenant_registry.h"
+#include "tenant/tenant_router.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -109,10 +114,37 @@ struct OracleSummary {
   std::vector<OracleRow> rows;
 };
 
+/// One quiet tenant's row of the noisy-neighbor scenario: its p99 served
+/// alone versus served next to the flooding hot tenant.
+struct TenantQuietRow {
+  std::string tenant;
+  size_t requests = 0;
+  double solo_p99_ms = 0.0;
+  double storm_p99_ms = 0.0;
+  /// storm_p99 / solo_p99 — the number the checker gates.
+  double isolation_ratio = 0.0;
+  uint64_t shed = 0;
+};
+
+/// Summary of the multi-tenant noisy-neighbor scenario.
+struct TenantSummary {
+  bool quick = false;
+  size_t quiet_tenants = 0;
+  double hot_budget_qps = 0.0;
+  size_t hot_attempts = 0;
+  uint64_t hot_admitted = 0;
+  uint64_t hot_shed = 0;
+  double hot_shed_rate = 0.0;
+  double hot_p99_ms = 0.0;
+  double isolation_ratio_max = 0.0;
+  std::vector<TenantQuietRow> rows;
+};
+
 void WriteServingJson(double serial_qps, double serial_kl_per_query,
                       const std::vector<ServingRow>& rows,
                       const ChurnSummary& churn,
-                      const OracleSummary& oracle_summary) {
+                      const OracleSummary& oracle_summary,
+                      const TenantSummary& tenants) {
   const char* path = "BENCH_serving.json";
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -198,6 +230,36 @@ void WriteServingJson(double serial_qps, double serial_kl_per_query,
         r.admit_to_publish_max_ms, r.precompute_mean_ms, r.mean_spread,
         r.quality_vs_celfpp, r.speedup_vs_celfpp,
         i + 1 < oracle_summary.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
+  // The multi-tenant noisy-neighbor section: one hot tenant flooding against
+  // its per-tenant budget next to quiet tenants, each quiet tenant's p99
+  // under the storm versus served alone. check_bench_json.py gates the
+  // isolation ratio (full runs, multi-core hosts).
+  std::fprintf(
+      f,
+      "  \"tenants\": {\n"
+      "    \"quick\": %s, \"quiet_tenants\": %zu, "
+      "\"isolation_ratio_max\": %.3f,\n"
+      "    \"hot\": {\"tenant\": \"hot\", \"budget_qps\": %.0f, "
+      "\"attempts\": %zu, \"admitted\": %llu, \"shed\": %llu, "
+      "\"shed_rate\": %.4f, \"p99_ms\": %.4f},\n"
+      "    \"rows\": [\n",
+      tenants.quick ? "true" : "false", tenants.quiet_tenants,
+      tenants.isolation_ratio_max, tenants.hot_budget_qps,
+      tenants.hot_attempts,
+      static_cast<unsigned long long>(tenants.hot_admitted),
+      static_cast<unsigned long long>(tenants.hot_shed),
+      tenants.hot_shed_rate, tenants.hot_p99_ms);
+  for (size_t i = 0; i < tenants.rows.size(); ++i) {
+    const TenantQuietRow& r = tenants.rows[i];
+    std::fprintf(f,
+                 "      {\"tenant\": \"%s\", \"requests\": %zu, "
+                 "\"solo_p99_ms\": %.4f, \"storm_p99_ms\": %.4f, "
+                 "\"isolation_ratio\": %.3f, \"shed\": %llu}%s\n",
+                 r.tenant.c_str(), r.requests, r.solo_p99_ms, r.storm_p99_ms,
+                 r.isolation_ratio, static_cast<unsigned long long>(r.shed),
+                 i + 1 < tenants.rows.size() ? "," : "");
   }
   std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
@@ -501,6 +563,167 @@ ChurnSummary RunChurnScenario(const Testbed& tb,
   return out;
 }
 
+double P99Ms(std::vector<double>* latencies_ms) {
+  if (latencies_ms->empty()) return 0.0;
+  std::sort(latencies_ms->begin(), latencies_ms->end());
+  return (*latencies_ms)[static_cast<size_t>(
+      0.99 * static_cast<double>(latencies_ms->size() - 1))];
+}
+
+/// The noisy-neighbor scenario: one "hot" tenant floods the shared serving
+/// plane from multiple threads while quiet tenants serve their normal
+/// traces. The hot tenant's token bucket sheds the flood at the admission
+/// layer — a shed costs a bucket probe, not a KL search — so the quiet
+/// tenants' tail latency must stay within a small factor of what they see
+/// serving alone. Caches are off: every admitted query pays the real search
+/// cost, which is exactly the resource the flood would otherwise steal.
+TenantSummary RunTenantScenario(const Testbed& tb,
+                                const std::vector<core::QueryRequest>& trace,
+                                bool quick) {
+  TenantSummary out;
+  out.quick = quick;
+  constexpr size_t kQuiet = 3;
+  constexpr size_t kFlooders = 2;
+  out.quiet_tenants = kQuiet;
+  auto initial = std::make_shared<core::InflexIndex>(*tb.index);
+
+  tenant::TenantRegistry registry;
+  tenant::TenantRouter router(&registry);
+
+  const auto make_tenant = [&](const std::string& id,
+                               const tenant::TenantBudget& budget) {
+    tenant::TenantOptions topts;
+    topts.id = id;
+    topts.budget = budget;
+    topts.engine.enable_cache = false;
+    topts.with_maintainer = false;  // query-only: the scenario floods reads
+    auto created = registry.CreateTenant(topts, initial, &tb.graph());
+    INFLEX_CHECK(created.ok());
+    return created.ValueOrDie();
+  };
+
+  tenant::TenantBudget hot_budget;
+  hot_budget.query_rate_per_sec = 200.0;
+  hot_budget.query_burst = 50.0;
+  out.hot_budget_qps = hot_budget.query_rate_per_sec;
+  const auto hot = make_tenant("hot", hot_budget);
+  std::vector<std::shared_ptr<tenant::Tenant>> quiet;
+  for (size_t i = 0; i < kQuiet; ++i) {
+    quiet.push_back(make_tenant("quiet-" + std::to_string(i),
+                                tenant::TenantBudget{}));  // unlimited
+  }
+
+  const size_t per_quiet = quick ? 256 : 1024;
+
+  // One quiet tenant's serving loop: route -> query -> record the latency.
+  const auto run_quiet = [&](tenant::Tenant* t, std::vector<double>* lat) {
+    for (size_t i = 0; i < per_quiet; ++i) {
+      const auto& req = trace[i % trace.size()];
+      Timer qt;
+      auto route = router.RouteQuery(t->id());
+      if (route.decision != tenant::RouteDecision::kOk) continue;
+      if (route.tenant->engine()->Query(req).ok()) {
+        lat->push_back(qt.ElapsedSeconds() * 1e3);
+      }
+    }
+  };
+
+  // The hot tenant's flood loop: hammer until the quiet tenants finish. A
+  // shed client honors the retry-after interval instead of spinning (that is
+  // what the wire layer tells it to do), so the flood stays a steady
+  // thousands-of-attempts-per-second stream, not a busy-wait that measures
+  // raw CPU contention.
+  std::atomic<bool> storm_done{false};
+  const auto run_hot = [&](std::vector<double>* lat, size_t* attempts) {
+    size_t i = 0;
+    while (!storm_done.load(std::memory_order_relaxed)) {
+      const auto& req = trace[i++ % trace.size()];
+      ++*attempts;
+      auto route = router.RouteQuery("hot");
+      if (route.decision != tenant::RouteDecision::kOk) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      Timer qt;
+      if (route.tenant->engine()->Query(req).ok()) {
+        lat->push_back(qt.ElapsedSeconds() * 1e3);
+      }
+    }
+  };
+
+  // Phase A — solo baseline: the quiet tenants serve concurrently with each
+  // other (that is their steady state) but with no hot tenant traffic.
+  std::vector<std::vector<double>> solo_lat(kQuiet);
+  {
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < kQuiet; ++i) {
+      threads.emplace_back(run_quiet, quiet[i].get(), &solo_lat[i]);
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  // Phase B — the storm: same quiet workload, now next to the flood.
+  std::vector<std::vector<double>> storm_lat(kQuiet);
+  std::vector<std::vector<double>> hot_lat(kFlooders);
+  std::vector<size_t> hot_attempts(kFlooders, 0);
+  {
+    std::vector<std::thread> flooders;
+    for (size_t i = 0; i < kFlooders; ++i) {
+      flooders.emplace_back(run_hot, &hot_lat[i], &hot_attempts[i]);
+    }
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < kQuiet; ++i) {
+      threads.emplace_back(run_quiet, quiet[i].get(), &storm_lat[i]);
+    }
+    for (auto& th : threads) th.join();
+    storm_done.store(true, std::memory_order_relaxed);
+    for (auto& th : flooders) th.join();
+  }
+
+  std::vector<double> hot_all;
+  for (size_t i = 0; i < kFlooders; ++i) {
+    out.hot_attempts += hot_attempts[i];
+    hot_all.insert(hot_all.end(), hot_lat[i].begin(), hot_lat[i].end());
+  }
+  const tenant::TenantStats hot_stats = hot->Snapshot();
+  out.hot_admitted = hot_stats.queries_admitted;
+  out.hot_shed = hot_stats.queries_shed;
+  out.hot_shed_rate =
+      out.hot_attempts > 0
+          ? static_cast<double>(out.hot_shed) /
+                static_cast<double>(out.hot_attempts)
+          : 0.0;
+  out.hot_p99_ms = P99Ms(&hot_all);
+
+  std::printf("  %-10s %10s %12s %12s %10s %8s\n", "tenant", "requests",
+              "solo p99 ms", "storm p99 ms", "isolation", "shed");
+  for (size_t i = 0; i < kQuiet; ++i) {
+    TenantQuietRow row;
+    row.tenant = quiet[i]->id();
+    row.requests = per_quiet;
+    row.solo_p99_ms = P99Ms(&solo_lat[i]);
+    row.storm_p99_ms = P99Ms(&storm_lat[i]);
+    row.isolation_ratio =
+        row.solo_p99_ms > 0.0 ? row.storm_p99_ms / row.solo_p99_ms : 0.0;
+    row.shed = quiet[i]->Snapshot().queries_shed;
+    if (row.isolation_ratio > out.isolation_ratio_max) {
+      out.isolation_ratio_max = row.isolation_ratio;
+    }
+    std::printf("  %-10s %10zu %12.4f %12.4f %9.2fx %8llu\n",
+                row.tenant.c_str(), row.requests, row.solo_p99_ms,
+                row.storm_p99_ms, row.isolation_ratio,
+                static_cast<unsigned long long>(row.shed));
+    out.rows.push_back(std::move(row));
+  }
+  std::printf(
+      "  hot: %zu attempts, %llu admitted, %llu shed (%.1f%%), "
+      "admitted p99 %.4f ms\n",
+      out.hot_attempts, static_cast<unsigned long long>(out.hot_admitted),
+      static_cast<unsigned long long>(out.hot_shed),
+      100.0 * out.hot_shed_rate, out.hot_p99_ms);
+  return out;
+}
+
 /// Mean KL evaluations per successfully served request (0 for fully cached
 /// batches — cache hits run no search).
 double MeanKlEvaluations(const std::vector<Result<core::QueryResult>>& results) {
@@ -637,8 +860,12 @@ int main(int argc, char** argv) {
   std::printf("\nOracle A/B: admission-time precompute per backend\n");
   const OracleSummary oracle_summary = RunOracleScenario(tb, quick);
 
+  std::printf("\nMulti-tenant noisy neighbor: hot tenant flood vs %d quiet "
+              "tenants\n", 3);
+  const TenantSummary tenant_summary = RunTenantScenario(tb, trace, quick);
+
   WriteServingJson(serial_qps, serial_kl_per_query, rows, churn,
-                   oracle_summary);
+                   oracle_summary, tenant_summary);
 
   std::printf(
       "\nShape to expect: uncached QPS grows with threads up to the physical "

@@ -127,13 +127,16 @@ Result<WireResponse> InflexClient::Call(const WireRequest& request) {
 
 Result<WireResponse> InflexClient::Query(const core::QueryRequest& request,
                                          uint32_t deadline_ms) {
-  return Call(MakeQueryRequest(request, deadline_ms));
+  WireRequest wire = MakeQueryRequest(request, deadline_ms);
+  wire.tenant = tenant_;
+  return Call(wire);
 }
 
 Result<WireResponse> InflexClient::Ping() {
   WireRequest request;
   request.type = MessageType::kPing;
   request.gamma = {1.0};  // payload layout always carries a mixture
+  request.tenant = tenant_;
   return Call(request);
 }
 
@@ -143,6 +146,7 @@ Result<WireResponse> InflexClient::SubmitDelta(
   request.type = MessageType::kDelta;
   request.gamma = item_gamma;
   request.delta_id = delta_id;
+  request.tenant = tenant_;
   return Call(request);
 }
 

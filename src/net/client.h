@@ -35,11 +35,13 @@ class InflexClient {
   ~InflexClient() { Close(); }
 
   InflexClient(InflexClient&& other) noexcept
-      : fd_(std::exchange(other.fd_, -1)) {}
+      : fd_(std::exchange(other.fd_, -1)),
+        tenant_(std::move(other.tenant_)) {}
   InflexClient& operator=(InflexClient&& other) noexcept {
     if (this != &other) {
       Close();
       fd_ = std::exchange(other.fd_, -1);
+      tenant_ = std::move(other.tenant_);
     }
     return *this;
   }
@@ -48,6 +50,13 @@ class InflexClient {
 
   /// Sends one request frame and blocks for its response frame.
   Result<WireResponse> Call(const WireRequest& request);
+
+  /// Tenant/catalog id stamped into every request the convenience wrappers
+  /// below build (Call sends its argument verbatim). Empty (the default)
+  /// emits tenant-free frames byte-identical to a pre-tenant v1 client,
+  /// which servers route to the default tenant.
+  void set_tenant(std::string tenant) { tenant_ = std::move(tenant); }
+  const std::string& tenant() const { return tenant_; }
 
   /// Convenience wrappers over Call().
   Result<WireResponse> Query(const core::QueryRequest& request,
@@ -66,6 +75,7 @@ class InflexClient {
   Status ReadExactly(uint8_t* data, size_t size);
 
   int fd_ = -1;
+  std::string tenant_;
 };
 
 }  // namespace net

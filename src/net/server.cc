@@ -230,8 +230,13 @@ void InflexServer::Stop() {
   }
 
   // 5. Quiesce the maintenance plane last: every delta acknowledged over the
-  // wire is published (or superseded) before Stop() returns.
-  if (options_.maintainer != nullptr) options_.maintainer->Drain();
+  // wire is published (or superseded) before Stop() returns. In multi-tenant
+  // mode every registered tenant's pipeline drains.
+  if (options_.router != nullptr) {
+    for (const auto& t : options_.router->registry()->List()) t->Drain();
+  } else if (options_.maintainer != nullptr) {
+    options_.maintainer->Drain();
+  }
 
   running_.store(false, std::memory_order_release);
 }
@@ -468,9 +473,33 @@ void InflexServer::HandleFrame(Connection* conn,
   }
   WireRequest request = std::move(decoded).ValueOrDie();
 
+  // Tenant resolution happens before anything request-type specific: every
+  // answer (including ping epochs) must come from the tenant's own catalog.
+  std::shared_ptr<tenant::Tenant> resolved;
+  if (options_.router != nullptr) {
+    resolved = options_.router->registry()->Resolve(request.tenant);
+    if (resolved == nullptr) {
+      WireResponse resp;
+      resp.status = WireStatus::kInvalidRequest;
+      resp.message = "unknown tenant '" + request.tenant + "'";
+      RespondNow(conn, seq, resp);
+      return;
+    }
+  } else if (!request.tenant.empty() &&
+             request.tenant != tenant::kDefaultTenantId) {
+    // Single-tenant server: serving a named tenant from the only catalog
+    // would silently cross catalogs, so reject instead.
+    WireResponse resp;
+    resp.status = WireStatus::kInvalidRequest;
+    resp.message = "server is not multi-tenant (tenant '" + request.tenant +
+                   "' requested)";
+    RespondNow(conn, seq, resp);
+    return;
+  }
+
   if (request.type == MessageType::kPing) {
     WireResponse resp;
-    resp.epoch = engine_->index_epoch();
+    resp.epoch = EngineFor(resolved)->index_epoch();
     RespondNow(conn, seq, resp);
     return;
   }
@@ -485,11 +514,24 @@ void InflexServer::HandleFrame(Connection* conn,
   }
 
   if (request.type == MessageType::kDelta) {
-    RespondNow(conn, seq, HandleDelta(request));
+    RespondNow(conn, seq, HandleDelta(request, resolved));
     return;
   }
 
-  // kQuery.
+  // kQuery. Per-tenant budget first: a tenant that burned its token bucket
+  // is shed here, before it can occupy a slot in the shared admission queue.
+  if (resolved != nullptr &&
+      !options_.router->AdmitQuery(resolved.get())) {
+    counters_.shed.fetch_add(1, std::memory_order_relaxed);
+    WireResponse resp;
+    resp.status = WireStatus::kOverloaded;
+    resp.retry_after_ms = options_.retry_after_ms;
+    resp.epoch = resolved->engine()->index_epoch();
+    resp.message = "tenant query budget exhausted";
+    RespondNow(conn, seq, resp);
+    return;
+  }
+
   WireResponse reject;
   reject.status = WireStatus::kInvalidRequest;
   if (request.k == 0) {
@@ -513,6 +555,8 @@ void InflexServer::HandleFrame(Connection* conn,
   pending.query.options = request.ToQueryOptions();
   pending.deadline_ms = request.deadline_ms != 0 ? request.deadline_ms
                                                  : options_.default_deadline_ms;
+  pending.tenant = resolved;
+  core::QueryEngine* pending_engine = EngineFor(resolved);
 
   std::vector<Completion> expired;
   const bool admitted = TryAdmit(std::move(pending), &expired);
@@ -526,18 +570,24 @@ void InflexServer::HandleFrame(Connection* conn,
     WireResponse resp;
     resp.status = WireStatus::kOverloaded;
     resp.retry_after_ms = options_.retry_after_ms;
-    resp.epoch = engine_->index_epoch();
+    resp.epoch = pending_engine->index_epoch();
     resp.message = "admission queue over high-water mark";
     RespondNow(conn, seq, resp);
   }
 }
 
-WireResponse InflexServer::HandleDelta(const WireRequest& request) {
+WireResponse InflexServer::HandleDelta(
+    const WireRequest& request,
+    const std::shared_ptr<tenant::Tenant>& tenant) {
   WireResponse resp;
-  resp.epoch = engine_->index_epoch();
-  if (options_.maintainer == nullptr) {
+  resp.epoch = EngineFor(tenant)->index_epoch();
+  core::IndexMaintainer* maintainer =
+      tenant != nullptr ? tenant->maintainer() : options_.maintainer;
+  if (maintainer == nullptr) {
     resp.status = WireStatus::kInvalidRequest;
-    resp.message = "server has no maintenance plane";
+    resp.message = tenant != nullptr
+                       ? "tenant '" + tenant->id() + "' has no maintenance plane"
+                       : "server has no maintenance plane";
     return resp;
   }
   Result<simplex::TopicDistribution> item =
@@ -547,10 +597,11 @@ WireResponse InflexServer::HandleDelta(const WireRequest& request) {
     resp.message = "bad delta mixture: " + item.status().message();
     return resp;
   }
+  if (tenant != nullptr) tenant->RecordDeltaRouted();
   core::CatalogDelta delta;
   delta.id = request.delta_id;
   delta.item = std::move(item).ValueOrDie();
-  Result<core::DeltaReceipt> receipt = options_.maintainer->SubmitDelta(delta);
+  Result<core::DeltaReceipt> receipt = maintainer->SubmitDelta(delta);
   if (!receipt.ok()) {
     resp.status = WireStatus::kInvalidRequest;
     resp.message = receipt.status().message();
@@ -559,10 +610,13 @@ WireResponse InflexServer::HandleDelta(const WireRequest& request) {
   const core::DeltaReceipt& r = receipt.ValueOrDie();
   resp.delta_outcome = static_cast<uint16_t>(r.outcome) + 1;
   if (r.outcome == core::DeltaOutcome::kRetryLater) {
+    // The tenant's pending_high_watermark is its bounded delta queue: the
+    // bounce degrades only the tenant that filled it.
     resp.status = WireStatus::kOverloaded;
     resp.retry_after_ms = options_.retry_after_ms;
     resp.message = "maintenance plane over high-water mark";
     counters_.deltas_deferred.fetch_add(1, std::memory_order_relaxed);
+    if (tenant != nullptr) tenant->RecordDeltaDeferred();
   } else {
     counters_.deltas_submitted.fetch_add(1, std::memory_order_relaxed);
   }
@@ -665,6 +719,7 @@ void InflexServer::RouteCompletions(std::vector<Completion> completions) {
 
 bool InflexServer::TryAdmit(PendingRequest pending,
                             std::vector<Completion>* expired) {
+  core::QueryEngine* pending_engine = EngineFor(pending.tenant);
   uint64_t expired_count = 0;
   bool shed_this = false;
   size_t depth = 0;
@@ -679,13 +734,15 @@ bool InflexServer::TryAdmit(PendingRequest pending,
              queue_.front().enqueued.ElapsedMillis() >
                  queue_.front().deadline_ms) {
         PendingRequest& dead = queue_.front();
+        core::QueryEngine* dead_engine = EngineFor(dead.tenant);
         WireResponse resp;
         resp.status = WireStatus::kDeadlineExceeded;
-        resp.epoch = engine_->index_epoch();
+        resp.epoch = dead_engine->index_epoch();
         resp.queue_ms = dead.enqueued.ElapsedMillis();
         resp.message = "deadline expired in admission queue";
         expired->push_back(
             {dead.conn_id, dead.seq, EncodeResponseFrame(resp)});
+        dead_engine->RecordDeadlineExpired(1);
         queue_.pop_front();
         ++expired_count;
       }
@@ -700,12 +757,13 @@ bool InflexServer::TryAdmit(PendingRequest pending,
   }
   PublishQueueDepth(depth);
   if (expired_count > 0) {
-    engine_->RecordDeadlineExpired(expired_count);
     counters_.deadline_expired.fetch_add(expired_count,
                                          std::memory_order_relaxed);
   }
   if (shed_this) {
-    engine_->RecordLoadShed(1);
+    // Attributed to the shedding request's own tenant engine: the global
+    // queue protects the shared pool, but the dashboard charge stays local.
+    pending_engine->RecordLoadShed(1);
     counters_.shed.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -750,42 +808,62 @@ void InflexServer::WorkerLoop() {
 
 void InflexServer::ServeBatch(std::vector<PendingRequest> batch) {
   // Deadline re-check at pop: entries that expired while queued are answered
-  // without touching the engine.
+  // without touching any engine.
   std::vector<Completion> out;
   out.reserve(batch.size());
-  std::vector<const PendingRequest*> live;
-  std::vector<core::QueryRequest> requests;
-  std::vector<double> queue_waits;
-  live.reserve(batch.size());
-  requests.reserve(batch.size());
   uint64_t expired_count = 0;
+
+  // Group the live requests by tenant engine, preserving arrival order
+  // within each group, and run ONE QueryBatch per engine — each tenant's
+  // batch fans across the shared pool but folds stats into its own engine.
+  // Single-tenant traffic collapses to one group, i.e. the original path.
+  struct EngineGroup {
+    core::QueryEngine* engine = nullptr;
+    std::vector<const PendingRequest*> live;
+    std::vector<core::QueryRequest> requests;
+    std::vector<double> queue_waits;
+  };
+  std::vector<EngineGroup> groups;
   for (PendingRequest& p : batch) {
+    core::QueryEngine* engine = EngineFor(p.tenant);
     double waited = p.enqueued.ElapsedMillis();
     if (p.deadline_ms > 0 && waited > p.deadline_ms) {
       WireResponse resp;
       resp.status = WireStatus::kDeadlineExceeded;
-      resp.epoch = engine_->index_epoch();
+      resp.epoch = engine->index_epoch();
       resp.queue_ms = waited;
       resp.message = "deadline expired in admission queue";
       out.push_back({p.conn_id, p.seq, EncodeResponseFrame(resp)});
+      engine->RecordDeadlineExpired(1);
       ++expired_count;
       continue;
     }
-    live.push_back(&p);
-    requests.push_back(p.query);  // copy: p owns routing metadata
-    queue_waits.push_back(waited);
+    EngineGroup* group = nullptr;
+    for (EngineGroup& g : groups) {
+      if (g.engine == engine) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back();
+      group = &groups.back();
+      group->engine = engine;
+    }
+    group->live.push_back(&p);
+    group->requests.push_back(p.query);  // copy: p owns routing metadata
+    group->queue_waits.push_back(waited);
   }
   if (expired_count > 0) {
-    engine_->RecordDeadlineExpired(expired_count);
     counters_.deadline_expired.fetch_add(expired_count,
                                          std::memory_order_relaxed);
   }
 
   uint64_t ok = 0;
   uint64_t failed = 0;
-  if (!requests.empty()) {
+  for (EngineGroup& group : groups) {
     std::vector<Result<core::QueryResult>> results =
-        engine_->QueryBatch(requests);
+        group.engine->QueryBatch(group.requests);
     for (size_t i = 0; i < results.size(); ++i) {
       WireResponse resp;
       if (results[i].ok()) {
@@ -801,12 +879,12 @@ void InflexServer::ServeBatch(std::vector<PendingRequest> batch) {
         ++ok;
       } else {
         resp.status = WireStatus::kQueryFailed;
-        resp.epoch = engine_->index_epoch();
+        resp.epoch = group.engine->index_epoch();
         resp.message = results[i].status().ToString();
         ++failed;
       }
-      resp.queue_ms = queue_waits[i];
-      out.push_back({live[i]->conn_id, live[i]->seq,
+      resp.queue_ms = group.queue_waits[i];
+      out.push_back({group.live[i]->conn_id, group.live[i]->seq,
                      EncodeResponseFrame(resp)});
     }
   }

@@ -17,6 +17,7 @@
 #include "inflex/index_maintainer.h"
 #include "inflex/query_engine.h"
 #include "net/wire.h"
+#include "tenant/tenant_router.h"
 #include "util/timer.h"
 
 namespace inflex {
@@ -59,7 +60,21 @@ struct InflexServerOptions {
   /// Optional maintenance plane: kDelta requests are submitted here (a
   /// kRetryLater receipt maps to kOverloaded on the wire) and Stop() drains
   /// it after the query pipeline. nullptr rejects deltas as kInvalidRequest.
+  /// Ignored when `router` is set — each tenant then brings its own
+  /// maintainer.
   core::IndexMaintainer* maintainer = nullptr;
+  /// Optional multi-tenant front: when set, every request resolves its wire
+  /// tenant id through the router's registry (empty id = the default
+  /// tenant; unknown ids are kInvalidRequest, never silently cross-catalog)
+  /// and is served by THAT tenant's engine/maintainer. Queries additionally
+  /// pass the tenant's token bucket before the shared admission queue, so an
+  /// over-budget tenant is shed with kOverloaded while everyone else keeps
+  /// their latency. The router (and its registry) must outlive the server;
+  /// the constructor engine then only backs global queue-depth mirroring and
+  /// should be the default tenant's engine. nullptr = classic single-tenant
+  /// serving: the constructor engine serves everything, and a request
+  /// naming any tenant other than "default" is kInvalidRequest.
+  tenant::TenantRouter* router = nullptr;
   /// Test seam: invoked by a worker after popping a batch and before serving
   /// it. The overload and shutdown tests park workers here to make queue
   /// buildup deterministic. Leave empty in production.
@@ -167,6 +182,10 @@ class InflexServer {
     Timer enqueued;
     /// Queue-wait budget in ms (0 = none).
     uint32_t deadline_ms = 0;
+    /// Resolved tenant (nullptr in single-tenant mode). The shared_ptr pins
+    /// the tenant across a concurrent DropTenant: a queued request finishes
+    /// against the engine it was admitted to.
+    std::shared_ptr<tenant::Tenant> tenant;
   };
 
   /// An encoded response traveling worker -> IO loop.
@@ -255,12 +274,21 @@ class InflexServer {
   /// encoded as kDeadlineExceeded completions) before the shed decision.
   bool TryAdmit(PendingRequest pending, std::vector<Completion>* expired);
   /// Handles a kDelta request via the maintainer (IO loop; the admission
-  /// probe is a microsecond 1-NN lookup).
-  WireResponse HandleDelta(const WireRequest& request);
+  /// probe is a microsecond 1-NN lookup). `tenant` is the resolved tenant in
+  /// multi-tenant mode, nullptr otherwise (options_.maintainer serves).
+  WireResponse HandleDelta(const WireRequest& request,
+                           const std::shared_ptr<tenant::Tenant>& tenant);
 
-  /// Worker-side: answers a popped batch through QueryEngine::QueryBatch and
-  /// hands the encoded responses back to the owning IO loops.
+  /// Worker-side: answers a popped batch through QueryEngine::QueryBatch —
+  /// grouped by tenant engine, one batch call per engine — and hands the
+  /// encoded responses back to the owning IO loops.
   void ServeBatch(std::vector<PendingRequest> batch);
+
+  /// The engine serving `tenant` (engine_ when tenant is null).
+  core::QueryEngine* EngineFor(
+      const std::shared_ptr<tenant::Tenant>& tenant) const {
+    return tenant != nullptr ? tenant->engine() : engine_;
+  }
 
   void PublishQueueDepth(size_t depth);
 

@@ -125,6 +125,11 @@ std::vector<uint8_t> SealFrame(std::vector<uint8_t> payload) {
 }
 
 constexpr uint8_t kRequestFlagHasSegmentMask = 1u << 0;
+/// Tenant id present at the END of the payload (after delta_id). Appending
+/// flag-gated fields in flag-bit order is the protocol's forward-evolution
+/// rule: a frame that sets no new flags stays byte-identical to v1, and old
+/// decoders reject flagged frames at ExpectEnd() instead of misparsing them.
+constexpr uint8_t kRequestFlagHasTenant = 1u << 1;
 constexpr uint8_t kResponseFlagFromCache = 1u << 0;
 constexpr uint8_t kResponseFlagEpsilonExact = 1u << 1;
 
@@ -188,13 +193,15 @@ WireRequest MakeQueryRequest(const core::QueryRequest& request,
 std::vector<uint8_t> EncodeRequestFrame(const WireRequest& request) {
   std::vector<uint8_t> payload;
   payload.reserve(64 + request.gamma.size() * sizeof(double) +
-                  request.segment_mask.size() + request.delta_id.size());
+                  request.segment_mask.size() + request.delta_id.size() +
+                  request.tenant.size());
   ByteWriter w(&payload);
   w.Pod(kWireMagic);
   w.Pod(kWireVersion);
   w.Pod(static_cast<uint8_t>(request.type));
-  const uint8_t flags =
-      request.segment_mask.empty() ? 0 : kRequestFlagHasSegmentMask;
+  uint8_t flags = 0;
+  if (!request.segment_mask.empty()) flags |= kRequestFlagHasSegmentMask;
+  if (!request.tenant.empty()) flags |= kRequestFlagHasTenant;
   w.Pod(flags);
   w.Pod(request.k);
   w.Pod(static_cast<uint16_t>(request.strategy));
@@ -207,6 +214,9 @@ std::vector<uint8_t> EncodeRequestFrame(const WireRequest& request) {
     WritePodVector(&w, request.segment_mask);
   }
   WriteString(&w, request.delta_id);
+  if ((flags & kRequestFlagHasTenant) != 0) {
+    WriteString(&w, request.tenant);
+  }
   return SealFrame(std::move(payload));
 }
 
@@ -242,6 +252,9 @@ Result<WireRequest> DecodeRequestPayload(std::span<const uint8_t> payload) {
     INFLEX_RETURN_NOT_OK(r.PodVector(&out.segment_mask));
   }
   INFLEX_RETURN_NOT_OK(r.String(&out.delta_id));
+  if ((flags & kRequestFlagHasTenant) != 0) {
+    INFLEX_RETURN_NOT_OK(r.String(&out.tenant));
+  }
   INFLEX_RETURN_NOT_OK(r.ExpectEnd());
   return out;
 }

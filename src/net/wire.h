@@ -94,6 +94,13 @@ struct WireRequest {
   uint32_t deadline_ms = 0;
   /// Operator-facing identifier of a kDelta request.
   std::string delta_id;
+  /// Tenant/catalog id this request targets. Flag-gated on the wire (the
+  /// first TLV/flag-gated field of the protocol-evolution plan): when empty
+  /// the flag is not set and the encoded frame is byte-identical to a
+  /// pre-tenant v1 frame, and servers route it to the default tenant. A v1
+  /// decoder never sees the field; a tenant-aware decoder reads it only when
+  /// the flag is present.
+  std::string tenant;
 
   /// The QueryOptions this request maps to on the server.
   core::QueryOptions ToQueryOptions() const;

@@ -111,7 +111,8 @@ Result<CorpusWorld> BuildCorpusWorld(const RelevanceCorpus& corpus) {
 Result<BackendReport> ScoreBackend(
     const CorpusWorld& world, const RelevanceCorpus& corpus,
     oracle::OracleBackend backend,
-    std::shared_ptr<const core::InflexIndex> index_override) {
+    std::shared_ptr<const core::InflexIndex> index_override,
+    const ScoreBackendHooks& hooks) {
   const CorpusScenarioConfig& sc = corpus.scenario;
   std::shared_ptr<const core::InflexIndex> initial =
       index_override ? std::move(index_override) : world.base_index;
@@ -203,6 +204,18 @@ Result<BackendReport> ScoreBackend(
       report.points_evicted == sc.evict_deltas.size() &&
       report.final_index_points == base_points + sc.churn_deltas.size();
 
+  // The scenario is replayed; hand the live stack to the transport seam
+  // before any corpus query runs (see ScoreBackendHooks). The guard fires
+  // on EVERY exit path below — a transport that wrapped the engine in a
+  // server must get to tear it down while the engine is still alive.
+  if (hooks.on_scenario_ready) hooks.on_scenario_ready(&engine, &maintainer);
+  struct QueriesDoneGuard {
+    const ScoreBackendHooks& hooks;
+    ~QueriesDoneGuard() {
+      if (hooks.on_queries_done) hooks.on_queries_done();
+    }
+  } queries_done_guard{hooks};
+
   // --- Corpus queries, serial, through the full serving stack.
   const im::MonteCarloOptions mc = RefereeOptions(corpus);
   std::map<std::string, std::vector<const QueryScore*>> by_category;
@@ -211,7 +224,9 @@ Result<BackendReport> ScoreBackend(
     req.item = q.item;
     req.k = q.k;
     req.options.segment_mask = SegmentMask(q.segment, world.graph().num_nodes());
-    INFLEX_ASSIGN_OR_RETURN(core::QueryResult answer, engine.Query(req));
+    INFLEX_ASSIGN_OR_RETURN(
+        core::QueryResult answer,
+        hooks.transport ? hooks.transport(req) : engine.Query(req));
 
     QueryScore score;
     score.id = q.id;

@@ -1,13 +1,16 @@
 #ifndef INFLEX_QUALITY_SCORER_H_
 #define INFLEX_QUALITY_SCORER_H_
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "data/synthetic.h"
+#include "inflex/index_maintainer.h"
 #include "inflex/inflex_index.h"
+#include "inflex/query_engine.h"
 #include "oracle/spread_oracle.h"
 #include "quality/corpus.h"
 #include "quality/json.h"
@@ -88,6 +91,29 @@ struct QualityReport {
   bool passed = false;
 };
 
+/// \brief Test seams letting ScoreBackend's corpus queries travel through an
+/// alternative transport while the scenario replay still drives the scoring
+/// stack directly. This is how the wire plane (frame codec, admission queue,
+/// tenant routing) gets inside the relevance gate: a test wraps the hooked
+/// engine in an InflexServer and answers each corpus query over a loopback
+/// client — the report must come out byte-identical to the in-process run.
+struct ScoreBackendHooks {
+  /// Invoked once, after the scenario replay (churn → heat trace → decay
+  /// sweep) has drained and before the first corpus query. The pointers are
+  /// the scoring stack itself; they die when ScoreBackend returns.
+  std::function<void(core::QueryEngine*, core::IndexMaintainer*)>
+      on_scenario_ready;
+  /// Replaces QueryEngine::Query for the corpus queries when set. Must
+  /// answer from the same serving stack (`on_scenario_ready`'s engine) for
+  /// the report to mean anything.
+  std::function<Result<core::QueryResult>(const core::QueryRequest&)>
+      transport;
+  /// Invoked after the last corpus query, before ScoreBackend returns —
+  /// transports that wrap the engine in a server tear it down here, while
+  /// the engine is still alive.
+  std::function<void()> on_queries_done;
+};
+
 /// Replays the maintenance scenario (churn → heat trace → decay sweep) on a
 /// fresh QueryEngine + IndexMaintainer wired to `backend`, then runs every
 /// corpus query and referees it against the goldens. `index_override`
@@ -96,7 +122,8 @@ struct QualityReport {
 Result<BackendReport> ScoreBackend(
     const CorpusWorld& world, const RelevanceCorpus& corpus,
     oracle::OracleBackend backend,
-    std::shared_ptr<const core::InflexIndex> index_override = nullptr);
+    std::shared_ptr<const core::InflexIndex> index_override = nullptr,
+    const ScoreBackendHooks& hooks = {});
 
 /// Scores every backend in `backends` and assembles the report.
 Result<QualityReport> ScoreCorpus(const CorpusWorld& world,

@@ -1,0 +1,211 @@
+#include "tenant/tenant_registry.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace inflex {
+namespace tenant {
+
+std::string TenantStats::ToString() const {
+  std::ostringstream os;
+  os << "tenant " << id << " | " << serving.num_requests << " req | "
+     << static_cast<uint64_t>(serving.qps) << " QPS | hit "
+     << static_cast<int>(serving.hit_rate() * 100.0) << "% | shed "
+     << serving.shed_count << " (budget " << queries_shed << ") | deltas "
+     << deltas_routed << " (+" << deltas_deferred << " deferred)";
+  if (has_maintainer) {
+    os << " | epoch " << maintenance.epoch << " | " << maintenance.index_points
+       << " pts";
+  }
+  return os.str();
+}
+
+Tenant::Tenant(const TenantOptions& options,
+               std::shared_ptr<const core::InflexIndex> initial,
+               const graph::TopicGraph* graph)
+    : id_(options.id), budget_(options.budget), initial_(std::move(initial)) {
+  owned_engine_ =
+      std::make_unique<core::QueryEngine>(initial_, options.engine);
+  engine_ = owned_engine_.get();
+  if (options.with_maintainer) {
+    core::IndexMaintainerOptions mopts = options.maintainer;
+    if (budget_.delta_pending_limit > 0) {
+      mopts.pending_high_watermark = budget_.delta_pending_limit;
+    }
+    owned_maintainer_ = std::make_unique<core::IndexMaintainer>(
+        initial_, graph, engine_, mopts);
+    maintainer_ = owned_maintainer_.get();
+  }
+}
+
+Tenant::Tenant(std::string id, const TenantBudget& budget,
+               core::QueryEngine* engine, core::IndexMaintainer* maintainer)
+    : id_(std::move(id)),
+      budget_(budget),
+      engine_(engine),
+      maintainer_(maintainer) {}
+
+Tenant::~Tenant() = default;
+
+bool Tenant::TryAdmitQuery(uint64_t now_ns) {
+  if (budget_.unlimited_queries()) {
+    queries_admitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(bucket_mu_);
+    const double burst = budget_.burst_tokens();
+    if (!bucket_primed_) {
+      // A fresh bucket starts full: a tenant's first burst after creation
+      // (or process start) is within budget by definition.
+      tokens_ = burst;
+      last_refill_ns_ = now_ns;
+      bucket_primed_ = true;
+    } else if (now_ns > last_refill_ns_) {
+      const double elapsed_s =
+          static_cast<double>(now_ns - last_refill_ns_) * 1e-9;
+      tokens_ = std::min(burst, tokens_ + elapsed_s * budget_.query_rate_per_sec);
+      last_refill_ns_ = now_ns;
+    }
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      admitted = true;
+    }
+  }
+  if (admitted) {
+    queries_admitted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    queries_shed_.fetch_add(1, std::memory_order_relaxed);
+    // Mirror into the engine's ServingStats so the per-tenant dashboard has
+    // one shed total covering both the tenant budget and the global queue.
+    if (engine_ != nullptr) engine_->RecordLoadShed(1);
+  }
+  return admitted;
+}
+
+void Tenant::RecordDeltaRouted() {
+  deltas_routed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tenant::RecordDeltaDeferred() {
+  deltas_deferred_.fetch_add(1, std::memory_order_relaxed);
+}
+
+TenantStats Tenant::Snapshot() const {
+  TenantStats stats;
+  stats.id = id_;
+  if (engine_ != nullptr) stats.serving = engine_->cumulative_stats();
+  stats.queries_admitted = queries_admitted_.load(std::memory_order_relaxed);
+  stats.queries_shed = queries_shed_.load(std::memory_order_relaxed);
+  stats.deltas_routed = deltas_routed_.load(std::memory_order_relaxed);
+  stats.deltas_deferred = deltas_deferred_.load(std::memory_order_relaxed);
+  stats.has_maintainer = maintainer_ != nullptr;
+  if (maintainer_ != nullptr) stats.maintenance = maintainer_->stats();
+  return stats;
+}
+
+void Tenant::Drain() {
+  if (maintainer_ != nullptr) maintainer_->Drain();
+}
+
+TenantRegistry::TenantRegistry() {
+  table_.store(std::make_shared<const Table>(), std::memory_order_release);
+}
+
+TenantRegistry::~TenantRegistry() = default;
+
+std::shared_ptr<Tenant> TenantRegistry::Lookup(std::string_view id) const {
+  std::shared_ptr<const Table> table = table_.load(std::memory_order_acquire);
+  // unordered_map<string,...>::find requires a string key pre-C++20
+  // heterogeneous lookup; ids are short, so the copy is a non-issue on a
+  // path that just took a shared_ptr snapshot anyway.
+  auto it = table->find(std::string(id));
+  return it == table->end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Tenant> TenantRegistry::Resolve(std::string_view id) const {
+  return Lookup(id.empty() ? std::string_view(kDefaultTenantId) : id);
+}
+
+Result<std::shared_ptr<Tenant>> TenantRegistry::Publish(
+    const std::string& id, std::shared_ptr<Tenant> tenant) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  std::shared_ptr<const Table> old = table_.load(std::memory_order_acquire);
+  if (old->count(id) > 0) {
+    return Status::AlreadyExists("tenant '" + id + "' already registered");
+  }
+  auto next = std::make_shared<Table>(*old);
+  (*next)[id] = tenant;
+  table_.store(std::shared_ptr<const Table>(std::move(next)),
+               std::memory_order_release);
+  return tenant;
+}
+
+Result<std::shared_ptr<Tenant>> TenantRegistry::CreateTenant(
+    const TenantOptions& options,
+    std::shared_ptr<const core::InflexIndex> initial,
+    const graph::TopicGraph* graph) {
+  if (options.id.empty()) {
+    return Status::InvalidArgument("tenant id must be non-empty");
+  }
+  if (initial == nullptr) {
+    return Status::InvalidArgument("tenant '" + options.id +
+                                   "' needs an initial index");
+  }
+  auto tenant = std::make_shared<Tenant>(options, std::move(initial), graph);
+  return Publish(options.id, std::move(tenant));
+}
+
+Result<std::shared_ptr<Tenant>> TenantRegistry::AdoptTenant(
+    const std::string& id, const TenantBudget& budget,
+    core::QueryEngine* engine, core::IndexMaintainer* maintainer) {
+  if (id.empty()) {
+    return Status::InvalidArgument("tenant id must be non-empty");
+  }
+  if (engine == nullptr) {
+    return Status::InvalidArgument("tenant '" + id + "' needs an engine");
+  }
+  auto tenant = std::make_shared<Tenant>(id, budget, engine, maintainer);
+  return Publish(id, std::move(tenant));
+}
+
+Status TenantRegistry::DropTenant(const std::string& id, bool drain) {
+  std::shared_ptr<Tenant> dropped;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    std::shared_ptr<const Table> old = table_.load(std::memory_order_acquire);
+    auto it = old->find(id);
+    if (it == old->end()) {
+      return Status::NotFound("tenant '" + id + "' is not registered");
+    }
+    dropped = it->second;
+    auto next = std::make_shared<Table>(*old);
+    next->erase(id);
+    table_.store(std::shared_ptr<const Table>(std::move(next)),
+                 std::memory_order_release);
+  }
+  // Drain OUTSIDE write_mu_: a tenant mid-publication must not block
+  // unrelated creates/drops, and Drain can take publisher-thread time.
+  if (drain) dropped->Drain();
+  return Status::OK();
+}
+
+std::vector<std::shared_ptr<Tenant>> TenantRegistry::List() const {
+  std::shared_ptr<const Table> table = table_.load(std::memory_order_acquire);
+  std::vector<std::shared_ptr<Tenant>> tenants;
+  tenants.reserve(table->size());
+  for (const auto& [id, tenant] : *table) tenants.push_back(tenant);
+  std::sort(tenants.begin(), tenants.end(),
+            [](const std::shared_ptr<Tenant>& a,
+               const std::shared_ptr<Tenant>& b) { return a->id() < b->id(); });
+  return tenants;
+}
+
+size_t TenantRegistry::size() const {
+  return table_.load(std::memory_order_acquire)->size();
+}
+
+}  // namespace tenant
+}  // namespace inflex

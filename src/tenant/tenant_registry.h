@@ -1,0 +1,235 @@
+#ifndef INFLEX_TENANT_TENANT_REGISTRY_H_
+#define INFLEX_TENANT_TENANT_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/topic_graph.h"
+#include "inflex/index_maintainer.h"
+#include "inflex/inflex_index.h"
+#include "inflex/query_engine.h"
+#include "util/status.h"
+
+namespace inflex {
+namespace tenant {
+
+/// Tenant id a request with no (or an empty) tenant field routes to. v1
+/// clients predate the tenant field entirely, so the default tenant is the
+/// back-compat catalog: a single-tenant deployment never has to name it.
+inline constexpr const char kDefaultTenantId[] = "default";
+
+/// \brief Per-tenant admission budget. Zero values mean "unlimited" so a
+/// default-constructed budget reproduces the pre-multi-tenant behavior
+/// exactly (nothing shed at the tenant layer).
+struct TenantBudget {
+  /// Token-bucket refill rate for queries, in queries/second. 0 = no
+  /// per-tenant query budget (only the server's global admission queue
+  /// sheds).
+  double query_rate_per_sec = 0.0;
+  /// Bucket capacity in tokens (the burst a tenant may spend after idling).
+  /// 0 = one second's worth of tokens (max(1, query_rate_per_sec)).
+  double query_burst = 0.0;
+  /// Bounded per-tenant delta queue: forwarded into the tenant's
+  /// IndexMaintainerOptions::pending_high_watermark when the registry builds
+  /// the maintainer, so an over-budget delta bounces with kRetryLater (and
+  /// kOverloaded on the wire) without touching any other tenant's pipeline.
+  /// 0 = unbounded.
+  size_t delta_pending_limit = 0;
+
+  /// Effective bucket capacity (resolves the 0 default).
+  double burst_tokens() const {
+    if (query_burst > 0.0) return query_burst;
+    return query_rate_per_sec > 1.0 ? query_rate_per_sec : 1.0;
+  }
+  bool unlimited_queries() const { return query_rate_per_sec <= 0.0; }
+};
+
+/// \brief Everything needed to build one owned tenant: its id, budget, and
+/// the per-tenant engine/maintainer tuning. Maintainer knobs are per tenant
+/// by construction — eviction floors (`min_index_points`), decay thresholds,
+/// and oracle choice can all differ between catalogs sharing one server.
+struct TenantOptions {
+  std::string id;
+  TenantBudget budget;
+  core::QueryEngineOptions engine;
+  core::IndexMaintainerOptions maintainer;
+  /// false builds a query-only tenant (deltas rejected as kInvalidRequest).
+  bool with_maintainer = true;
+};
+
+/// \brief Cumulative per-tenant serving counters (the tenant-scoped slice of
+/// the dashboard): the engine's ServingStats plus the router's budget
+/// decisions and the maintenance plane's counters.
+struct TenantStats {
+  std::string id;
+  core::ServingStats serving;
+  /// Queries the token bucket admitted / shed at the tenant layer. Budget
+  /// sheds are also mirrored into `serving.shed_count` via
+  /// QueryEngine::RecordLoadShed so the per-tenant dashboard keeps one
+  /// shed total.
+  uint64_t queries_admitted = 0;
+  uint64_t queries_shed = 0;
+  /// Deltas routed to this tenant's maintainer / bounced by its pending
+  /// watermark (kRetryLater -> kOverloaded on the wire).
+  uint64_t deltas_routed = 0;
+  uint64_t deltas_deferred = 0;
+  bool has_maintainer = false;
+  core::MaintenanceStats maintenance;
+  /// One-line operator rendering ("tenant acme | 1200 req | shed 3 | ...").
+  std::string ToString() const;
+};
+
+/// \brief One tenant: an id, a per-tenant QueryEngine + IndexMaintainer
+/// (owned, or adopted from a caller who keeps ownership — benches and tests
+/// wrap pre-built stacks), and the token-bucket budget state.
+///
+/// Thread-safety: everything is safe to call concurrently. The token bucket
+/// sits behind a tiny per-tenant mutex — contention is per tenant, never
+/// cross-tenant, and the registry lookup in front of it is lock-free.
+class Tenant {
+ public:
+  /// Owning construction: builds the engine (and maintainer unless
+  /// `options.with_maintainer` is false) around `initial`. The index may be
+  /// shared across tenants — generations fork per tenant from there, since
+  /// published generations are immutable. `graph` must outlive the tenant.
+  /// `options.budget.delta_pending_limit` overrides
+  /// `options.maintainer.pending_high_watermark` when non-zero.
+  Tenant(const TenantOptions& options,
+         std::shared_ptr<const core::InflexIndex> initial,
+         const graph::TopicGraph* graph);
+
+  /// Adopting construction: serves from an externally owned engine and
+  /// (optional) maintainer, which must outlive the tenant.
+  Tenant(std::string id, const TenantBudget& budget,
+         core::QueryEngine* engine, core::IndexMaintainer* maintainer);
+
+  ~Tenant();
+
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+
+  const std::string& id() const { return id_; }
+  const TenantBudget& budget() const { return budget_; }
+  core::QueryEngine* engine() const { return engine_; }
+  /// nullptr for query-only tenants.
+  core::IndexMaintainer* maintainer() const { return maintainer_; }
+
+  /// Token-bucket admission for one query at time `now_ns` (monotonic
+  /// nanoseconds; callers inject the clock so tests are deterministic).
+  /// true = admitted (a token was spent). An unlimited budget always admits.
+  /// On false the caller still owns the shed response; the tenant has
+  /// already counted the shed and mirrored it into the engine's stats.
+  bool TryAdmitQuery(uint64_t now_ns);
+
+  /// Counts one delta routed to this tenant's maintainer.
+  void RecordDeltaRouted();
+  /// Counts one delta bounced by the tenant's pending watermark.
+  void RecordDeltaDeferred();
+
+  /// Point-in-time stats snapshot (engine + budget + maintenance).
+  TenantStats Snapshot() const;
+
+  /// Blocks until the tenant's maintenance pipeline is empty (no-op for
+  /// query-only and adopted-maintainer-null tenants). DropTenant calls this
+  /// after unpublishing the tenant, so a dropped tenant finishes its
+  /// in-flight publications before the last reference lets go — the
+  /// graceful per-tenant drain.
+  void Drain();
+
+ private:
+  std::string id_;
+  TenantBudget budget_;
+
+  /// Owned stack (owning construction) — declaration order matters: the
+  /// maintainer references the engine, so it must be destroyed first
+  /// (members are destroyed in reverse order below).
+  std::shared_ptr<const core::InflexIndex> initial_;
+  std::unique_ptr<core::QueryEngine> owned_engine_;
+  std::unique_ptr<core::IndexMaintainer> owned_maintainer_;
+
+  core::QueryEngine* engine_ = nullptr;
+  core::IndexMaintainer* maintainer_ = nullptr;
+
+  /// Token bucket (guarded by bucket_mu_). Tokens refill continuously at
+  /// query_rate_per_sec up to burst_tokens(); one token per admitted query.
+  mutable std::mutex bucket_mu_;
+  double tokens_ = 0.0;
+  uint64_t last_refill_ns_ = 0;
+  bool bucket_primed_ = false;
+
+  std::atomic<uint64_t> queries_admitted_{0};
+  std::atomic<uint64_t> queries_shed_{0};
+  std::atomic<uint64_t> deltas_routed_{0};
+  std::atomic<uint64_t> deltas_deferred_{0};
+};
+
+/// \brief The tenant table: id -> Tenant, RCU-published so the per-request
+/// lookup on the serving hot path is one atomic shared_ptr load — no lock,
+/// no refcount contention beyond the snapshot itself.
+///
+/// Writers (CreateTenant / AdoptTenant / DropTenant) serialize on a mutex,
+/// copy the table, mutate the copy, and publish it atomically — the same
+/// copy-on-write discipline the index generations use. Readers that resolved
+/// a tenant keep it alive via shared_ptr even after a concurrent drop: a
+/// dropped tenant finishes its in-flight queries and publications and is
+/// destroyed when the last reference releases (graceful drain, never a
+/// dangling engine).
+class TenantRegistry {
+ public:
+  using Table = std::unordered_map<std::string, std::shared_ptr<Tenant>>;
+
+  TenantRegistry();
+  ~TenantRegistry();
+
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  /// Lock-free lookup; nullptr when `id` is not registered.
+  std::shared_ptr<Tenant> Lookup(std::string_view id) const;
+
+  /// Lookup with the v1 back-compat rule: an empty id means the default
+  /// tenant. nullptr when the resolved id is not registered.
+  std::shared_ptr<Tenant> Resolve(std::string_view id) const;
+
+  /// Builds and registers an owned tenant. Fails with kInvalidArgument on an
+  /// empty id and kAlreadyExists on a duplicate.
+  Result<std::shared_ptr<Tenant>> CreateTenant(
+      const TenantOptions& options,
+      std::shared_ptr<const core::InflexIndex> initial,
+      const graph::TopicGraph* graph);
+
+  /// Registers a tenant around an externally owned engine/maintainer (the
+  /// caller keeps ownership and must outlive the registration).
+  Result<std::shared_ptr<Tenant>> AdoptTenant(
+      const std::string& id, const TenantBudget& budget,
+      core::QueryEngine* engine, core::IndexMaintainer* maintainer);
+
+  /// Unpublishes `id` (new lookups miss immediately) and, when `drain` is
+  /// true, blocks until the tenant's maintenance pipeline is empty.
+  /// In-flight holders of the tenant keep it alive until they finish.
+  Status DropTenant(const std::string& id, bool drain = true);
+
+  /// Point-in-time snapshot of every registered tenant, sorted by id (so
+  /// dashboards and tests iterate deterministically).
+  std::vector<std::shared_ptr<Tenant>> List() const;
+
+  size_t size() const;
+
+ private:
+  Result<std::shared_ptr<Tenant>> Publish(const std::string& id,
+                                          std::shared_ptr<Tenant> tenant);
+
+  std::atomic<std::shared_ptr<const Table>> table_;
+  std::mutex write_mu_;  // serializes copy-on-write publications
+};
+
+}  // namespace tenant
+}  // namespace inflex
+
+#endif  // INFLEX_TENANT_TENANT_REGISTRY_H_

@@ -1,0 +1,61 @@
+#include "tenant/tenant_router.h"
+
+#include <chrono>
+#include <utility>
+
+namespace inflex {
+namespace tenant {
+
+const char* RouteDecisionName(RouteDecision decision) {
+  switch (decision) {
+    case RouteDecision::kOk:
+      return "ok";
+    case RouteDecision::kUnknownTenant:
+      return "unknown-tenant";
+    case RouteDecision::kShedQuery:
+      return "shed-query";
+  }
+  return "?";
+}
+
+TenantRouter::TenantRouter(TenantRegistry* registry, Options options)
+    : registry_(registry), options_(std::move(options)) {}
+
+uint64_t TenantRouter::NowNs() const {
+  if (options_.clock_ns) return options_.clock_ns();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Route TenantRouter::RouteQuery(std::string_view tenant_id) {
+  Route route;
+  route.tenant = registry_->Resolve(tenant_id);
+  if (route.tenant == nullptr) {
+    route.decision = RouteDecision::kUnknownTenant;
+    return route;
+  }
+  route.decision = AdmitQuery(route.tenant.get()) ? RouteDecision::kOk
+                                                  : RouteDecision::kShedQuery;
+  return route;
+}
+
+bool TenantRouter::AdmitQuery(Tenant* tenant) {
+  return tenant->TryAdmitQuery(NowNs());
+}
+
+Route TenantRouter::RouteDelta(std::string_view tenant_id) {
+  Route route;
+  route.tenant = registry_->Resolve(tenant_id);
+  if (route.tenant == nullptr) {
+    route.decision = RouteDecision::kUnknownTenant;
+    return route;
+  }
+  route.tenant->RecordDeltaRouted();
+  route.decision = RouteDecision::kOk;
+  return route;
+}
+
+}  // namespace tenant
+}  // namespace inflex

@@ -1,0 +1,85 @@
+#ifndef INFLEX_TENANT_TENANT_ROUTER_H_
+#define INFLEX_TENANT_TENANT_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "tenant/tenant_registry.h"
+
+namespace inflex {
+namespace tenant {
+
+/// \brief What the router decided for one request.
+enum class RouteDecision {
+  /// Routed: `tenant` is set and (for queries) a budget token was spent.
+  kOk,
+  /// The tenant id names no registered tenant -> kInvalidRequest on the
+  /// wire. Unknown ids must NOT fall through to the default tenant: that
+  /// would silently cross catalogs on a typo.
+  kUnknownTenant,
+  /// The tenant's query token bucket is empty -> kOverloaded + retry-after.
+  /// `tenant` is still set so callers can stamp per-tenant counters.
+  kShedQuery,
+};
+
+const char* RouteDecisionName(RouteDecision decision);
+
+/// \brief One routing outcome: the resolved tenant (when any) plus the
+/// decision.
+struct Route {
+  std::shared_ptr<Tenant> tenant;
+  RouteDecision decision = RouteDecision::kOk;
+};
+
+/// \brief The per-tenant admission layer in front of the shared worker pool:
+/// resolves a wire tenant id against the registry (lock-free snapshot) and
+/// charges the tenant's token bucket for queries, so a noisy tenant runs out
+/// of its own budget long before it can flood the shared admission queue.
+///
+/// Deltas are budget-checked by the tenant's own maintainer instead (its
+/// `pending_high_watermark` IS the bounded per-tenant delta queue; a bounce
+/// surfaces as kRetryLater -> kOverloaded), so RouteDelta only resolves and
+/// counts.
+///
+/// The clock is injectable so token-bucket tests are deterministic; the
+/// default reads the steady clock. Thread-safe.
+class TenantRouter {
+ public:
+  struct Options {
+    /// Monotonic nanoseconds used to refill token buckets. Leave empty for
+    /// std::chrono::steady_clock.
+    std::function<uint64_t()> clock_ns;
+  };
+
+  /// The registry must outlive the router.
+  explicit TenantRouter(TenantRegistry* registry, Options options = {});
+
+  /// Resolves `tenant_id` (empty = default tenant) and spends one query
+  /// token. Never blocks.
+  Route RouteQuery(std::string_view tenant_id);
+
+  /// Resolves `tenant_id` (empty = default tenant) and counts the routed
+  /// delta. Back-pressure is the maintainer's job (see class comment).
+  Route RouteDelta(std::string_view tenant_id);
+
+  /// Charges one query token of an already-resolved tenant at the router
+  /// clock (the server resolves once, pins the tenant, then charges — no
+  /// second registry lookup, and a concurrently dropped tenant is still
+  /// charged consistently against its own bucket).
+  bool AdmitQuery(Tenant* tenant);
+
+  TenantRegistry* registry() const { return registry_; }
+
+ private:
+  uint64_t NowNs() const;
+
+  TenantRegistry* registry_;
+  Options options_;
+};
+
+}  // namespace tenant
+}  // namespace inflex
+
+#endif  // INFLEX_TENANT_TENANT_ROUTER_H_

@@ -32,6 +32,8 @@
 #include "net/server.h"
 #include "net/wire.h"
 #include "simplex/sampling.h"
+#include "tenant/tenant_registry.h"
+#include "tenant/tenant_router.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -163,6 +165,87 @@ TEST(WireTest, DecodeRejectsEveryTruncation) {
   for (size_t len = 0; len < rpayload.size(); ++len) {
     EXPECT_FALSE(net::DecodeResponsePayload(rpayload.subspan(0, len)).ok());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Tenant field back-compat matrix (flag-gated protocol evolution)
+// ---------------------------------------------------------------------------
+
+/// Offset of the request flags byte inside a frame: header, then
+/// magic(4) + version(2) + type(1).
+constexpr size_t kFlagsByteOffset = net::kFrameHeaderBytes + 7;
+
+TEST(WireTest, TenantRequestRoundTrip) {
+  net::WireRequest req = SampleRequest();
+  req.delta_id = "item-9";
+  req.tenant = "acme-corp";
+  const std::vector<uint8_t> frame = net::EncodeRequestFrame(req);
+  auto decoded = net::DecodeRequestPayload(
+      std::span<const uint8_t>(frame).subspan(net::kFrameHeaderBytes));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const net::WireRequest& got = decoded.ValueOrDie();
+  EXPECT_EQ(got.tenant, "acme-corp");
+  EXPECT_EQ(got.delta_id, "item-9");
+  EXPECT_EQ(got.gamma, req.gamma);
+  EXPECT_EQ(got.segment_mask, req.segment_mask);
+}
+
+TEST(WireTest, TenantFreeFrameStaysBitIdenticalToV1) {
+  // The tenant field is flag-gated and appended at the END of the payload:
+  // a tenant-free frame must be byte-for-byte what a pre-tenant encoder
+  // emitted, and a tenant frame must differ ONLY in the length prefix, one
+  // flag bit, and the appended suffix. This is the structural proof that v1
+  // peers interoperate: nothing they parse has moved.
+  net::WireRequest req = SampleRequest();
+  req.delta_id = "item-1";
+  const std::vector<uint8_t> v1 = net::EncodeRequestFrame(req);
+  req.tenant = "acme";
+  const std::vector<uint8_t> flagged = net::EncodeRequestFrame(req);
+
+  // Suffix = u32 string length + bytes; everything before it is untouched
+  // except the flags byte.
+  ASSERT_EQ(flagged.size(), v1.size() + sizeof(uint32_t) + req.tenant.size());
+  for (size_t i = net::kFrameHeaderBytes; i < v1.size(); ++i) {
+    if (i == kFlagsByteOffset) continue;
+    ASSERT_EQ(v1[i], flagged[i]) << "payload byte " << i << " moved";
+  }
+  EXPECT_EQ(flagged[kFlagsByteOffset],
+            static_cast<uint8_t>(v1[kFlagsByteOffset] | (1u << 1)));
+
+  // v1 frames decode on the tenant-aware codec with an empty tenant and
+  // re-encode bit-identically (the v1-client ↔ tenant-aware-server leg).
+  auto v1_decoded = net::DecodeRequestPayload(
+      std::span<const uint8_t>(v1).subspan(net::kFrameHeaderBytes));
+  ASSERT_TRUE(v1_decoded.ok()) << v1_decoded.status().ToString();
+  EXPECT_TRUE(v1_decoded.ValueOrDie().tenant.empty());
+  EXPECT_EQ(net::EncodeRequestFrame(v1_decoded.ValueOrDie()), v1);
+
+  // Tenant frames round-trip bit-identically too.
+  auto t_decoded = net::DecodeRequestPayload(
+      std::span<const uint8_t>(flagged).subspan(net::kFrameHeaderBytes));
+  ASSERT_TRUE(t_decoded.ok()) << t_decoded.status().ToString();
+  EXPECT_EQ(net::EncodeRequestFrame(t_decoded.ValueOrDie()), flagged);
+}
+
+TEST(WireTest, TenantFrameRejectsEveryTruncationAndTrailingGarbage) {
+  // With segment mask AND tenant present, every strict prefix must still be
+  // rejected — the new field's length prefix and bytes are as mandatory as
+  // the rest once its flag bit is set.
+  net::WireRequest req = SampleRequest();
+  req.delta_id = "item-2";
+  req.tenant = "acme-corp";
+  std::vector<uint8_t> frame = net::EncodeRequestFrame(req);
+  const std::span<const uint8_t> payload =
+      std::span<const uint8_t>(frame).subspan(net::kFrameHeaderBytes);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    auto decoded = net::DecodeRequestPayload(payload.subspan(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes parsed";
+  }
+  frame.push_back(0x5A);
+  EXPECT_FALSE(net::DecodeRequestPayload(
+                   std::span<const uint8_t>(frame).subspan(
+                       net::kFrameHeaderBytes))
+                   .ok());
 }
 
 TEST(WireTest, DecodeRejectsTrailingGarbage) {
@@ -1066,6 +1149,256 @@ TEST_F(NetServingTest, SingleIoThreadRemainsDefault) {
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp.ValueOrDie().status, net::WireStatus::kOk);
   server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant routing over the wire (tenant router + per-tenant budgets)
+// ---------------------------------------------------------------------------
+
+TEST_F(NetServingTest, V1ClientRoutesToDefaultTenant) {
+  ThreadPool pool(4);
+  tenant::TenantRegistry registry;
+  tenant::TenantOptions topts;
+  topts.id = tenant::kDefaultTenantId;
+  topts.engine.pool = &pool;
+  topts.with_maintainer = false;
+  ASSERT_TRUE(registry.CreateTenant(topts, index_, &dataset_->graph).ok());
+  topts.id = "acme";
+  ASSERT_TRUE(registry.CreateTenant(topts, index_, &dataset_->graph).ok());
+  tenant::TenantRouter router(&registry);
+
+  net::InflexServerOptions sopts;
+  sopts.router = &router;
+  net::InflexServer server(registry.Resolve("")->engine(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A client that never sets a tenant emits frames byte-identical to a v1
+  // client; the router must land them on the default tenant's catalog with
+  // answers bit-identical to an in-process reference.
+  core::QueryEngineOptions eopts;
+  eopts.pool = &pool;
+  core::QueryEngine reference(index_, eopts);
+  auto client = net::InflexClient::Connect("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto workload = MakeWorkload(16, 272);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto wire = client.ValueOrDie().Query(workload[i]);
+    ASSERT_TRUE(wire.ok()) << "request " << i;
+    auto want = reference.Query(workload[i]);
+    if (!want.ok()) {
+      EXPECT_EQ(wire.ValueOrDie().status, net::WireStatus::kQueryFailed);
+      continue;
+    }
+    ASSERT_EQ(wire.ValueOrDie().status, net::WireStatus::kOk)
+        << wire.ValueOrDie().message;
+    EXPECT_EQ(wire.ValueOrDie().seeds, want.ValueOrDie().seeds)
+        << "request " << i;
+  }
+  server.Stop();
+
+  // All traffic landed on the default tenant; the sibling saw none of it.
+  EXPECT_GT(registry.Resolve("")->Snapshot().queries_admitted, 0u);
+  EXPECT_EQ(registry.Lookup("acme")->Snapshot().queries_admitted, 0u);
+  EXPECT_EQ(registry.Lookup("acme")->Snapshot().serving.num_requests, 0u);
+}
+
+TEST_F(NetServingTest, SingleTenantServerAcceptsOnlyDefaultTenantName) {
+  ThreadPool pool(2);
+  core::QueryEngineOptions eopts;
+  eopts.pool = &pool;
+  core::QueryEngine engine(index_, eopts);
+  net::InflexServer server(&engine);  // classic single-tenant wiring
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = net::InflexClient::Connect("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(client.ok());
+  net::InflexClient& c = client.ValueOrDie();
+
+  // Naming the back-compat catalog explicitly is fine...
+  c.set_tenant(tenant::kDefaultTenantId);
+  auto ok = c.Query(SimpleRequest());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie().status, net::WireStatus::kOk);
+
+  // ...any other name must be rejected, never silently served from the only
+  // catalog — queries, pings, and deltas alike.
+  c.set_tenant("acme");
+  auto q = c.Query(SimpleRequest());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.ValueOrDie().status, net::WireStatus::kInvalidRequest);
+  auto p = c.Ping();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.ValueOrDie().status, net::WireStatus::kInvalidRequest);
+  auto d = c.SubmitDelta("x", {0.7, 0.1, 0.1, 0.1});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.ValueOrDie().status, net::WireStatus::kInvalidRequest);
+  server.Stop();
+}
+
+TEST_F(NetServingTest, UnknownTenantRejectedNotCrossRouted) {
+  ThreadPool pool(2);
+  tenant::TenantRegistry registry;
+  tenant::TenantOptions topts;
+  topts.id = tenant::kDefaultTenantId;
+  topts.engine.pool = &pool;
+  topts.with_maintainer = false;
+  ASSERT_TRUE(registry.CreateTenant(topts, index_, &dataset_->graph).ok());
+  tenant::TenantRouter router(&registry);
+  net::InflexServerOptions sopts;
+  sopts.router = &router;
+  net::InflexServer server(registry.Resolve("")->engine(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = net::InflexClient::Connect("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(client.ok());
+  net::InflexClient& c = client.ValueOrDie();
+  c.set_tenant("ghost");
+  auto q = c.Query(SimpleRequest());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.ValueOrDie().status, net::WireStatus::kInvalidRequest);
+  auto p = c.Ping();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.ValueOrDie().status, net::WireStatus::kInvalidRequest);
+  server.Stop();
+  // Nothing leaked into the default tenant.
+  EXPECT_EQ(registry.Resolve("")->Snapshot().queries_admitted, 0u);
+}
+
+TEST_F(NetServingTest, TenantsServeIsolatedCatalogsOverOneServer) {
+  ThreadPool pool(4);
+  tenant::TenantRegistry registry;
+  tenant::TenantOptions topts;
+  topts.engine.pool = &pool;
+  topts.maintainer.admission_threshold = 0.05;
+  topts.maintainer.oracle_snapshots = 10;
+  for (const char* id :
+       {tenant::kDefaultTenantId, "alpha", "beta"}) {
+    topts.id = id;
+    ASSERT_TRUE(registry.CreateTenant(topts, index_, &dataset_->graph).ok());
+  }
+  tenant::TenantRouter router(&registry);
+  net::InflexServerOptions sopts;
+  sopts.router = &router;
+  net::InflexServer server(registry.Resolve("")->engine(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto alpha = net::InflexClient::Connect("127.0.0.1", server.port(), 5000);
+  auto beta = net::InflexClient::Connect("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(alpha.ok() && beta.ok());
+  alpha.ValueOrDie().set_tenant("alpha");
+  beta.ValueOrDie().set_tenant("beta");
+
+  // A certain-admission delta into alpha forks its generation sequence;
+  // beta (and default) must stay on generation 0.
+  auto receipt =
+      alpha.ValueOrDie().SubmitDelta("only-alpha", {0.9997, 1e-4, 1e-4, 1e-4});
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  ASSERT_EQ(receipt.ValueOrDie().status, net::WireStatus::kOk);
+  EXPECT_EQ(receipt.ValueOrDie().delta_outcome,
+            static_cast<uint16_t>(core::DeltaOutcome::kAdmitted) + 1);
+  registry.Lookup("alpha")->maintainer()->Drain();
+
+  auto alpha_ping = alpha.ValueOrDie().Ping();
+  ASSERT_TRUE(alpha_ping.ok());
+  EXPECT_GE(alpha_ping.ValueOrDie().epoch, 1u);
+  auto beta_ping = beta.ValueOrDie().Ping();
+  ASSERT_TRUE(beta_ping.ok());
+  EXPECT_EQ(beta_ping.ValueOrDie().epoch, 0u);
+
+  // Beta's answers still come from the base generation, bit-identical to an
+  // in-process reference on the initial index.
+  core::QueryEngineOptions eopts;
+  eopts.pool = &pool;
+  core::QueryEngine reference(index_, eopts);
+  const auto workload = MakeWorkload(8, 4242);
+  for (const auto& request : workload) {
+    auto wire = beta.ValueOrDie().Query(request);
+    ASSERT_TRUE(wire.ok());
+    auto want = reference.Query(request);
+    if (!want.ok()) {
+      EXPECT_EQ(wire.ValueOrDie().status, net::WireStatus::kQueryFailed);
+      continue;
+    }
+    ASSERT_EQ(wire.ValueOrDie().status, net::WireStatus::kOk);
+    EXPECT_EQ(wire.ValueOrDie().seeds, want.ValueOrDie().seeds);
+    EXPECT_EQ(wire.ValueOrDie().epoch, 0u);
+  }
+  server.Stop();
+
+  const tenant::TenantStats astats = registry.Lookup("alpha")->Snapshot();
+  const tenant::TenantStats bstats = registry.Lookup("beta")->Snapshot();
+  EXPECT_EQ(astats.deltas_routed, 1u);
+  EXPECT_EQ(astats.maintenance.generations_published, 1u);
+  EXPECT_EQ(bstats.deltas_routed, 0u);
+  EXPECT_EQ(bstats.maintenance.generations_published, 0u);
+  EXPECT_GT(bstats.queries_admitted, 0u);
+}
+
+TEST_F(NetServingTest, TenantBudgetShedsOverWireWithoutTouchingNeighbors) {
+  ThreadPool pool(2);
+  // Deterministic token bucket: the router reads this fake clock.
+  std::atomic<uint64_t> now_ns{0};
+  tenant::TenantRegistry registry;
+  tenant::TenantOptions topts;
+  topts.id = tenant::kDefaultTenantId;
+  topts.engine.pool = &pool;
+  topts.with_maintainer = false;
+  ASSERT_TRUE(registry.CreateTenant(topts, index_, &dataset_->graph).ok());
+  topts.id = "limited";
+  topts.budget.query_rate_per_sec = 10.0;
+  topts.budget.query_burst = 2.0;
+  ASSERT_TRUE(registry.CreateTenant(topts, index_, &dataset_->graph).ok());
+  tenant::TenantRouter::Options ropts;
+  ropts.clock_ns = [&now_ns] { return now_ns.load(); };
+  tenant::TenantRouter router(&registry, ropts);
+
+  net::InflexServerOptions sopts;
+  sopts.router = &router;
+  sopts.retry_after_ms = 25;
+  net::InflexServer server(registry.Resolve("")->engine(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto limited = net::InflexClient::Connect("127.0.0.1", server.port(), 5000);
+  auto unmetered = net::InflexClient::Connect("127.0.0.1", server.port(), 5000);
+  ASSERT_TRUE(limited.ok() && unmetered.ok());
+  limited.ValueOrDie().set_tenant("limited");
+
+  // Burst capacity admits exactly two; the third is shed at the tenant
+  // layer with kOverloaded + retry-after, before the shared queue.
+  for (int i = 0; i < 2; ++i) {
+    auto resp = limited.ValueOrDie().Query(SimpleRequest());
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp.ValueOrDie().status, net::WireStatus::kOk) << "query " << i;
+  }
+  auto shed = limited.ValueOrDie().Query(SimpleRequest());
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed.ValueOrDie().status, net::WireStatus::kOverloaded);
+  EXPECT_EQ(shed.ValueOrDie().retry_after_ms, 25u);
+
+  // The default tenant's bucket is untouched: a v1 client sails through
+  // while the noisy tenant is out of tokens.
+  auto ok = unmetered.ValueOrDie().Query(SimpleRequest());
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie().status, net::WireStatus::kOk);
+
+  // 100 ms at 10 tokens/s refills exactly one token.
+  now_ns.fetch_add(100'000'000ull);
+  auto refilled = limited.ValueOrDie().Query(SimpleRequest());
+  ASSERT_TRUE(refilled.ok());
+  EXPECT_EQ(refilled.ValueOrDie().status, net::WireStatus::kOk);
+  auto dry = limited.ValueOrDie().Query(SimpleRequest());
+  ASSERT_TRUE(dry.ok());
+  EXPECT_EQ(dry.ValueOrDie().status, net::WireStatus::kOverloaded);
+
+  server.Stop();
+  const tenant::TenantStats lstats = registry.Lookup("limited")->Snapshot();
+  EXPECT_EQ(lstats.queries_admitted, 3u);
+  EXPECT_EQ(lstats.queries_shed, 2u);
+  // Budget sheds are mirrored into the tenant's own serving stats...
+  EXPECT_EQ(lstats.serving.shed_count, 2u);
+  // ...and never into a neighbor's.
+  EXPECT_EQ(registry.Resolve("")->Snapshot().serving.shed_count, 0u);
+  EXPECT_EQ(registry.Resolve("")->Snapshot().queries_shed, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+// Replays the golden relevance corpus THROUGH THE WIRE: ScoreBackend's
+// transport seam (quality/scorer.h) routes every corpus query over a
+// loopback InflexServer whose tenant router serves the scoring stack under
+// a non-default tenant id. The resulting report must be byte-identical to
+// the pure in-process run — which puts the whole net plane (frame codec,
+// request admission, worker batching, tenant routing) inside the relevance
+// quality gate: a wire-layer bug that changes a single seed in a single
+// answer flips a byte in the report and fails this test.
+//
+// The corpus path is compiled in from the source tree (INFLEX_CORPUS_FILE,
+// set by tests/CMakeLists).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "inflex/index_maintainer.h"
+#include "inflex/query_engine.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "oracle/spread_oracle.h"
+#include "quality/corpus.h"
+#include "quality/json.h"
+#include "quality/scorer.h"
+#include "tenant/tenant_registry.h"
+#include "tenant/tenant_router.h"
+
+namespace inflex {
+namespace {
+
+TEST(QualityNetTest, GoldenCorpusOverWireMatchesInProcessByteForByte) {
+  auto corpus = quality::LoadCorpus(INFLEX_CORPUS_FILE);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().message();
+  auto world = quality::BuildCorpusWorld(corpus.ValueOrDie());
+  ASSERT_TRUE(world.ok()) << world.status().message();
+
+  // RIS is the default production oracle — the backend the serving path
+  // actually runs behind the wire.
+  const oracle::OracleBackend backend = oracle::OracleBackend::kRis;
+
+  auto in_process =
+      quality::ScoreBackend(world.ValueOrDie(), corpus.ValueOrDie(), backend);
+  ASSERT_TRUE(in_process.ok()) << in_process.status().message();
+  ASSERT_TRUE(in_process.ValueOrDie().passed);
+
+  // The wire run: the scenario replay still drives the scoring stack
+  // directly (deltas and decay sweeps are maintenance-plane work), then the
+  // hooks wrap the live engine in a server and answer every corpus query
+  // over TCP as tenant "golden" — deliberately NOT the default tenant, so
+  // the per-request tenant resolution path is exercised by every query.
+  tenant::TenantRegistry registry;
+  tenant::TenantRouter router(&registry);
+  std::unique_ptr<net::InflexServer> server;
+  std::unique_ptr<net::InflexClient> client;
+
+  quality::ScoreBackendHooks hooks;
+  hooks.on_scenario_ready = [&](core::QueryEngine* engine,
+                                core::IndexMaintainer* maintainer) {
+    auto adopted = registry.AdoptTenant("golden", tenant::TenantBudget{},
+                                        engine, maintainer);
+    ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+    net::InflexServerOptions sopts;
+    sopts.router = &router;
+    server = std::make_unique<net::InflexServer>(engine, sopts);
+    ASSERT_TRUE(server->Start().ok());
+    auto connected =
+        net::InflexClient::Connect("127.0.0.1", server->port(), 20000);
+    ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+    client = std::make_unique<net::InflexClient>(
+        std::move(connected).ValueOrDie());
+    client->set_tenant("golden");
+  };
+  hooks.transport =
+      [&](const core::QueryRequest& request) -> Result<core::QueryResult> {
+    auto resp = client->Query(request);
+    INFLEX_RETURN_NOT_OK(resp.status());
+    const net::WireResponse& wire = resp.ValueOrDie();
+    if (wire.status != net::WireStatus::kOk) {
+      return Status::Internal(std::string("wire status ") +
+                              net::WireStatusName(wire.status) + ": " +
+                              wire.message);
+    }
+    core::QueryResult result;
+    result.seeds.assign(wire.seeds.begin(), wire.seeds.end());
+    result.epsilon_exact = wire.epsilon_exact;
+    result.from_cache = wire.from_cache;
+    result.generation = wire.epoch;
+    return result;
+  };
+  hooks.on_queries_done = [&] {
+    // Tear the wire stack down while the scoring engine is still alive.
+    client.reset();
+    if (server != nullptr) server->Stop();
+    EXPECT_TRUE(registry.DropTenant("golden", /*drain=*/false).ok());
+  };
+
+  auto over_wire =
+      quality::ScoreBackend(world.ValueOrDie(), corpus.ValueOrDie(), backend,
+                            /*index_override=*/nullptr, hooks);
+  ASSERT_TRUE(over_wire.ok()) << over_wire.status().message();
+  EXPECT_TRUE(over_wire.ValueOrDie().passed);
+
+  // Byte-for-byte: wrap both backend reports in the deterministic JSON
+  // rendering and compare the dumps.
+  quality::QualityReport in_process_report;
+  in_process_report.corpus_name = corpus.ValueOrDie().name;
+  in_process_report.corpus_version = corpus.ValueOrDie().version;
+  in_process_report.passed = in_process.ValueOrDie().passed;
+  in_process_report.backends.push_back(std::move(in_process).ValueOrDie());
+  quality::QualityReport over_wire_report;
+  over_wire_report.corpus_name = corpus.ValueOrDie().name;
+  over_wire_report.corpus_version = corpus.ValueOrDie().version;
+  over_wire_report.passed = over_wire.ValueOrDie().passed;
+  over_wire_report.backends.push_back(std::move(over_wire).ValueOrDie());
+  EXPECT_EQ(quality::ReportToJson(over_wire_report).Dump(),
+            quality::ReportToJson(in_process_report).Dump());
+}
+
+}  // namespace
+}  // namespace inflex

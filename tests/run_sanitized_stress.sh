@@ -25,9 +25,9 @@ cmake -B "$BUILD" -S "$SRC" \
   -DINFLEX_BUILD_TOOLS=OFF \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 
-echo "== build (serving_test maintenance_test oracle_test util_test net_test quality_test)"
+echo "== build (serving_test maintenance_test oracle_test util_test net_test quality_test tenant_test)"
 cmake --build "$BUILD" --target serving_test maintenance_test oracle_test \
-  util_test net_test quality_test -j "$(nproc)" > /dev/null
+  util_test net_test quality_test tenant_test -j "$(nproc)" > /dev/null
 
 echo "== run serving stress + thread-pool tests under TSan"
 # halt_on_error: any reported race is a hard failure, not a log line.
@@ -68,6 +68,14 @@ echo "== run network loopback storm under TSan"
 # shutdown with requests in flight.
 TSAN_OPTIONS="halt_on_error=1 suppressions=$SRC/tests/tsan.supp ${TSAN_OPTIONS:-}" \
   "$BUILD/tests/net_test"
+
+echo "== run multi-tenant storm under TSan"
+# The RCU tenant table under concurrent create/drop, racing lock-free
+# lookups, per-tenant token buckets, and live per-tenant generation
+# publishing over one server — with every answer replayed bit-for-bit
+# against the generation (of the tenant) that served it.
+TSAN_OPTIONS="halt_on_error=1 suppressions=$SRC/tests/tsan.supp ${TSAN_OPTIONS:-}" \
+  "$BUILD/tests/tenant_test"
 
 echo "TSan stress: OK (zero reported races)"
 

@@ -300,6 +300,69 @@ def check_serving(path):
                           f"{row.get('speedup_vs_celfpp')} below the 10x gate "
                           "the subsystem exists to deliver")
 
+    # The tenants section is the noisy-neighbor contract of the multi-tenant
+    # serving plane: a hot tenant flooding against its per-tenant token
+    # bucket must shed at the admission layer (cheap bucket probe, not a KL
+    # search), and every quiet tenant's storm p99 must stay within a bounded
+    # factor of its solo baseline. The isolation gate only means something
+    # when the recorder could actually run tenants concurrently, so --quick
+    # and 1-core artifacts skip it loudly instead of failing physics.
+    tenants = d.get("tenants")
+    check(isinstance(tenants, dict), f"{path.name}: missing 'tenants' section")
+    if isinstance(tenants, dict) and require_keys(
+            tenants, ("quick", "quiet_tenants", "isolation_ratio_max", "hot",
+                      "rows"), f"{path.name} tenants"):
+        tquick = tenants["quick"] is True
+        check(is_num(tenants["quiet_tenants"])
+              and tenants["quiet_tenants"] >= 2,
+              f"{path.name}: noisy-neighbor scenario needs >= 2 quiet tenants")
+        hot = tenants["hot"]
+        if isinstance(hot, dict) and require_keys(
+                hot, ("tenant", "budget_qps", "attempts", "admitted", "shed",
+                      "shed_rate", "p99_ms"), f"{path.name} tenants.hot"):
+            check(is_num(hot["budget_qps"]) and hot["budget_qps"] > 0,
+                  f"{path.name}: the hot tenant must flood against a finite "
+                  "per-tenant budget")
+            check(is_num(hot["shed"]) and hot["shed"] > 0,
+                  f"{path.name}: the hot flood must shed — the token bucket "
+                  "is the isolation mechanism")
+            check(is_num(hot["admitted"]) and hot["admitted"] > 0,
+                  f"{path.name}: the budget must still admit the hot "
+                  "tenant's in-budget traffic, not starve it")
+            check(is_num(hot["shed_rate"]) and 0.0 < hot["shed_rate"] < 1.0,
+                  f"{path.name}: tenants.hot.shed_rate out of (0,1)")
+        else:
+            check(isinstance(hot, dict), f"{path.name}: tenants.hot must be "
+                  "an object")
+        trows = tenants["rows"]
+        check(isinstance(trows, list) and trows,
+              f"{path.name}: tenants.rows empty or missing")
+        for i, row in enumerate(trows or []):
+            where = f"{path.name} tenants.rows[{i}]"
+            if not isinstance(row, dict) or not require_keys(
+                    row, ("tenant", "requests", "solo_p99_ms", "storm_p99_ms",
+                          "isolation_ratio", "shed"), where):
+                continue
+            check(is_num(row["solo_p99_ms"]) and row["solo_p99_ms"] > 0,
+                  f"{where}: bad solo_p99_ms")
+            check(is_num(row["storm_p99_ms"]) and row["storm_p99_ms"] > 0,
+                  f"{where}: bad storm_p99_ms")
+            check(is_num(row["shed"]) and row["shed"] == 0,
+                  f"{where}: an unmetered quiet tenant must never shed")
+        if not tquick and is_num(hc) and int(hc) >= 2:
+            check(is_num(tenants["isolation_ratio_max"])
+                  and 0.0 < tenants["isolation_ratio_max"] <= 3.0,
+                  f"{path.name}: quiet-tenant isolation ratio "
+                  f"{tenants.get('isolation_ratio_max')} above the 3.0x "
+                  "gate — the hot tenant is starving its neighbors")
+        else:
+            reason = "a --quick smoke run" if tquick else \
+                f"a {int(hc) if is_num(hc) else '?'}-core host"
+            print(f"WARNING: {path.name} tenants section recorded with "
+                  f"{reason} — noisy-neighbor isolation gate skipped "
+                  "(re-record a full run on a multi-core machine to "
+                  "enforce it)")
+
     # The net section (spliced in by bench_net_throughput) measures the TCP
     # front end: closed-loop scaling rows plus an overload scenario where the
     # bounded admission queue must shed instead of queueing unboundedly.
@@ -549,6 +612,20 @@ def _good_serving():
                  "speedup_vs_celfpp": 12.5},
             ],
         },
+        "tenants": {
+            "quick": False, "quiet_tenants": 3, "isolation_ratio_max": 1.4,
+            "hot": {"tenant": "hot", "budget_qps": 200.0, "attempts": 20000,
+                    "admitted": 400, "shed": 19600, "shed_rate": 0.98,
+                    "p99_ms": 2.0},
+            "rows": [
+                {"tenant": "quiet-0", "requests": 1024, "solo_p99_ms": 1.0,
+                 "storm_p99_ms": 1.4, "isolation_ratio": 1.4, "shed": 0},
+                {"tenant": "quiet-1", "requests": 1024, "solo_p99_ms": 1.1,
+                 "storm_p99_ms": 1.3, "isolation_ratio": 1.2, "shed": 0},
+                {"tenant": "quiet-2", "requests": 1024, "solo_p99_ms": 0.9,
+                 "storm_p99_ms": 1.2, "isolation_ratio": 1.3, "shed": 0},
+            ],
+        },
         "net": {
             "io_threads": 1,
             "rows": [
@@ -613,10 +690,30 @@ def selftest():
                   "simd_speedup"))
 
     cases.append(("serving-good", check_serving, _good_serving(), None))
-    for section in ("oracle", "net", "churn"):
+    for section in ("oracle", "net", "churn", "tenants"):
         bad = _good_serving()
         del bad[section]
         cases.append((f"serving-no-{section}", check_serving, bad, section))
+    # Noisy-neighbor regressions the tenants gate exists to catch: the quiet
+    # tail blowing past the solo baseline, and a budget that never sheds.
+    bad = _good_serving()
+    bad["tenants"]["isolation_ratio_max"] = 5.0
+    cases.append(("serving-tenant-isolation-broken", check_serving, bad,
+                  "isolation"))
+    bad = _good_serving()
+    bad["tenants"]["hot"]["shed"] = 0
+    cases.append(("serving-tenant-flood-unshed", check_serving, bad, "shed"))
+    bad = _good_serving()
+    bad["tenants"]["rows"][1]["shed"] = 7
+    cases.append(("serving-quiet-tenant-shed", check_serving, bad,
+                  "never shed"))
+    # A --quick tenants recording must skip the isolation gate (loudly), not
+    # fail it: the ratio is meaningless when the recorder couldn't actually
+    # run the storm at full scale.
+    ok = _good_serving()
+    ok["tenants"]["quick"] = True
+    ok["tenants"]["isolation_ratio_max"] = 5.0
+    cases.append(("serving-tenant-quick-skips-gate", check_serving, ok, None))
     bad = _good_serving()
     del bad["host"]["simd"]
     cases.append(("serving-no-simd", check_serving, bad, "host.simd"))

@@ -16,10 +16,20 @@
 //    port; the bound port is printed as "listening on HOST:PORT". SIGINT or
 //    SIGTERM drains gracefully: in-flight requests are answered, the
 //    maintainer is drained, and the summary lines are printed on exit.
+//    With --tenants-config FILE the daemon serves MULTIPLE tenants: one
+//    engine + maintainer per configured catalog behind a TenantRegistry/
+//    TenantRouter, each with its own token-bucket query budget, bounded
+//    delta queue, and eviction floors. Requests carrying no tenant id (all
+//    v1 clients) route to the "default" tenant. Config format, one tenant
+//    per line (# comments; every key optional, 0/absent = unlimited; keys:
+//    rate=QPS burst=TOKENS delta_pending=N min_points=N decay_threshold=F
+//    min_age=G sweep_every=N):
+//      acme rate=200 burst=50 delta_pending=8 min_points=24
 //
 // 3. Client (--connect PORT [--host H]): a blocking wire-protocol client for
 //    smoke tests and one-liners — sends --count queries for the mixture in
-//    --gamma (or --ping / --delta-id) and prints the answers.
+//    --gamma (or --ping / --delta-id) and prints the answers. --tenant NAME
+//    stamps the flag-gated tenant field into every request.
 //
 //   inflex_serve --data data/ --index index.bin
 //                [--queries N] [--unique U] [--batch B] [--threads T]
@@ -32,16 +42,20 @@
 //                [--io-threads N] [--workers W] [--worker-batch B]
 //                [--queue-high H]
 //                [--queue-low L] [--retry-after-ms R] [--deadline-ms D]
-//                [--pending-high P] [...engine/maintainer options above]
+//                [--pending-high P] [--tenants-config FILE]
+//                [...engine/maintainer options above]
 //   inflex_serve --connect PORT [--host H] [--gamma P1,P2,...] [--count N]
 //                [--k K] [--strategy ...] [--deadline-ms D]
-//                [--ping] [--delta-id ID] [--timeout-ms T]
+//                [--ping] [--delta-id ID] [--timeout-ms T] [--tenant NAME]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +67,8 @@
 #include "net/client.h"
 #include "oracle/spread_oracle.h"
 #include "net/server.h"
+#include "tenant/tenant_registry.h"
+#include "tenant/tenant_router.h"
 #include "util/args.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -94,14 +110,100 @@ Result<core::QueryStrategy> ParseStrategy(const std::string& name) {
 }
 
 /// Everything the replay and daemon modes share: dataset, index, pool,
-/// engine, and (optionally) a maintainer attached to the engine.
+/// engine, and (optionally) a maintainer attached to the engine. Multi-
+/// tenant daemons skip the single engine/maintainer and build one per
+/// tenant into `registry` instead, from the same option templates.
 struct ServingStack {
   data::SyntheticDataset dataset;
   std::shared_ptr<core::InflexIndex> index;
   std::unique_ptr<ThreadPool> pool;
   std::unique_ptr<core::QueryEngine> engine;
   std::unique_ptr<core::IndexMaintainer> maintainer;
+  /// Args-derived option templates (always filled; per-tenant construction
+  /// starts from these and applies the config-file overrides).
+  core::QueryEngineOptions engine_opts;
+  core::IndexMaintainerOptions maintainer_opts;
+  /// Multi-tenant mode only (--tenants-config). Declared in the stack so
+  /// they outlive the InflexServer created later in RunDaemon.
+  std::unique_ptr<tenant::TenantRegistry> registry;
+  std::unique_ptr<tenant::TenantRouter> router;
 };
+
+/// One parsed --tenants-config line.
+struct TenantSpec {
+  std::string name;
+  tenant::TenantBudget budget;
+  /// Per-tenant eviction-floor / decay overrides (negative = inherit the
+  /// args-derived template).
+  double decay_threshold = -1.0;
+  int64_t min_points = -1;
+  int64_t min_age = -1;
+  int64_t sweep_every = -1;
+};
+
+/// Parses the line-based tenants config (see the file header comment).
+Result<std::vector<TenantSpec>> ParseTenantsConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open tenants config: " + path);
+  }
+  std::vector<TenantSpec> specs;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string name;
+    if (!(tokens >> name) || name[0] == '#') continue;
+    TenantSpec spec;
+    spec.name = name;
+    std::string kv;
+    while (tokens >> kv) {
+      const size_t eq = kv.find('=');
+      const std::string where =
+          path + ":" + std::to_string(line_no) + ": '" + kv + "'";
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= kv.size()) {
+        return Status::InvalidArgument("expected key=value at " + where);
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      char* end = nullptr;
+      const double num = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || num < 0.0) {
+        return Status::InvalidArgument("bad numeric value at " + where);
+      }
+      if (key == "rate") {
+        spec.budget.query_rate_per_sec = num;
+      } else if (key == "burst") {
+        spec.budget.query_burst = num;
+      } else if (key == "delta_pending") {
+        spec.budget.delta_pending_limit = static_cast<size_t>(num);
+      } else if (key == "min_points") {
+        spec.min_points = static_cast<int64_t>(num);
+      } else if (key == "decay_threshold") {
+        spec.decay_threshold = num;
+      } else if (key == "min_age") {
+        spec.min_age = static_cast<int64_t>(num);
+      } else if (key == "sweep_every") {
+        spec.sweep_every = static_cast<int64_t>(num);
+      } else {
+        return Status::InvalidArgument("unknown tenant option at " + where);
+      }
+    }
+    for (const TenantSpec& s : specs) {
+      if (s.name == spec.name) {
+        return Status::InvalidArgument("duplicate tenant '" + spec.name +
+                                       "' in " + path);
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    return Status::InvalidArgument("tenants config " + path +
+                                   " defines no tenants");
+  }
+  return specs;
+}
 
 // --------------------------------------------------------------------------
 // Client mode: --connect PORT
@@ -116,6 +218,7 @@ int RunClient(ArgParser& args, uint16_t port) {
   auto gamma = args.GetDoubleList("gamma");
   const std::string strategy_name = args.GetString("strategy", "inflex");
   const std::string delta_id = args.GetString("delta-id", "");
+  const std::string tenant_id = args.GetString("tenant", "");
   const bool ping = args.HasFlag("ping");
   const bool quiet = args.HasFlag("quiet");
   if (auto st = args.Validate(); !st.ok()) return Fail(st);
@@ -130,6 +233,7 @@ int RunClient(ArgParser& args, uint16_t port) {
       net::InflexClient::Connect(host, port, timeout.ValueOrDie());
   if (!client.ok()) return Fail(client.status());
   net::InflexClient& c = client.ValueOrDie();
+  c.set_tenant(tenant_id);
 
   if (ping) {
     auto resp = c.Ping();
@@ -209,7 +313,8 @@ int RunClient(ArgParser& args, uint16_t port) {
 
 Result<std::unique_ptr<ServingStack>> BuildStack(
     ArgParser& args, const std::string& data_dir,
-    const std::string& index_path, bool with_maintainer) {
+    const std::string& index_path, bool with_maintainer,
+    bool with_engine = true) {
   auto threads = args.GetInt("threads", 0);  // 0 = hardware concurrency
   auto capacity = args.GetInt("cache-capacity", 4096);
   auto shards = args.GetInt("shards", 16);
@@ -246,25 +351,29 @@ Result<std::unique_ptr<ServingStack>> BuildStack(
 
   stack->pool = std::make_unique<ThreadPool>(
       static_cast<size_t>(threads.ValueOrDie()));
-  core::QueryEngineOptions eopts;
+  core::QueryEngineOptions& eopts = stack->engine_opts;
   eopts.pool = stack->pool.get();
   eopts.enable_cache = !no_cache;
   eopts.cache.capacity = static_cast<size_t>(capacity.ValueOrDie());
   eopts.cache.num_shards = static_cast<size_t>(shards.ValueOrDie());
   eopts.cache.quantization = quantization.ValueOrDie();
+
+  core::IndexMaintainerOptions& mopts = stack->maintainer_opts;
+  mopts.admission_threshold = admission.ValueOrDie();
+  mopts.oracle_snapshots = static_cast<size_t>(delta_snapshots.ValueOrDie());
+  mopts.oracle.backend = oracle_backend;
+  mopts.seed = static_cast<uint64_t>(seed.ValueOrDie()) + 100;
+  mopts.pending_high_watermark =
+      static_cast<size_t>(pending_high.ValueOrDie());
+
+  if (!with_engine) return stack;  // multi-tenant: built per tenant instead
+
   stack->engine =
       std::make_unique<core::QueryEngine>(stack->index, eopts);
-
   if (with_maintainer) {
-    core::IndexMaintainerOptions mopts;
-    mopts.admission_threshold = admission.ValueOrDie();
-    mopts.oracle_snapshots = static_cast<size_t>(delta_snapshots.ValueOrDie());
-    mopts.oracle.backend = oracle_backend;
-    mopts.seed = static_cast<uint64_t>(seed.ValueOrDie()) + 100;
-    mopts.pending_high_watermark =
-        static_cast<size_t>(pending_high.ValueOrDie());
-    mopts.on_publish = [](uint64_t epoch,
-                          std::shared_ptr<const core::InflexIndex> gen) {
+    core::IndexMaintainerOptions single = mopts;
+    single.on_publish = [](uint64_t epoch,
+                           std::shared_ptr<const core::InflexIndex> gen) {
       std::printf("  maintenance: published generation %llu "
                   "(%zu index points)\n",
                   static_cast<unsigned long long>(epoch),
@@ -272,9 +381,68 @@ Result<std::unique_ptr<ServingStack>> BuildStack(
       std::fflush(stdout);
     };
     stack->maintainer = std::make_unique<core::IndexMaintainer>(
-        stack->index, &stack->dataset.graph, stack->engine.get(), mopts);
+        stack->index, &stack->dataset.graph, stack->engine.get(), single);
   }
   return stack;
+}
+
+/// Builds the multi-tenant registry + router from the parsed config: one
+/// owned engine + maintainer per tenant, all from the args-derived templates
+/// with per-tenant budget/eviction overrides. A "default" tenant is always
+/// registered (unlimited unless the config names it) so v1 traffic keeps
+/// working.
+Status BuildTenants(ServingStack* stack, std::vector<TenantSpec> specs) {
+  const bool has_default = std::any_of(
+      specs.begin(), specs.end(), [](const TenantSpec& s) {
+        return s.name == tenant::kDefaultTenantId;
+      });
+  if (!has_default) {
+    TenantSpec def;
+    def.name = tenant::kDefaultTenantId;
+    specs.insert(specs.begin(), std::move(def));
+  }
+  stack->registry = std::make_unique<tenant::TenantRegistry>();
+  stack->router =
+      std::make_unique<tenant::TenantRouter>(stack->registry.get());
+  for (const TenantSpec& spec : specs) {
+    tenant::TenantOptions topts;
+    topts.id = spec.name;
+    topts.budget = spec.budget;
+    topts.engine = stack->engine_opts;
+    topts.maintainer = stack->maintainer_opts;
+    if (spec.decay_threshold >= 0.0) {
+      topts.maintainer.eviction_score_threshold = spec.decay_threshold;
+    }
+    if (spec.min_points >= 0) {
+      topts.maintainer.min_index_points = static_cast<size_t>(spec.min_points);
+    }
+    if (spec.min_age >= 0) {
+      topts.maintainer.min_point_age_generations =
+          static_cast<size_t>(spec.min_age);
+    }
+    if (spec.sweep_every >= 0) {
+      topts.maintainer.auto_sweep_every = static_cast<size_t>(spec.sweep_every);
+    }
+    // Sweeps key off hit scores; a tenant that tunes its eviction policy
+    // gets hit accounting switched on so those knobs actually bite.
+    if (spec.sweep_every > 0 || spec.min_points >= 0 ||
+        spec.decay_threshold >= 0.0) {
+      topts.engine.enable_hit_accounting = true;
+    }
+    const std::string name = spec.name;
+    topts.maintainer.on_publish =
+        [name](uint64_t epoch, std::shared_ptr<const core::InflexIndex> gen) {
+          std::printf("  maintenance[%s]: published generation %llu "
+                      "(%zu index points)\n",
+                      name.c_str(), static_cast<unsigned long long>(epoch),
+                      gen->num_index_points());
+          std::fflush(stdout);
+        };
+    auto created = stack->registry->CreateTenant(topts, stack->index,
+                                                 &stack->dataset.graph);
+    INFLEX_RETURN_NOT_OK(created.status());
+  }
+  return Status::OK();
 }
 
 // --------------------------------------------------------------------------
@@ -290,16 +458,26 @@ int RunDaemon(ArgParser& args, uint16_t port, const std::string& data_dir,
   auto queue_low = args.GetInt("queue-low", 0);
   auto retry_after = args.GetInt("retry-after-ms", 50);
   auto deadline = args.GetInt("deadline-ms", 0);
+  const std::string tenants_config = args.GetString("tenants-config", "");
   for (const auto* r : {&io_threads, &workers, &worker_batch, &queue_high,
                         &queue_low, &retry_after, &deadline}) {
     if (!r->ok()) return Fail(r->status());
   }
+  const bool multi_tenant = !tenants_config.empty();
 
-  auto stack =
-      BuildStack(args, data_dir, index_path, /*with_maintainer=*/true);
+  auto stack = BuildStack(args, data_dir, index_path, /*with_maintainer=*/true,
+                          /*with_engine=*/!multi_tenant);
   if (auto st = args.Validate(); !st.ok()) return Fail(st);
   if (!stack.ok()) return Fail(stack.status());
   ServingStack& s = *stack.ValueOrDie();
+
+  if (multi_tenant) {
+    auto specs = ParseTenantsConfig(tenants_config);
+    if (!specs.ok()) return Fail(specs.status());
+    if (auto st = BuildTenants(&s, std::move(specs).ValueOrDie()); !st.ok()) {
+      return Fail(st);
+    }
+  }
 
   net::InflexServerOptions sopts;
   sopts.port = port;
@@ -310,13 +488,25 @@ int RunDaemon(ArgParser& args, uint16_t port, const std::string& data_dir,
   sopts.queue_low_watermark = static_cast<size_t>(queue_low.ValueOrDie());
   sopts.retry_after_ms = static_cast<uint32_t>(retry_after.ValueOrDie());
   sopts.default_deadline_ms = static_cast<uint32_t>(deadline.ValueOrDie());
-  sopts.maintainer = s.maintainer.get();
-  net::InflexServer server(s.engine.get(), sopts);
+  core::QueryEngine* front_engine = s.engine.get();
+  if (multi_tenant) {
+    sopts.router = s.router.get();
+    // Global queue-depth mirroring lands on the default tenant's engine.
+    front_engine =
+        s.registry->Resolve(tenant::kDefaultTenantId)->engine();
+  } else {
+    sopts.maintainer = s.maintainer.get();
+  }
+  net::InflexServer server(front_engine, sopts);
   if (auto st = server.Start(); !st.ok()) return Fail(st);
 
-  std::printf("listening on %s:%u (%zu io loops, %zu workers, queue high %zu)\n",
+  std::printf("listening on %s:%u (%zu io loops, %zu workers, queue high %zu",
               sopts.bind_address.c_str(), server.port(), sopts.io_threads,
               sopts.num_workers, sopts.queue_high_watermark);
+  if (multi_tenant) {
+    std::printf(", %zu tenants", s.registry->size());
+  }
+  std::printf(")\n");
   std::fflush(stdout);
 
   struct sigaction sa {};
@@ -330,11 +520,17 @@ int RunDaemon(ArgParser& args, uint16_t port, const std::string& data_dir,
   std::printf("shutting down: draining in-flight requests\n");
   server.Stop();
   std::printf("net serving summary: %s\n", server.stats().ToString().c_str());
-  std::printf("engine summary: %s\n",
-              s.engine->cumulative_stats().ToString().c_str());
-  if (s.maintainer != nullptr) {
-    std::printf("maintenance summary: %s\n",
-                s.maintainer->stats().ToString().c_str());
+  if (multi_tenant) {
+    for (const auto& t : s.registry->List()) {
+      std::printf("%s\n", t->Snapshot().ToString().c_str());
+    }
+  } else {
+    std::printf("engine summary: %s\n",
+                s.engine->cumulative_stats().ToString().c_str());
+    if (s.maintainer != nullptr) {
+      std::printf("maintenance summary: %s\n",
+                  s.maintainer->stats().ToString().c_str());
+    }
   }
   std::printf("drained cleanly\n");
   return 0;
